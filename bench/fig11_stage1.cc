@@ -1,0 +1,58 @@
+// Figure 11: AgileML stage 1 with 4-32 reliable machines (ParamServs)
+// out of 64 total, compared to the traditional architecture where all 64
+// machines are reliable and run ParamServs. MF application.
+//
+// Paper shape: negligible slowdown at 1:1 (32 ParamServs), severe
+// slowdown at 15:1 (4 ParamServs) due to the network bottleneck into the
+// few reliable machines.
+#include <cstdio>
+
+#include "bench/support.h"
+#include "src/common/table.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+void Main() {
+  std::printf("=== Fig 11: stage 1, time per iteration vs #ParamServs (MF, 64 nodes) ===\n");
+  const MfEnv env = MakeMfEnv();
+  TextTable table({"config", "reliable:transient", "time/iter (s)", "vs traditional"});
+
+  double traditional = 0.0;
+  struct Row {
+    const char* label;
+    int reliable;
+  };
+  const Row rows[] = {
+      {"Traditional (all reliable)", 64},
+      {"32 ParamServs", 32},
+      {"16 ParamServs", 16},
+      {"4 ParamServs", 4},
+  };
+  for (const Row& row : rows) {
+    MatrixFactorizationApp app(&env.data, env.mf);
+    AgileMLConfig config = ClusterAConfig(32);
+    config.planner.forced_stage = Stage::kStage1;
+    AgileMLRuntime runtime(&app, config, MakeCluster(row.reliable, 64 - row.reliable));
+    const double t = MeasureTimePerIter(runtime, 2, 5);
+    if (row.reliable == 64) {
+      traditional = t;
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%d:%d", row.reliable, 64 - row.reliable);
+    table.AddRow({row.label, ratio, TextTable::Cell(t, 3),
+                  TextTable::Cell(t / traditional, 2) + "x"});
+  }
+  table.PrintAndMaybeExport("fig11_stage1");
+  std::printf("(paper: 32 ParamServs ~= traditional; 4 ParamServs slowed >85%%)\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main() {
+  proteus::bench::Main();
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 13: AgileML stage 3 (no workers on the reliable machine) vs
+// stage 2 (workers everywhere) at a 63:1 transient-to-reliable ratio,
+// compared to the traditional all-reliable baseline. MF application.
+//
+// Paper shape: with workers on the lone reliable machine (stage 2) the
+// BackupPS network load makes that worker a straggler; removing it
+// (stage 3) matches traditional performance.
+#include <cstdio>
+
+#include "bench/support.h"
+#include "src/common/table.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+double Run(const MfEnv& env, int reliable, int transient, Stage stage) {
+  MatrixFactorizationApp app(&env.data, env.mf);
+  AgileMLConfig config = ClusterAConfig(32);
+  config.planner.forced_stage = stage;
+  config.planner.forced_active_ps_count = 32;
+  AgileMLRuntime runtime(&app, config, MakeCluster(reliable, transient));
+  return MeasureTimePerIter(runtime, 2, 5);
+}
+
+void Main() {
+  std::printf("=== Fig 13: stage 3 vs stage 2 at 63:1 (MF, 1 reliable + 63 transient) ===\n");
+  const MfEnv env = MakeMfEnv();
+  const double traditional = Run(env, 64, 0, Stage::kStage1);
+  const double with_workers = Run(env, 1, 63, Stage::kStage2);
+  const double without_workers = Run(env, 1, 63, Stage::kStage3);
+
+  TextTable table({"config", "time/iter (s)", "vs traditional"});
+  table.AddRow({"Workers on reliable (stage 2)", TextTable::Cell(with_workers, 3),
+                TextTable::Cell(with_workers / traditional, 2) + "x"});
+  table.AddRow({"No workers on reliable (stage 3)", TextTable::Cell(without_workers, 3),
+                TextTable::Cell(without_workers / traditional, 2) + "x"});
+  table.AddRow({"Traditional (all reliable)", TextTable::Cell(traditional, 3), "1.00x"});
+  table.PrintAndMaybeExport("fig13_stage3");
+  std::printf("(paper: stage 3 matches traditional at 63:1; stage 2 loses ~2x)\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main() {
+  proteus::bench::Main();
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Figure 14: stage 2 vs stage 3 on the same 8 reliable + 8 transient
+// footprint (1:1 ratio). MF application, per-iteration time series.
+//
+// Paper shape: at low ratios stage 2 is clearly better — stage 3 throws
+// away half the workers. (Complementary to Fig. 13: all three stages are
+// needed.)
+#include <cstdio>
+
+#include "bench/support.h"
+#include "src/common/table.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+std::vector<double> Series(const MfEnv& env, Stage stage, int iters) {
+  MatrixFactorizationApp app(&env.data, env.mf);
+  AgileMLConfig config = ClusterAConfig(32);
+  config.planner.forced_stage = stage;
+  AgileMLRuntime runtime(&app, config, MakeCluster(8, 8));
+  std::vector<double> out;
+  for (int i = 0; i < iters; ++i) {
+    out.push_back(runtime.RunClock().duration);
+  }
+  return out;
+}
+
+void Main() {
+  std::printf("=== Fig 14: stage 2 vs stage 3 at 1:1 (MF, 8 reliable + 8 transient) ===\n");
+  const MfEnv env = MakeMfEnv();
+  constexpr int kIters = 20;
+  const std::vector<double> s2 = Series(env, Stage::kStage2, kIters);
+  const std::vector<double> s3 = Series(env, Stage::kStage3, kIters);
+
+  TextTable table({"iteration", "stage 2 (s)", "stage 3 (s)"});
+  for (int i = 0; i < kIters; i += 2) {
+    table.AddRow({std::to_string(i + 1), TextTable::Cell(s2[static_cast<std::size_t>(i)], 3),
+                  TextTable::Cell(s3[static_cast<std::size_t>(i)], 3)});
+  }
+  table.PrintAndMaybeExport("fig14_stage_compare");
+  double mean2 = 0.0;
+  double mean3 = 0.0;
+  for (int i = 2; i < kIters; ++i) {
+    mean2 += s2[static_cast<std::size_t>(i)];
+    mean3 += s3[static_cast<std::size_t>(i)];
+  }
+  mean2 /= kIters - 2;
+  mean3 /= kIters - 2;
+  std::printf("steady-state mean: stage2 %.3fs, stage3 %.3fs (stage2/stage3 = %.2fx)\n",
+              mean2, mean3, mean2 / mean3);
+  std::printf("(paper: stage 2 is better at low transient-to-reliable ratios)\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main() {
+  proteus::bench::Main();
+  return 0;
+}

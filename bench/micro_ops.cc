@@ -1,0 +1,115 @@
+// Micro-benchmarks (google-benchmark) for the hot operations of the
+// parameter-server substrate: row reads/updates, backup sync, fabric
+// accounting, and cost-model evaluation.
+#include <benchmark/benchmark.h>
+
+#include "bench/support.h"
+#include "src/bidbrain/cost_model.h"
+#include "src/ps/model.h"
+
+namespace proteus {
+namespace {
+
+ModelStore MakeStore() {
+  return ModelStore({{0, 10000, 128, 0.0F, 0.1F}}, 32, 7);
+}
+
+void BM_ModelReadRow(benchmark::State& state) {
+  ModelStore store = MakeStore();
+  std::vector<float> row;
+  std::int64_t r = 0;
+  for (auto _ : state) {
+    store.ReadRow(0, r, row);
+    benchmark::DoNotOptimize(row.data());
+    r = (r + 1) % 10000;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 128 * 4);
+}
+BENCHMARK(BM_ModelReadRow);
+
+void BM_ModelApplyDelta(benchmark::State& state) {
+  ModelStore store = MakeStore();
+  const std::vector<float> delta(128, 0.5F);
+  std::int64_t r = 0;
+  for (auto _ : state) {
+    store.ApplyDelta(0, r, delta);
+    r = (r + 1) % 10000;
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 128 * 4);
+}
+BENCHMARK(BM_ModelApplyDelta);
+
+void BM_BackupSync(benchmark::State& state) {
+  ModelStore store = MakeStore();
+  store.EnableBackups();
+  const std::vector<float> delta(128, 0.5F);
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::int64_t r = 0; r < 1000; ++r) {
+      store.ApplyDelta(0, r, delta);
+    }
+    state.ResumeTiming();
+    for (PartitionId p = 0; p < 32; ++p) {
+      benchmark::DoNotOptimize(store.SyncPartitionToBackup(p));
+    }
+  }
+}
+BENCHMARK(BM_BackupSync);
+
+void BM_FabricRecordTransfer(benchmark::State& state) {
+  Fabric fabric(1.25e8);
+  for (NodeId n = 0; n < 64; ++n) {
+    fabric.AddNode(n);
+  }
+  fabric.BeginRound();
+  NodeId src = 0;
+  for (auto _ : state) {
+    fabric.RecordTransfer(src, (src + 1) % 64, 1024);
+    src = (src + 1) % 64;
+  }
+}
+BENCHMARK(BM_FabricRecordTransfer);
+
+void BM_CostModelEvaluate(benchmark::State& state) {
+  std::vector<AllocationPlan> plans;
+  for (int i = 0; i < 8; ++i) {
+    AllocationPlan plan;
+    plan.market = {"z0", "c4.xlarge"};
+    plan.count = 16;
+    plan.hourly_price = 0.05 + 0.01 * i;
+    plan.beta = 0.1 * i / 8.0;
+    plan.omega = kHour;
+    plan.work_per_hour = 4.0;
+    plans.push_back(plan);
+  }
+  const AppProfile app;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CostModel::ExpectedCostPerWork(plans, app, true));
+  }
+}
+BENCHMARK(BM_CostModelEvaluate);
+
+void BM_MfProcessClock(benchmark::State& state) {
+  RatingsConfig rc;
+  rc.users = 2000;
+  rc.items = 500;
+  rc.ratings = 20000;
+  const RatingsDataset data = GenerateRatings(rc);
+  MfConfig mc;
+  mc.rank = 64;
+  MatrixFactorizationApp app(&data, mc);
+  AgileMLConfig config;
+  config.num_partitions = 8;
+  config.parallel_execution = false;
+  AgileMLRuntime runtime(&app, config, {{0, Tier::kReliable, 8, kInvalidAllocation}});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runtime.RunClock().duration);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * rc.ratings);
+}
+BENCHMARK(BM_MfProcessClock);
+
+}  // namespace
+}  // namespace proteus
+
+BENCHMARK_MAIN();

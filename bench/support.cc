@@ -1,0 +1,112 @@
+#include "bench/support.h"
+
+namespace proteus {
+namespace bench {
+
+MfEnv MakeMfEnv() {
+  MfEnv env;
+  RatingsConfig rc;
+  rc.users = 30000;
+  rc.items = 2000;
+  rc.ratings = 200000;
+  rc.item_zipf = 1.01;  // Near-uniform item popularity: wide read sets.
+  rc.sort_by_user = true;
+  rc.seed = 1001;
+  env.data = GenerateRatings(rc);
+  env.mf.rank = 512;  // Standing in for the paper's rank-1000 Netflix run.
+  env.mf.learning_rate = 0.01;
+  env.mf.regularization = 0.02;
+  env.mf.objective_sample = 20000;
+  return env;
+}
+
+LdaEnv MakeLdaEnv() {
+  LdaEnv env;
+  CorpusConfig cc;
+  cc.docs = 6000;
+  cc.vocab = 8000;
+  cc.true_topics = 20;
+  cc.avg_doc_len = 120;
+  cc.seed = 1002;
+  env.data = GenerateCorpus(cc);
+  env.lda.topics = 64;
+  return env;
+}
+
+AgileMLConfig ClusterAConfig(int num_partitions) {
+  AgileMLConfig config;
+  config.num_partitions = num_partitions;
+  config.staleness = 1;
+  // Calibrated virtual core speed (cost units per core-second); see the
+  // header comment and bench/tab_model_validation.cc.
+  config.core_speed = 1.2e7;
+  config.nic_bandwidth = 1.25e8;  // 1 Gbps, as measured in §6.1.
+  config.storage_bandwidth = 6.25e7;
+  config.barrier_overhead = 0.05;
+  config.backup_sync_every = 1;
+  config.data_blocks = 1024;
+  config.bytes_per_item = 64.0;
+  config.seed = 7;
+  config.parallel_execution = true;
+  return config;
+}
+
+std::vector<NodeInfo> MakeCluster(int reliable, int transient) {
+  std::vector<NodeInfo> nodes;
+  NodeId id = 0;
+  for (int i = 0; i < reliable; ++i) {
+    nodes.push_back({id++, Tier::kReliable, 8, kInvalidAllocation});
+  }
+  for (int i = 0; i < transient; ++i) {
+    nodes.push_back({id++, Tier::kTransient, 8, kInvalidAllocation});
+  }
+  return nodes;
+}
+
+double MeasureTimePerIter(AgileMLRuntime& runtime, int warmup, int iters) {
+  runtime.RunClocks(warmup);
+  double total = 0.0;
+  for (int i = 0; i < iters; ++i) {
+    total += runtime.RunClock().duration;
+  }
+  return total / iters;
+}
+
+MarketEnv MakeMarketEnv(std::uint64_t seed) {
+  MarketEnv env;
+  env.catalog = InstanceTypeCatalog::Default();
+  SyntheticTraceConfig config;
+  config.spikes_per_day = 3.0;
+  Rng rng(seed);
+  env.traces = TraceStore::GenerateSynthetic(
+      env.catalog, {"us-east-1a", "us-east-1b", "us-east-1c", "us-east-1d"}, 90 * kDay, config,
+      rng);
+  env.estimator.Train(env.traces, 0.0, 45 * kDay);
+  env.eval_begin = 45 * kDay;
+  env.eval_end = 90 * kDay;
+  return env;
+}
+
+SchemeConfig PaperSchemeConfig() {
+  SchemeConfig config;
+  config.on_demand_count = 3;
+  config.on_demand_type = "c4.xlarge";
+  config.standard_target_vcpus = 64 * 8;  // Cluster-A capacity.
+  config.bidbrain.max_spot_instances = 189;
+  config.bidbrain.allocation_quantum = 16;
+  return config;
+}
+
+std::vector<SimTime> SampleStartTimes(const MarketEnv& env, int count, SimDuration job_slack,
+                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SimTime> starts;
+  starts.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    starts.push_back(rng.Uniform(env.eval_begin, env.eval_end - job_slack));
+  }
+  return starts;
+}
+
+}  // namespace bench
+}  // namespace proteus

@@ -1,0 +1,83 @@
+// Shared setup for the benchmark harness: paper-scale workloads,
+// cluster builders, measurement helpers, and the spot-market environment
+// used by the cost benches.
+//
+// Calibration: the AgileML benches emulate the paper's Cluster-A (64
+//8-core machines, 1 Gbps NICs). Absolute seconds depend on the virtual
+// core speed; the constants below are set so the relative anchors from
+// the paper hold (see bench/tab_model_validation.cc):
+//   - stage 1 with 4 ParamServs at 60:4 is slowed >85% vs traditional,
+//   - stage 2 with 32 ActivePSs at 15:1 is ~18% slower than traditional,
+//   - stage 3 at 63:1 roughly matches traditional.
+#ifndef BENCH_SUPPORT_H_
+#define BENCH_SUPPORT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/lda.h"
+#include "src/apps/mf.h"
+#include "src/apps/mlr.h"
+#include "src/bidbrain/eviction_estimator.h"
+#include "src/market/spot_market.h"
+#include "src/proteus/job_simulator.h"
+
+namespace proteus {
+namespace bench {
+
+// --- AgileML-side environment (Figs. 11-16) ---
+
+struct MfEnv {
+  RatingsDataset data;
+  MfConfig mf;
+};
+
+// The MF workload standing in for Netflix-on-Cluster-A.
+MfEnv MakeMfEnv();
+
+struct LdaEnv {
+  CorpusDataset data;
+  LdaConfig lda;
+};
+
+// The LDA workload standing in for NYTimes (Fig. 15).
+LdaEnv MakeLdaEnv();
+
+// AgileML runtime config emulating Cluster-A.
+AgileMLConfig ClusterAConfig(int num_partitions = 32);
+
+// reliable then transient nodes, ids 0..n-1, 8 cores each.
+std::vector<NodeInfo> MakeCluster(int reliable, int transient);
+
+// Mean time-per-iteration after warm-up.
+double MeasureTimePerIter(AgileMLRuntime& runtime, int warmup, int iters);
+
+// --- Market-side environment (Figs. 1, 3, 8, 9, 10) ---
+
+struct MarketEnv {
+  InstanceTypeCatalog catalog;
+  TraceStore traces;       // Full horizon.
+  EvictionEstimator estimator;  // Trained on the first part of the horizon.
+  SimTime eval_begin = 0;  // Evaluation windows start here.
+  SimTime eval_end = 0;
+};
+
+// Four zones (like US-EAST-1), ~90 days of synthetic prices; estimator
+// trained on the first 45 days, evaluation on the rest — mirroring the
+// paper's train (Mar-Jun) / evaluate (Jun-Aug) split.
+MarketEnv MakeMarketEnv(std::uint64_t seed = 2016);
+
+// Scheme config shared by the cost benches (Cluster-A-sized jobs).
+SchemeConfig PaperSchemeConfig();
+
+// Random job start times within the evaluation window.
+std::vector<SimTime> SampleStartTimes(const MarketEnv& env, int count, SimDuration job_slack,
+                                      std::uint64_t seed);
+
+}  // namespace bench
+}  // namespace proteus
+
+#endif  // BENCH_SUPPORT_H_

@@ -1,0 +1,88 @@
+// §6.4 consistency check: the paper reports the stage results only for
+// MF, noting "results for the other applications and Cluster-B are
+// consistent and omitted only due to space constraints." This table
+// verifies that claim in our model for MLR and LDA at the key operating
+// points: 1:1 (stage 1), 15:1 (stage 2), 63:1 (stage 3).
+#include <cstdio>
+
+#include "bench/support.h"
+#include "src/common/table.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+struct AppRunner {
+  const char* name;
+  std::function<double(int reliable, int transient, Stage stage, std::optional<int> actives)>
+      run;
+};
+
+void Main() {
+  std::printf("=== Stage behaviour consistency across applications (vs traditional) ===\n");
+  const MfEnv mf_env = MakeMfEnv();
+  const LdaEnv lda_env = MakeLdaEnv();
+  // MLR shaped like the paper's ImageNet-LLC run: a large dense weight
+  // matrix (classes x dim) relative to the sample count, so parameter
+  // traffic matters. MLR remains the most compute-bound of the three.
+  FeaturesConfig fc;
+  fc.samples = 4096;
+  fc.dim = 2048;
+  fc.classes = 512;
+  const FeaturesDataset mlr_data = GenerateFeatures(fc);
+
+  auto config_for = [](std::optional<Stage> stage, std::optional<int> actives) {
+    AgileMLConfig config = ClusterAConfig(32);
+    config.planner.forced_stage = stage;
+    config.planner.forced_active_ps_count = actives;
+    return config;
+  };
+
+  const std::vector<AppRunner> apps = {
+      {"MF",
+       [&](int r, int t, Stage s, std::optional<int> a) {
+         MatrixFactorizationApp app(&mf_env.data, mf_env.mf);
+         AgileMLRuntime runtime(&app, config_for(s, a), MakeCluster(r, t));
+         return MeasureTimePerIter(runtime, 2, 3);
+       }},
+      {"MLR",
+       [&](int r, int t, Stage s, std::optional<int> a) {
+         MultinomialLogRegApp app(&mlr_data, MlrConfig{});
+         AgileMLRuntime runtime(&app, config_for(s, a), MakeCluster(r, t));
+         return MeasureTimePerIter(runtime, 2, 3);
+       }},
+      {"LDA",
+       [&](int r, int t, Stage s, std::optional<int> a) {
+         LdaApp app(&lda_env.data, lda_env.lda);
+         AgileMLRuntime runtime(&app, config_for(s, a), MakeCluster(r, t));
+         return MeasureTimePerIter(runtime, 3, 3);
+       }},
+  };
+
+  TextTable table({"app", "stage1 @1:1", "stage1 @15:1", "stage2 @15:1", "stage3 @63:1"});
+  for (const AppRunner& app : apps) {
+    const double traditional = app.run(64, 0, Stage::kStage1, std::nullopt);
+    const double s1_even = app.run(32, 32, Stage::kStage1, std::nullopt);
+    const double s1_skew = app.run(4, 60, Stage::kStage1, std::nullopt);
+    const double s2_skew = app.run(4, 60, Stage::kStage2, 32);
+    const double s3_skew = app.run(1, 63, Stage::kStage3, 32);
+    table.AddRow({app.name, TextTable::Cell(s1_even / traditional, 2) + "x",
+                  TextTable::Cell(s1_skew / traditional, 2) + "x",
+                  TextTable::Cell(s2_skew / traditional, 2) + "x",
+                  TextTable::Cell(s3_skew / traditional, 2) + "x"});
+  }
+  table.PrintAndMaybeExport("tab_apps_consistency");
+  std::printf(
+      "(expected pattern: ~1x, >1x, ~1.0-1.3x, ~1x. The stage phenomena are\n"
+      " architectural; their magnitude scales with each app's comm:compute\n"
+      " ratio — strongest for MF, mildest for compute-bound MLR)\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main() {
+  proteus::bench::Main();
+  return 0;
+}

@@ -1,0 +1,133 @@
+// §2.2 extension: the same job on EC2-style spot markets (variable
+// price, bidding, free-compute refunds, 2-minute warning) versus
+// GCE-style preemptible instances (flat 70% discount, 30-second warning,
+// 24-hour cap, per-minute billing, no refunds).
+#include <cstdio>
+
+#include "bench/support.h"
+#include "src/common/stats.h"
+#include "src/common/table.h"
+#include "src/market/preemptible.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+// GCE scheme: maintain a preemptible capacity target; on revocation,
+// pause lambda and re-request. No bidding decisions to make.
+struct GceOutcome {
+  SimDuration runtime = 0.0;
+  Money cost = 0.0;
+  int revocations = 0;
+};
+
+GceOutcome RunGceJob(const InstanceTypeCatalog& catalog, const PreemptibleConfig& config,
+                     std::uint64_t seed, int target_instances, const std::string& type,
+                     WorkUnits total_work, const AppProfile& app) {
+  PreemptibleMarket market(catalog, config, seed);
+  const int vcpus = catalog.Get(type).vcpus;
+  GceOutcome out;
+  std::vector<AllocationId> live;
+  WorkUnits done = 0.0;
+  SimTime t = 0.0;
+  SimTime paused_until = 0.0;
+  const SimDuration step = kMinute;
+  while (done < total_work && t < 10 * kDay) {
+    // Handle revocations due now.
+    for (auto it = live.begin(); it != live.end();) {
+      if (market.Get(*it).revocation_time <= t) {
+        market.MarkRevoked(*it);
+        it = live.erase(it);
+        ++out.revocations;
+        paused_until = std::max(paused_until, t + app.lambda);
+      } else {
+        ++it;
+      }
+    }
+    // Top up to the capacity target (always granted).
+    int have = 0;
+    for (const AllocationId id : live) {
+      have += market.Get(id).count;
+    }
+    if (have < target_instances) {
+      live.push_back(market.Request(type, target_instances - have, t));
+      paused_until = std::max(paused_until, t + app.sigma);
+    }
+    if (t >= paused_until) {
+      done += have * vcpus * app.phi * (step / kHour) / 8.0;  // Work in 8-vCPU-machine-hours.
+    }
+    t += step;
+  }
+  for (const AllocationId id : live) {
+    if (market.Get(id).running()) {
+      market.Terminate(id, t);
+    }
+  }
+  out.runtime = t;
+  out.cost = market.TotalBill(t);
+  return out;
+}
+
+void Main() {
+  std::printf("=== EC2 spot (Proteus) vs GCE preemptible: 2-hour job ===\n");
+  const MarketEnv env = MakeMarketEnv();
+  const JobSimulator sim(&env.catalog, &env.traces, &env.estimator);
+  const SchemeConfig scheme_config = PaperSchemeConfig();
+  const SimDuration duration = 2 * kHour;
+  const JobSpec job =
+      JobSpec::ForReferenceDuration(env.catalog, "c4.2xlarge", 64, duration, 0.95);
+
+  // EC2: on-demand baseline and Proteus, averaged over trace starts.
+  SampleStats od_cost;
+  SampleStats pr_cost;
+  SampleStats pr_runtime;
+  SampleStats pr_evictions;
+  for (const SimTime start : SampleStartTimes(env, 120, duration * 8, 94)) {
+    od_cost.Add(sim.Run(SchemeKind::kOnDemandOnly, job, scheme_config, start).bill.cost);
+    const JobResult pr = sim.Run(SchemeKind::kProteus, job, scheme_config, start);
+    pr_cost.Add(pr.bill.cost);
+    pr_runtime.Add(pr.runtime);
+    pr_evictions.Add(pr.evictions);
+  }
+
+  // GCE: 64 preemptible c4.2xlarge-equivalents, averaged over seeds.
+  const AppProfile app = AgileMLProfile();
+  PreemptibleConfig gce;
+  gce.revocations_per_hour = 0.02;
+  GceOutcome gce_sum{};
+  constexpr int kSeeds = 120;
+  for (int i = 0; i < kSeeds; ++i) {
+    // total_work expressed in 8-vCPU machine-hours to match RunGceJob.
+    const GceOutcome one = RunGceJob(env.catalog, gce, 1000 + i, 64, "c4.2xlarge",
+                                     job.total_work / 8.0, app);
+    gce_sum.cost += one.cost;
+    gce_sum.runtime += one.runtime;
+    gce_sum.revocations += one.revocations;
+  }
+
+  TextTable table({"platform / scheme", "avg cost ($)", "% of on-demand", "avg runtime (h)",
+                   "avg revocations"});
+  table.AddRow({"EC2 on-demand (64 machines)", TextTable::Cell(od_cost.Mean(), 2), "100%",
+                TextTable::Cell(2.0, 2), "0"});
+  table.AddRow({"EC2 spot + Proteus", TextTable::Cell(pr_cost.Mean(), 2),
+                TextTable::Cell(100.0 * pr_cost.Mean() / od_cost.Mean(), 0) + "%",
+                TextTable::Cell(pr_runtime.Mean() / kHour, 2),
+                TextTable::Cell(pr_evictions.Mean(), 1)});
+  table.AddRow({"GCE preemptible (flat -70%)", TextTable::Cell(gce_sum.cost / kSeeds, 2),
+                TextTable::Cell(100.0 * (gce_sum.cost / kSeeds) / od_cost.Mean(), 0) + "%",
+                TextTable::Cell(gce_sum.runtime / kSeeds / kHour, 2),
+                TextTable::Cell(static_cast<double>(gce_sum.revocations) / kSeeds, 1)});
+  table.PrintAndMaybeExport("tab_gce_comparison");
+  std::printf(
+      "(GCE's flat discount caps savings at 70%% and offers no free compute;\n"
+      " EC2's market lets Proteus do better by exploiting price dips and refunds)\n\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main() {
+  proteus::bench::Main();
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Model-validation table (§6.4 anchors).
+//
+// Checks the simulation model against the paper's quantitative anchors:
+//   - stage 1, 4 ParamServs, 60:4 -> MF slowed by over 85% (§3.2 Cons);
+//   - stage 2, 32 ActivePSs, 15:1 -> ~18% slower than traditional;
+//   - stage 3, 63:1               -> matches traditional.
+// Prints measured ratios next to the paper's numbers.
+#include <cstdio>
+
+#include "bench/support.h"
+#include "src/common/table.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+double RunConfig(const MfEnv& env, int reliable, int transient, std::optional<Stage> stage,
+                 std::optional<int> actives, int partitions = 32) {
+  MatrixFactorizationApp app(&env.data, env.mf);
+  AgileMLConfig config = ClusterAConfig(partitions);
+  config.planner.forced_stage = stage;
+  config.planner.forced_active_ps_count = actives;
+  AgileMLRuntime runtime(&app, config, MakeCluster(reliable, transient));
+  return MeasureTimePerIter(runtime, /*warmup=*/2, /*iters=*/5);
+}
+
+void Main() {
+  std::printf("=== Model validation: paper anchors (MF, 64-node Cluster-A) ===\n");
+  const MfEnv env = MakeMfEnv();
+
+  const double traditional = RunConfig(env, 64, 0, Stage::kStage1, std::nullopt);
+  const double stage1_4ps = RunConfig(env, 4, 60, Stage::kStage1, std::nullopt);
+  const double stage2_32a = RunConfig(env, 4, 60, Stage::kStage2, 32);
+  const double stage3_63 = RunConfig(env, 1, 63, Stage::kStage3, 32);
+  const double stage2_63 = RunConfig(env, 1, 63, Stage::kStage2, 32);
+
+  TextTable table({"anchor", "paper", "measured"});
+  table.AddRow({"stage1 4PS @60:4 vs traditional", ">1.85x",
+                TextTable::Cell(stage1_4ps / traditional, 2) + "x"});
+  table.AddRow({"stage2 32ActivePS @15:1 vs traditional", "~1.18x",
+                TextTable::Cell(stage2_32a / traditional, 2) + "x"});
+  table.AddRow({"stage3 @63:1 vs traditional", "~1.0x",
+                TextTable::Cell(stage3_63 / traditional, 2) + "x"});
+  table.AddRow({"stage2 @63:1 vs traditional (straggler)", ">=2x",
+                TextTable::Cell(stage2_63 / traditional, 2) + "x"});
+  table.AddRow({"traditional time/iter", "(abs. not comparable)",
+                TextTable::Cell(traditional, 3) + "s"});
+  table.PrintAndMaybeExport("tab_model_validation");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main() {
+  proteus::bench::Main();
+  return 0;
+}

@@ -1,0 +1,104 @@
+// The paper's running toy example (Figs. 5 and 6), executed for real:
+//
+//   Phase 1: one on-demand machine (BackupPS, c4.xlarge @ $0.2) plus an
+//            allocation [1] of 2 spot m4.xlarge @ $0.1 doing the work.
+//   Phase 2: BidBrain adds allocation [2]: 2 spot c4.xlarge @ $0.05 —
+//            raising instantaneous spend but lowering expected
+//            cost-per-work by amortizing the work-free on-demand node.
+//   Phase 3: allocation [1] is evicted; the survivors take over its
+//            input data (previous-owner preloading: no reload).
+//
+// Prints the expected cost-per-work blocks of Fig. 6 next to the live
+// AgileML cluster state transitions of Fig. 5.
+#include <cstdio>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/bidbrain/cost_model.h"
+#include "src/common/table.h"
+
+using namespace proteus;
+
+namespace {
+
+AllocationPlan Plan(const char* type, int count, Money price, double beta, WorkUnits work,
+                    bool on_demand = false) {
+  AllocationPlan plan;
+  plan.market = {"toy", type};
+  plan.count = count;
+  plan.hourly_price = price;
+  plan.beta = beta;
+  plan.omega = kHour;
+  plan.work_per_hour = work;
+  plan.on_demand = on_demand;
+  return plan;
+}
+
+void PrintPhase(const char* name, const std::vector<AllocationPlan>& plans,
+                const AppProfile& app) {
+  std::printf("%s: E[cost] = %s, E[work] = %.2f, E[cost/work] = %.4f\n", name,
+              FormatMoney(CostModel::ExpectedCost(plans)).c_str(),
+              CostModel::ExpectedWork(plans, app, false),
+              CostModel::ExpectedCostPerWork(plans, app, false));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("--- Fig. 6: expected cost per unit work across the three phases ---\n");
+  AppProfile app;
+  app.phi = 1.0;
+  app.sigma = 0.0;
+  app.lambda = 0.0;
+  const auto od = Plan("c4.xlarge", 1, 0.2, 0.0, /*work=*/0.0, /*on_demand=*/true);
+  const auto spot1 = Plan("m4.xlarge", 2, 0.1, 0.25, /*work=*/1.0);
+  const auto spot2 = Plan("c4.xlarge", 2, 0.05, 0.25, /*work=*/1.0);
+  PrintPhase("phase 1 (od + [1])      ", {od, spot1}, app);
+  PrintPhase("phase 2 (od + [1] + [2])", {od, spot1, spot2}, app);
+  PrintPhase("phase 3 (od + [2])      ", {od, spot2}, app);
+
+  std::printf("\n--- Fig. 5: the same transitions on a live AgileML cluster ---\n");
+  RatingsConfig rc;
+  rc.users = 400;
+  rc.items = 100;
+  rc.ratings = 40000;  // "40 pieces of input data", scaled.
+  const RatingsDataset data = GenerateRatings(rc);
+  MfConfig mc;
+  mc.rank = 16;
+  MatrixFactorizationApp mf(&data, mc);
+  AgileMLConfig config;
+  config.num_partitions = 2;  // "ActivePS state part1 / part2".
+  config.data_blocks = 40;
+  AgileMLRuntime runtime(&mf, config,
+                         {{0, Tier::kReliable, 4, kInvalidAllocation},   // Machine 0.
+                          {1, Tier::kTransient, 4, kInvalidAllocation},  // Allocation [1].
+                          {2, Tier::kTransient, 4, kInvalidAllocation}});
+
+  auto show = [&](const char* phase) {
+    std::printf("%s: stage=%s, workers:", phase, StageName(runtime.stage()));
+    for (const NodeId w : runtime.roles().worker_nodes) {
+      std::printf(" m%d(%lld items)", w, static_cast<long long>(runtime.data().ItemCountOf(w)));
+    }
+    std::printf("\n");
+  };
+  runtime.RunClocks(2);
+  show("phase 1");
+
+  // "Add 2 more spot instances" (allocation [2], machines 3 and 4).
+  runtime.AddNodes({{3, Tier::kTransient, 4, kInvalidAllocation},
+                    {4, Tier::kTransient, 4, kInvalidAllocation}});
+  while (runtime.PreparingCount() > 0) {
+    runtime.RunClock();
+  }
+  runtime.RunClock();
+  show("phase 2");
+
+  // "2 instances evicted" — allocation [1] (machines 1 and 2) goes away;
+  // the survivors take over its input data with minimal delay.
+  runtime.Evict({1, 2});
+  runtime.RunClock();
+  show("phase 3");
+  std::printf("no clocks lost: %s\n", runtime.lost_clocks_total() == 0 ? "true" : "false");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Quickstart: train matrix factorization on an elastic AgileML cluster.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+
+using namespace proteus;
+
+int main() {
+  // 1. Make (or load) training data: a sparse ratings matrix.
+  RatingsConfig data_config;
+  data_config.users = 2000;
+  data_config.items = 500;
+  data_config.ratings = 100000;
+  const RatingsDataset data = GenerateRatings(data_config);
+
+  // 2. Pick an application. MF, MLR and LDA ship with the library; your
+  //    own app just implements the MLApp interface (see custom_app.cpp).
+  MfConfig mf_config;
+  mf_config.rank = 32;
+  MatrixFactorizationApp app(&data, mf_config);
+
+  // 3. Describe the cluster: reliable nodes keep the solution state
+  //    safe, transient (spot) nodes do the bulk of the work.
+  std::vector<NodeInfo> nodes;
+  nodes.push_back({0, Tier::kReliable, 8, kInvalidAllocation});
+  for (NodeId id = 1; id <= 7; ++id) {
+    nodes.push_back({id, Tier::kTransient, 8, kInvalidAllocation});
+  }
+
+  // 4. Run. AgileML picks the right stage for the tier ratio (here 7:1
+  //    -> stage 2: ActivePSs on transient nodes, BackupPSs on reliable).
+  AgileMLConfig config;
+  config.num_partitions = 16;
+  AgileMLRuntime runtime(&app, config, nodes);
+  std::printf("stage: %s, workers: %zu\n", StageName(runtime.stage()),
+              runtime.roles().worker_nodes.size());
+
+  for (int iter = 1; iter <= 10; ++iter) {
+    const IterationReport report = runtime.RunClock();
+    std::printf("iter %2d: %.3fs (virtual), RMSE %.4f\n", iter, report.duration,
+                runtime.ComputeObjective());
+  }
+  std::printf("total virtual time: %.2fs\n", runtime.total_time());
+  return 0;
+}

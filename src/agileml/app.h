@@ -1,0 +1,98 @@
+// The public API an ML application implements to train with AgileML.
+//
+// Mirrors the paper's programming model (§2.1, §3.1): the application
+// defines its parameter tables (vector-valued rows with component-wise
+// add aggregation), partitions its input data by item index, and provides
+// a ProcessRange that adjusts parameters through simple read-param /
+// update-param calls. Workers are stateless: all shared state lives in
+// the parameter server, which is what makes bulk revocation survivable.
+#ifndef SRC_AGILEML_APP_H_
+#define SRC_AGILEML_APP_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/types.h"
+#include "src/ps/access_tracker.h"
+#include "src/ps/clock_table.h"
+#include "src/ps/model.h"
+
+namespace proteus {
+
+// Handle through which application worker code reads and updates model
+// parameters. Reads are cached and updates write-back-coalesced per
+// clock, which the runtime turns into network bytes; the arithmetic is
+// applied to the authoritative store immediately.
+class WorkerContext {
+ public:
+  WorkerContext(NodeId node, ModelStore* model, AccessTracker* tracker, Rng rng)
+      : node_(node), model_(model), tracker_(tracker), rng_(rng) {}
+
+  // Returns the current row value. The span is valid until the next Read
+  // on this context.
+  std::span<const float> Read(int table, std::int64_t row) {
+    tracker_->RecordRead(table, row);
+    model_->ReadRow(table, row, scratch_);
+    return scratch_;
+  }
+
+  // Reads into a caller-owned buffer, for apps that need two rows live.
+  void ReadInto(int table, std::int64_t row, std::vector<float>& out) {
+    tracker_->RecordRead(table, row);
+    model_->ReadRow(table, row, out);
+  }
+
+  // Applies a component-wise additive delta.
+  void Update(int table, std::int64_t row, std::span<const float> delta) {
+    tracker_->RecordUpdate(table, row);
+    model_->ApplyDelta(table, row, delta);
+  }
+
+  NodeId node() const { return node_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  NodeId node_;
+  ModelStore* model_;
+  AccessTracker* tracker_;
+  Rng rng_;
+  std::vector<float> scratch_;
+};
+
+struct ModelInit {
+  std::vector<TableSpec> tables;
+};
+
+// Interface implemented by MF, MLR, LDA (src/apps) and by user apps.
+class MLApp {
+ public:
+  virtual ~MLApp() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Declares the parameter tables.
+  virtual ModelInit DefineModel() const = 0;
+
+  // Number of input data items; the runtime partitions [0, NumItems())
+  // among worker nodes.
+  virtual std::int64_t NumItems() const = 0;
+
+  // Abstract compute cost to process one item, in cost units. The
+  // runtime divides by (cores x core_speed) to get virtual compute time.
+  virtual double CostPerItem() const = 0;
+
+  // Processes items [begin, end) for one clock. Must touch parameters
+  // only through ctx.
+  virtual void ProcessRange(WorkerContext& ctx, std::int64_t begin, std::int64_t end) = 0;
+
+  // Goodness-of-solution objective (lower is better for losses; apps
+  // document their convention). Used to verify convergence.
+  virtual double ComputeObjective(const ModelStore& model) const = 0;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_AGILEML_APP_H_

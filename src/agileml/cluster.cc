@@ -1,0 +1,26 @@
+#include "src/agileml/cluster.h"
+
+#include <limits>
+
+namespace proteus {
+
+double TierCounts::Ratio() const {
+  if (reliable == 0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return static_cast<double>(transient) / static_cast<double>(reliable);
+}
+
+TierCounts CountTiers(const std::vector<NodeInfo>& nodes) {
+  TierCounts counts;
+  for (const auto& node : nodes) {
+    if (node.reliable()) {
+      ++counts.reliable;
+    } else {
+      ++counts.transient;
+    }
+  }
+  return counts;
+}
+
+}  // namespace proteus

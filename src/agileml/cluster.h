@@ -1,0 +1,52 @@
+// Node and tier definitions for AgileML's tiered-reliability cluster view.
+#ifndef SRC_AGILEML_CLUSTER_H_
+#define SRC_AGILEML_CLUSTER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace proteus {
+
+// Reliability tiers (§3): reliable nodes (e.g. EC2 on-demand) hold durable
+// solution state; transient nodes (e.g. spot) may be revoked in bulk.
+enum class Tier {
+  kReliable,
+  kTransient,
+};
+
+inline const char* TierName(Tier tier) {
+  return tier == Tier::kReliable ? "reliable" : "transient";
+}
+
+struct NodeInfo {
+  NodeId id = kInvalidNode;
+  Tier tier = Tier::kTransient;
+  int cores = 8;  // c4.2xlarge-like default.
+  // Which market allocation the node belongs to (kInvalidAllocation for
+  // nodes not managed by BidBrain, e.g. in stand-alone AgileML runs).
+  AllocationId allocation = kInvalidAllocation;
+  // Relative compute speed (1.0 = nominal). Values below 1 model
+  // stragglers — degraded VMs, noisy neighbours, or nodes whose NIC
+  // load steals compute, as the reliable workers in stage 2 do (§3.2).
+  double speed = 1.0;
+
+  bool reliable() const { return tier == Tier::kReliable; }
+};
+
+// Convenience counters over a membership list.
+struct TierCounts {
+  int reliable = 0;
+  int transient = 0;
+
+  int total() const { return reliable + transient; }
+  // Transient-to-reliable ratio; infinity when no reliable nodes.
+  double Ratio() const;
+};
+
+TierCounts CountTiers(const std::vector<NodeInfo>& nodes);
+
+}  // namespace proteus
+
+#endif  // SRC_AGILEML_CLUSTER_H_

@@ -1,0 +1,65 @@
+#include "src/agileml/control_plane.h"
+
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+const char* ControlMessageName(ControlMessage type) {
+  switch (type) {
+    case ControlMessage::kDataAssignment:
+      return "data-assignment";
+    case ControlMessage::kPartitionOwnership:
+      return "partition-ownership";
+    case ControlMessage::kEvictionSignal:
+      return "eviction-signal";
+    case ControlMessage::kEndOfLifeFlag:
+      return "end-of-life-flag";
+    case ControlMessage::kReadySignal:
+      return "ready-signal";
+    case ControlMessage::kStageSwitch:
+      return "stage-switch";
+    case ControlMessage::kRollbackNotice:
+      return "rollback-notice";
+  }
+  return "?";
+}
+
+void ControlPlaneLog::Record(ControlMessage type, std::int64_t count) {
+  PROTEUS_CHECK_GE(count, 0);
+  counts_[static_cast<std::size_t>(type)] += count;
+}
+
+void ControlPlaneLog::Reset() { counts_.fill(0); }
+
+std::int64_t ControlPlaneLog::Count(ControlMessage type) const {
+  return counts_[static_cast<std::size_t>(type)];
+}
+
+std::int64_t ControlPlaneLog::Total() const {
+  std::int64_t total = 0;
+  for (const std::int64_t c : counts_) {
+    total += c;
+  }
+  return total;
+}
+
+std::string ControlPlaneLog::Summary() const {
+  std::ostringstream out;
+  bool first = true;
+  for (int i = 0; i < kNumControlMessages; ++i) {
+    if (counts_[static_cast<std::size_t>(i)] == 0) {
+      continue;
+    }
+    if (!first) {
+      out << ", ";
+    }
+    out << ControlMessageName(static_cast<ControlMessage>(i)) << "="
+        << counts_[static_cast<std::size_t>(i)];
+    first = false;
+  }
+  return first ? "none" : out.str();
+}
+
+}  // namespace proteus

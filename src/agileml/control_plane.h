@@ -1,0 +1,48 @@
+// Control-plane message accounting.
+//
+// The paper argues its transitions are cheap partly by counting control
+// messages — e.g. moving between stages 2 and 3 "involves just a single
+// worker notification message" (§3.2). This log records every
+// controller-to-node notification the runtime issues, so tests and
+// benches can verify those claims, and so the ZMQ-style wiring of a real
+// deployment (§5) has a defined message inventory.
+#ifndef SRC_AGILEML_CONTROL_PLANE_H_
+#define SRC_AGILEML_CONTROL_PLANE_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace proteus {
+
+enum class ControlMessage : int {
+  kDataAssignment = 0,     // Worker told to change its input-data set.
+  kPartitionOwnership = 1, // Partition ownership / redirection notice.
+  kEvictionSignal = 2,     // Controller -> node: cease operation.
+  kEndOfLifeFlag = 3,      // ActivePS -> BackupPS final-update marker.
+  kReadySignal = 4,        // New node -> controller: data loaded.
+  kStageSwitch = 5,        // Broadcast: stage transition.
+  kRollbackNotice = 6,     // Worker told to restart from a past clock.
+};
+
+inline constexpr int kNumControlMessages = 7;
+
+const char* ControlMessageName(ControlMessage type);
+
+class ControlPlaneLog {
+ public:
+  void Record(ControlMessage type, std::int64_t count = 1);
+  void Reset();
+
+  std::int64_t Count(ControlMessage type) const;
+  std::int64_t Total() const;
+
+  std::string Summary() const;
+
+ private:
+  std::array<std::int64_t, kNumControlMessages> counts_{};
+};
+
+}  // namespace proteus
+
+#endif  // SRC_AGILEML_CONTROL_PLANE_H_

@@ -1,0 +1,579 @@
+#include "src/agileml/runtime.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+namespace {
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+}  // namespace
+
+AgileMLRuntime::AgileMLRuntime(MLApp* app, AgileMLConfig config,
+                               const std::vector<NodeInfo>& initial_nodes)
+    : app_(app),
+      config_(config),
+      model_(app->DefineModel().tables, config.num_partitions, config.seed),
+      fabric_(config.nic_bandwidth),
+      data_(app->NumItems(), config.data_blocks),
+      planner_(config.planner),
+      clocks_(config.staleness) {
+  PROTEUS_CHECK(app_ != nullptr);
+  PROTEUS_CHECK(!initial_nodes.empty());
+  if (config_.parallel_execution) {
+    const std::size_t hw = std::max(2u, std::thread::hardware_concurrency());
+    pool_ = std::make_unique<ThreadPool>(hw);
+  }
+  for (const auto& node : initial_nodes) {
+    PROTEUS_CHECK_GE(node.id, 0);
+    PROTEUS_CHECK(!fabric_.HasNode(node.id)) << "duplicate node id " << node.id;
+    nodes_.push_back(node);
+    fabric_.AddNode(node.id);
+    ready_.insert(node.id);
+  }
+  // Initial placement: data is loaded during start-up, before the first
+  // clock, so nothing is charged to iteration time.
+  roles_ = planner_.Plan(ReadyNodes(), config_.num_partitions, nullptr);
+  if (roles_.UsesBackups()) {
+    model_.EnableBackups();
+  }
+  std::vector<NodeId> workers(roles_.worker_nodes.begin(), roles_.worker_nodes.end());
+  data_.Rebalance(workers);
+  RebuildClockTable();
+}
+
+AgileMLRuntime::~AgileMLRuntime() = default;
+
+const NodeInfo& AgileMLRuntime::Node(NodeId id) const {
+  for (const auto& node : nodes_) {
+    if (node.id == id) {
+      return node;
+    }
+  }
+  PROTEUS_LOG(Fatal) << "unknown node " << id;
+  __builtin_unreachable();
+}
+
+std::vector<NodeInfo> AgileMLRuntime::ReadyNodes() const {
+  std::vector<NodeInfo> out;
+  for (const auto& node : nodes_) {
+    if (IsReady(node.id)) {
+      out.push_back(node);
+    }
+  }
+  return out;
+}
+
+TierCounts AgileMLRuntime::ReadyTierCounts() const { return CountTiers(ReadyNodes()); }
+
+double AgileMLRuntime::ComputeObjective() const { return app_->ComputeObjective(model_); }
+
+void AgileMLRuntime::RebuildClockTable() {
+  clocks_ = ClockTable(config_.staleness);
+  for (const NodeId w : roles_.worker_nodes) {
+    clocks_.AddWorkerNode(w);
+    clocks_.AdvanceTo(w, clock_);
+  }
+}
+
+void AgileMLRuntime::TransitionRoles(const std::set<NodeId>& leaving, bool forced) {
+  const std::vector<NodeInfo> members = ReadyNodes();
+  PROTEUS_CHECK(!members.empty()) << "cluster has no ready nodes left";
+  RoleAssignment next = planner_.Plan(members, config_.num_partitions, &roles_);
+  const TrafficClass cls = forced ? TrafficClass::kForeground : TrafficClass::kBackground;
+
+  const bool had_backups = roles_.UsesBackups();
+  const bool will_have_backups = next.UsesBackups();
+
+  if (!had_backups && will_have_backups) {
+    // Stage 1 -> 2: snapshot current state as the backup copy. The
+    // backup owners are reliable nodes that held the state as ParamServs,
+    // so creating the backup costs no wire traffic.
+    model_.EnableBackups();
+  }
+  if (roles_.stage != next.stage && !roles_.server.empty()) {
+    control_log_.Record(ControlMessage::kStageSwitch);
+  }
+  if (had_backups && !will_have_backups) {
+    // Stage 2/3 -> 1: end-of-life push — every serving node streams its
+    // aggregated dirty deltas to the BackupPS, which then takes over as a
+    // ParamServ (§3.3 "Evictions"). Leaving nodes are still alive during
+    // the warning window, so they can push.
+    for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+      // Flush both the unsynced dirty rows and the in-flight tail of the
+      // asynchronous background stream.
+      const std::uint64_t bytes = model_.SyncPartitionToBackup(p) + last_sync_bytes_[p];
+      const NodeId src = roles_.server.at(p);
+      const NodeId dst = roles_.backup.at(p);
+      queued_.push_back({leaving.count(src) > 0 ? kInvalidNode : src, dst, bytes, cls, forced});
+      control_log_.Record(ControlMessage::kEndOfLifeFlag);
+    }
+    last_sync_bytes_.clear();
+    last_sync_clock_ = clock_;
+  }
+
+  // Serving-state migration.
+  for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+    const NodeId new_server = next.server.at(p);
+    auto old_it = roles_.server.find(p);
+    if (old_it == roles_.server.end()) {
+      continue;  // Initial placement, state materializes in place.
+    }
+    const NodeId old_server = old_it->second;
+    if (old_server == new_server) {
+      continue;
+    }
+    // Pick a transfer source: the old server if it is still around (ready
+    // or in its warning window), otherwise the partition's backup.
+    NodeId src = kInvalidNode;
+    std::uint64_t bytes = model_.PartitionBytes(p);
+    if (IsReady(old_server)) {
+      src = old_server;
+    } else if (leaving.count(old_server) > 0) {
+      // Warned eviction: the departing node pushes directly to the new
+      // owner; we charge only the receiver (the sender is on its way out
+      // and its egress gates nothing).
+      src = kInvalidNode;
+    } else {
+      auto backup_it = roles_.backup.find(p);
+      if (backup_it != roles_.backup.end() && IsReady(backup_it->second)) {
+        src = backup_it->second;
+      }
+    }
+    if (src == new_server) {
+      continue;  // Receiver already holds a replica (it was the backup).
+    }
+    // If the new server is the partition's backup owner and backups are
+    // in sync, the state is already local.
+    if (had_backups) {
+      auto backup_it = roles_.backup.find(p);
+      if (backup_it != roles_.backup.end() && backup_it->second == new_server &&
+          !will_have_backups) {
+        continue;  // Handled by the end-of-life push above.
+      }
+    }
+    queued_.push_back({src, new_server, bytes, cls, forced});
+    // Workers are pointed at the new partition owner (§3.3).
+    control_log_.Record(ControlMessage::kPartitionOwnership);
+  }
+
+  // Backup-ownership migration (reliable membership changed).
+  if (will_have_backups && had_backups) {
+    for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+      const NodeId new_backup = next.backup.at(p);
+      auto old_it = roles_.backup.find(p);
+      if (old_it == roles_.backup.end() || old_it->second == new_backup) {
+        continue;
+      }
+      const NodeId old_backup = old_it->second;
+      const NodeId src = IsReady(old_backup) ? old_backup : next.server.at(p);
+      if (src == new_backup) {
+        continue;
+      }
+      queued_.push_back({src, new_backup, model_.PartitionBytes(p), cls, forced});
+    }
+  }
+
+  roles_ = std::move(next);
+}
+
+void AgileMLRuntime::RebalanceData(bool forced) {
+  std::vector<NodeId> workers;
+  for (const auto& node : nodes_) {  // Preserve join order.
+    if (roles_.worker_nodes.count(node.id) > 0) {
+      workers.push_back(node.id);
+    }
+  }
+  PROTEUS_CHECK(!workers.empty());
+  const std::vector<BlockMove> moves = data_.Rebalance(workers);
+  std::set<NodeId> notified;
+  for (const auto& move : moves) {
+    if (move.to != kInvalidNode) {
+      notified.insert(move.to);
+    }
+    if (move.from != kInvalidNode) {
+      notified.insert(move.from);
+    }
+  }
+  control_log_.Record(ControlMessage::kDataAssignment,
+                      static_cast<std::int64_t>(notified.size()));
+  const TrafficClass cls = forced ? TrafficClass::kForeground : TrafficClass::kBackground;
+  for (const auto& move : moves) {
+    if (!move.needs_load) {
+      continue;  // Previous owner took over: data already in memory.
+    }
+    const auto bytes =
+        static_cast<std::uint64_t>(data_.BlockBytes(move.block, config_.bytes_per_item));
+    queued_.push_back({kInvalidNode, move.to, bytes, cls, forced});
+  }
+}
+
+void AgileMLRuntime::AddNodes(const std::vector<NodeInfo>& new_nodes) {
+  const std::size_t current_workers = std::max<std::size_t>(1, roles_.worker_nodes.size());
+  for (const auto& node : new_nodes) {
+    PROTEUS_CHECK_GE(node.id, 0);
+    PROTEUS_CHECK(!fabric_.HasNode(node.id)) << "duplicate node id " << node.id;
+    nodes_.push_back(node);
+    fabric_.AddNode(node.id);
+    // Preload estimate: a new node loads about twice its working share
+    // (Fig. 5: loads 1/2 of the data, works on 1/4).
+    const double share = static_cast<double>(app_->NumItems()) /
+                         static_cast<double>(current_workers + new_nodes.size());
+    preparing_[node.id] = static_cast<std::uint64_t>(2.0 * share * config_.bytes_per_item);
+  }
+}
+
+void AgileMLRuntime::IncorporateReady() {
+  std::vector<NodeId> newly;
+  for (auto it = preparing_.begin(); it != preparing_.end();) {
+    if (it->second == 0) {
+      newly.push_back(it->first);
+      it = preparing_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (newly.empty()) {
+    return;
+  }
+  for (const NodeId id : newly) {
+    ready_.insert(id);
+    control_log_.Record(ControlMessage::kReadySignal);
+  }
+  TransitionRoles(/*leaving=*/{}, /*forced=*/false);
+  // New nodes preloaded their data during the preparing phase; mark their
+  // assigned blocks loaded without charging again.
+  std::vector<NodeId> workers;
+  for (const auto& node : nodes_) {
+    if (roles_.worker_nodes.count(node.id) > 0) {
+      workers.push_back(node.id);
+    }
+  }
+  const std::vector<BlockMove> moves = data_.Rebalance(workers);
+  for (const auto& move : moves) {
+    const bool prepaid = std::find(newly.begin(), newly.end(), move.to) != newly.end();
+    if (!move.needs_load || prepaid) {
+      continue;
+    }
+    const auto bytes =
+        static_cast<std::uint64_t>(data_.BlockBytes(move.block, config_.bytes_per_item));
+    queued_.push_back({kInvalidNode, move.to, bytes, TrafficClass::kBackground, false});
+  }
+  RebuildClockTable();
+  PROTEUS_LOG(Debug) << "incorporated " << newly.size() << " nodes; stage "
+                     << StageName(roles_.stage);
+}
+
+void AgileMLRuntime::Evict(const std::vector<NodeId>& node_ids) {
+  std::set<NodeId> leaving;
+  for (const NodeId id : node_ids) {
+    if (preparing_.erase(id) > 0) {
+      // Node was still preloading; it simply disappears.
+      fabric_.RemoveNode(id);
+      nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                                  [id](const NodeInfo& n) { return n.id == id; }),
+                   nodes_.end());
+      continue;
+    }
+    PROTEUS_CHECK(IsReady(id)) << "evicting unknown node " << id;
+    leaving.insert(id);
+    ready_.erase(id);
+    control_log_.Record(ControlMessage::kEvictionSignal);
+  }
+  if (leaving.empty()) {
+    return;
+  }
+  TransitionRoles(leaving, /*forced=*/true);
+  for (const NodeId id : leaving) {
+    data_.DropNode(id);
+  }
+  RebalanceData(/*forced=*/true);
+  for (const NodeId id : leaving) {
+    fabric_.RemoveNode(id);
+    nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                                [id](const NodeInfo& n) { return n.id == id; }),
+                 nodes_.end());
+  }
+  RebuildClockTable();
+}
+
+int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
+  std::set<NodeId> dead;
+  bool lost_server_state = false;
+  bool lost_reliable_ps = false;
+  for (const NodeId id : node_ids) {
+    if (preparing_.erase(id) > 0) {
+      fabric_.RemoveNode(id);
+      nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                                  [id](const NodeInfo& n) { return n.id == id; }),
+                   nodes_.end());
+      continue;
+    }
+    PROTEUS_CHECK(IsReady(id)) << "failing unknown node " << id;
+    dead.insert(id);
+    ready_.erase(id);
+    for (const auto& [part, server] : roles_.server) {
+      if (server == id) {
+        if (roles_.UsesBackups()) {
+          lost_server_state = true;
+        } else {
+          lost_reliable_ps = true;
+        }
+        break;
+      }
+    }
+  }
+  if (dead.empty()) {
+    return 0;
+  }
+
+  int lost_clocks = 0;
+  if (lost_server_state) {
+    // §3.3 "Failures": BackupPS state is the new solution state; all
+    // workers re-do the clocks since the last active->backup sync.
+    lost_clocks = static_cast<int>(clock_ - last_sync_clock_);
+    model_.RollbackAllToBackup();
+    clock_ = last_sync_clock_;
+    control_log_.Record(ControlMessage::kRollbackNotice,
+                        static_cast<std::int64_t>(roles_.worker_nodes.size()));
+  } else if (lost_reliable_ps) {
+    // A reliable ParamServ died in stage 1: only a checkpoint can save
+    // the solution state.
+    PROTEUS_CHECK(checkpoint_.has_value())
+        << "reliable ParamServ failed with no checkpoint; solution state lost";
+    lost_clocks = RestoreFromCheckpoint();
+  }
+
+  TransitionRoles(/*leaving=*/{}, /*forced=*/true);
+  for (const NodeId id : dead) {
+    data_.DropNode(id);
+  }
+  RebalanceData(/*forced=*/true);
+  for (const NodeId id : dead) {
+    fabric_.RemoveNode(id);
+    nodes_.erase(std::remove_if(nodes_.begin(), nodes_.end(),
+                                [id](const NodeInfo& n) { return n.id == id; }),
+                 nodes_.end());
+  }
+  RebuildClockTable();
+  lost_clocks_total_ += lost_clocks;
+  return lost_clocks;
+}
+
+void AgileMLRuntime::CheckpointReliable() {
+  checkpoint_ = Checkpoint{model_.SerializeCheckpoint(), clock_};
+  // Charge the checkpoint write: each reliable node holding solution
+  // state streams its share to durable storage in the background. In
+  // stage 3 reliable nodes have no foreground role, so this is free —
+  // the paper's "checkpointing ... has no overhead" observation.
+  const auto& owners = roles_.UsesBackups() ? roles_.backup : roles_.server;
+  for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+    auto it = owners.find(p);
+    if (it != owners.end() && IsReady(it->second)) {
+      queued_.push_back({it->second, kInvalidNode, model_.PartitionBytes(p),
+                         TrafficClass::kBackground, false});
+    }
+  }
+}
+
+int AgileMLRuntime::RestoreFromCheckpoint() {
+  PROTEUS_CHECK(checkpoint_.has_value());
+  model_.RestoreCheckpoint(checkpoint_->blob);
+  if (roles_.UsesBackups()) {
+    model_.EnableBackups();  // Re-snapshot: backups were also stale.
+  }
+  const int lost = static_cast<int>(clock_ - checkpoint_->clock);
+  clock_ = checkpoint_->clock;
+  last_sync_clock_ = std::min(last_sync_clock_, clock_);
+  return lost;
+}
+
+SimDuration AgileMLRuntime::ChargeQueuedTransfers() {
+  // Stall transfers (eviction/failure handling) halt the training
+  // pipeline until the state lands; they contribute serialized time
+  // bounded by the most-loaded endpoint's NIC.
+  std::map<NodeId, std::uint64_t> stall_bytes;
+  for (const auto& t : queued_) {
+    const bool src_ok = t.src != kInvalidNode && fabric_.HasNode(t.src);
+    const bool dst_ok = t.dst != kInvalidNode && fabric_.HasNode(t.dst);
+    if (t.stall) {
+      if (src_ok) {
+        stall_bytes[t.src] += t.bytes;
+      }
+      if (dst_ok) {
+        stall_bytes[t.dst] += t.bytes;
+      }
+      continue;
+    }
+    if (src_ok && dst_ok) {
+      fabric_.RecordTransfer(t.src, t.dst, t.bytes, t.cls);
+    } else if (dst_ok) {
+      fabric_.RecordExternalIngress(t.dst, t.bytes, t.cls);
+    } else if (src_ok) {
+      fabric_.RecordExternalEgress(t.src, t.bytes, t.cls);
+    }
+    // Both endpoints gone: the transfer is moot.
+  }
+  queued_.clear();
+  std::uint64_t worst = 0;
+  for (const auto& [node, bytes] : stall_bytes) {
+    worst = std::max(worst, bytes);
+  }
+  return static_cast<SimDuration>(worst) / config_.nic_bandwidth;
+}
+
+void AgileMLRuntime::SyncAllToBackups(TrafficClass cls) {
+  for (PartitionId p = 0; p < config_.num_partitions; ++p) {
+    const std::uint64_t bytes = model_.SyncPartitionToBackup(p);
+    last_sync_bytes_[p] = bytes;
+    if (bytes == 0) {
+      continue;
+    }
+    const NodeId src = roles_.server.at(p);
+    const NodeId dst = roles_.backup.at(p);
+    if (fabric_.HasNode(src) && fabric_.HasNode(dst)) {
+      fabric_.RecordTransfer(src, dst, bytes, cls);
+    }
+  }
+}
+
+IterationReport AgileMLRuntime::RunClock() {
+  fabric_.BeginRound();
+  const SimDuration stall = ChargeQueuedTransfers();
+
+  // Preparing nodes absorb input data from storage in the background.
+  const auto chunk = static_cast<std::uint64_t>(config_.storage_bandwidth *
+                                                std::max(last_duration_, 0.5));
+  for (auto& [id, remaining] : preparing_) {
+    const std::uint64_t used = std::min(remaining, chunk);
+    fabric_.RecordExternalIngress(id, used, TrafficClass::kBackground);
+    remaining -= used;
+  }
+
+  // --- Worker execution (real arithmetic, virtual compute time) ---
+  std::vector<NodeId> workers(roles_.worker_nodes.begin(), roles_.worker_nodes.end());
+  std::map<NodeId, AccessTracker> trackers;
+  for (const NodeId w : workers) {
+    trackers[w];  // Pre-create: no rehash during the parallel section.
+  }
+  const int minibatches = std::max(1, config_.minibatches_per_pass);
+  const int phase = static_cast<int>(clock_ % minibatches);
+  auto clock_slice = [&](const ItemRange& range) {
+    // The phase-th 1/k slice of the range; k consecutive clocks cover it.
+    ItemRange slice;
+    slice.begin = range.begin + range.size() * phase / minibatches;
+    slice.end = range.begin + range.size() * (phase + 1) / minibatches;
+    return slice;
+  };
+  auto run_node = [&](const NodeId w) {
+    AccessTracker& tracker = trackers[w];
+    tracker.Clear();
+    const std::uint64_t stream =
+        HashCombine(config_.seed, HashCombine(static_cast<std::uint64_t>(w),
+                                              static_cast<std::uint64_t>(clock_)));
+    WorkerContext ctx(w, &model_, &tracker, Rng(stream));
+    for (const ItemRange& range : data_.RangesOf(w)) {
+      const ItemRange slice = clock_slice(range);
+      if (slice.size() > 0) {
+        app_->ProcessRange(ctx, slice.begin, slice.end);
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->ParallelFor(workers.size(), [&](std::size_t i) { run_node(workers[i]); });
+  } else {
+    for (const NodeId w : workers) {
+      run_node(w);
+    }
+  }
+
+  // --- Communication accounting ---
+  // Reads: server egress -> worker ingress; updates: worker egress ->
+  // server ingress. Distinct rows per clock thanks to the worker-side
+  // cache (write-back coalescing).
+  for (const NodeId w : workers) {
+    const AccessTracker& tracker = trackers[w];
+    for (const RowKey key : tracker.reads()) {
+      const int table = TableOfKey(key);
+      const PartitionId p = model_.PartitionOf(table, RowOfKey(key));
+      fabric_.RecordTransfer(roles_.server.at(p), w, model_.RowBytes(table),
+                             TrafficClass::kForeground);
+    }
+    for (const RowKey key : tracker.updates()) {
+      const int table = TableOfKey(key);
+      const PartitionId p = model_.PartitionOf(table, RowOfKey(key));
+      fabric_.RecordTransfer(w, roles_.server.at(p), model_.RowBytes(table),
+                             TrafficClass::kForeground);
+    }
+  }
+
+  // --- Active -> Backup streaming (stages 2/3) ---
+  if (roles_.UsesBackups() && (clock_ + 1) % config_.backup_sync_every == 0) {
+    SyncAllToBackups(TrafficClass::kBackground);
+    last_sync_clock_ = clock_ + 1;
+  }
+
+  // --- Virtual timing ---
+  IterationReport report;
+  const double cost_per_item = app_->CostPerItem();
+  for (const auto& node : nodes_) {
+    if (!IsReady(node.id)) {
+      continue;
+    }
+    SimDuration compute = 0.0;
+    if (roles_.worker_nodes.count(node.id) > 0) {
+      double items = 0.0;
+      for (const ItemRange& range : data_.RangesOf(node.id)) {
+        items += static_cast<double>(clock_slice(range).size());
+      }
+      compute = items * cost_per_item /
+                (static_cast<double>(node.cores) * node.speed * config_.core_speed);
+    }
+    const SimDuration comm = fabric_.RoundCommTime(node.id);
+    const SimDuration total = std::max(compute, comm) +
+                              (1.0 - config_.comm_compute_overlap) * std::min(compute, comm);
+    report.max_compute = std::max(report.max_compute, compute);
+    report.max_comm = std::max(report.max_comm, comm);
+    if (total > report.bottleneck_time) {
+      report.bottleneck_time = total;
+      report.bottleneck_node = node.id;
+    }
+  }
+  if (config_.bisection_bandwidth > 0.0) {
+    const SimDuration fabric_floor =
+        static_cast<SimDuration>(fabric_.RoundTotalBytes()) / config_.bisection_bandwidth;
+    report.bottleneck_time = std::max(report.bottleneck_time, fabric_floor);
+  }
+  report.duration = report.bottleneck_time + config_.barrier_overhead + stall;
+  report.total_bytes = fabric_.RoundTotalBytes();
+  report.stage = roles_.stage;
+  report.worker_nodes = static_cast<int>(workers.size());
+
+  ++clock_;
+  for (const NodeId w : workers) {
+    if (clocks_.HasWorkerNode(w)) {
+      clocks_.AdvanceTo(w, clock_);
+    }
+  }
+  report.clock = clock_;
+  total_time_ += report.duration;
+  last_duration_ = report.duration;
+
+  IncorporateReady();
+  return report;
+}
+
+SimDuration AgileMLRuntime::RunClocks(int n) {
+  SimDuration total = 0.0;
+  for (int i = 0; i < n; ++i) {
+    total += RunClock().duration;
+  }
+  return total;
+}
+
+}  // namespace proteus

@@ -1,0 +1,223 @@
+// AgileMLRuntime: executes real ML training over the tiered parameter
+// server, with virtual timing.
+//
+// The runtime plays the roles of the paper's per-node AgileML processes
+// plus the elasticity controller (§3.1-§3.3):
+//   - real arithmetic: worker code (the MLApp) reads and updates actual
+//     parameter values in the ModelStore, so convergence is measurable;
+//   - virtual timing: per-clock compute time is items x cost / (cores x
+//     core_speed), and communication time comes from the Fabric's
+//     byte accounting (see src/net/fabric.h for the contention model);
+//   - elasticity: bulk addition (background data preload, then
+//     incorporation), warned eviction (end-of-life partition pushes,
+//     partition migration to survivors), and unwarned failure (rollback
+//     to the last BackupPS-consistent clock, lost work re-done).
+//
+// A "clock" is one pass over each worker's assigned input data (the
+// paper's flexible clock-of-work; §3.1 footnote 3).
+#ifndef SRC_AGILEML_RUNTIME_H_
+#define SRC_AGILEML_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "src/agileml/app.h"
+#include "src/agileml/cluster.h"
+#include "src/agileml/control_plane.h"
+#include "src/agileml/data_assignment.h"
+#include "src/agileml/roles.h"
+#include "src/common/thread_pool.h"
+#include "src/common/types.h"
+#include "src/net/fabric.h"
+#include "src/ps/clock_table.h"
+#include "src/ps/model.h"
+
+namespace proteus {
+
+struct AgileMLConfig {
+  // Fixed global partition count N (§3.3: set once at start-up; the
+  // paper uses half the maximum resource count).
+  int num_partitions = 32;
+  // SSP staleness bound (clocks).
+  int staleness = 1;
+  // Virtual core speed: app cost-units per core-second. Calibrated so
+  // iteration times land in the paper's seconds range.
+  double core_speed = 5e6;
+  // NIC bandwidth, bytes/sec. Paper measured ~1 Gbps between instances.
+  double nic_bandwidth = 1.25e8;
+  // Cluster bisection bandwidth, bytes/sec (0 = unconstrained). Models
+  // an oversubscribed core switch: a clock can never finish faster than
+  // total wire bytes / bisection, regardless of per-NIC headroom. EC2
+  // placement groups behave close to unconstrained, which is the
+  // default.
+  double bisection_bandwidth = 0.0;
+  // Input-data load rate from S3-like storage, bytes/sec per node.
+  double storage_bandwidth = 6.25e7;
+  // Fixed per-clock synchronization overhead (barrier + control RPCs).
+  SimDuration barrier_overhead = 0.05;
+  // Fraction of per-node communication that overlaps with compute
+  // (write-back caches send updates asynchronously during the clock;
+  // §2.1). Per-node time = max(compute, comm) + (1-overlap)*min(...).
+  double comm_compute_overlap = 0.85;
+  // Active->Backup streaming happens every this many clocks.
+  int backup_sync_every = 1;
+  // Input data divided into this many blocks for ownership tracking.
+  int data_blocks = 256;
+  // A clock of work may be a fraction of a full data pass (§3.1
+  // footnote 3: "a mini-batch of an iteration"). With k > 1, each clock
+  // processes 1/k of every worker's data, rotating so k consecutive
+  // clocks cover the full pass.
+  int minibatches_per_pass = 1;
+  // Wire size of one input item (for load-time modeling).
+  double bytes_per_item = 64.0;
+  RolePlannerConfig planner;
+  std::uint64_t seed = 1;
+  // Run per-node work on a thread pool (true) or sequentially (for
+  // deterministic tests).
+  bool parallel_execution = true;
+};
+
+struct IterationReport {
+  Clock clock = 0;                    // Clock index just completed.
+  SimDuration duration = 0.0;         // Virtual wall time of this clock.
+  SimDuration max_compute = 0.0;      // Slowest node's compute time.
+  SimDuration max_comm = 0.0;         // Slowest node's comm time.
+  SimDuration bottleneck_time = 0.0;  // compute+comm of the gating node.
+  NodeId bottleneck_node = kInvalidNode;
+  std::uint64_t total_bytes = 0;      // All wire bytes this clock.
+  Stage stage = Stage::kStage1;
+  int worker_nodes = 0;
+};
+
+class AgileMLRuntime {
+ public:
+  // Initial nodes are incorporated immediately (input data is loaded
+  // during start-up, before training begins).
+  AgileMLRuntime(MLApp* app, AgileMLConfig config, const std::vector<NodeInfo>& initial_nodes);
+  ~AgileMLRuntime();
+
+  AgileMLRuntime(const AgileMLRuntime&) = delete;
+  AgileMLRuntime& operator=(const AgileMLRuntime&) = delete;
+
+  // Executes one clock of work and advances virtual time.
+  IterationReport RunClock();
+  // Convenience: n clocks; returns the sum of durations.
+  SimDuration RunClocks(int n);
+
+  // --- Elasticity (the paper's elasticity controller interface) ---
+  // Bulk addition: nodes join, preload input data in the background, and
+  // are incorporated once loaded (zero disruption; §3.3 "Scaling Up").
+  void AddNodes(const std::vector<NodeInfo>& nodes);
+  // Warned eviction (2-minute warning honored): end-of-life pushes /
+  // partition moves to survivors; no lost work. Nodes may be a subset of
+  // the transient set or all of it.
+  void Evict(const std::vector<NodeId>& node_ids);
+  // Unwarned failure: rollback to the last backup-consistent clock.
+  // Returns the number of lost clocks that will be re-done.
+  int Fail(const std::vector<NodeId>& node_ids);
+
+  // Checkpoint of the reliable tier (§3.3: insures against reliable-node
+  // failure; free in stage 3 because reliable nodes run no workers).
+  void CheckpointReliable();
+  bool HasCheckpoint() const { return checkpoint_.has_value(); }
+  // Restores model state from the last checkpoint; returns lost clocks.
+  int RestoreFromCheckpoint();
+
+  // --- Introspection ---
+  Clock clock() const { return clock_; }
+  Stage stage() const { return roles_.stage; }
+  SimDuration total_time() const { return total_time_; }
+  int lost_clocks_total() const { return lost_clocks_total_; }
+  const RoleAssignment& roles() const { return roles_; }
+  const ModelStore& model() const { return model_; }
+  const DataAssignment& data() const { return data_; }
+  const Fabric& fabric() const { return fabric_; }
+  const std::vector<NodeInfo>& nodes() const { return nodes_; }
+  // Controller-to-node notification counts (see control_plane.h).
+  const ControlPlaneLog& control_log() const { return control_log_; }
+  void ResetControlLog() { control_log_.Reset(); }
+  std::vector<NodeInfo> ReadyNodes() const;
+  TierCounts ReadyTierCounts() const;
+  int PreparingCount() const { return static_cast<int>(preparing_.size()); }
+  double ComputeObjective() const;
+  const AgileMLConfig& config() const { return config_; }
+
+ private:
+  struct QueuedTransfer {
+    NodeId src = kInvalidNode;  // kInvalidNode => external storage.
+    NodeId dst = kInvalidNode;  // kInvalidNode => external storage.
+    std::uint64_t bytes = 0;
+    TrafficClass cls = TrafficClass::kForeground;
+    // Forced (eviction/failure-handling) transfers stall the pipeline:
+    // their time is added to the next clock without compute overlap —
+    // this is the paper's Fig. 16 eviction "blip".
+    bool stall = false;
+  };
+
+  struct Checkpoint {
+    std::vector<std::uint8_t> blob;
+    Clock clock = 0;
+  };
+
+  const NodeInfo& Node(NodeId id) const;
+  bool IsReady(NodeId id) const { return ready_.count(id) > 0; }
+
+  // Re-plans roles over ready nodes and queues the state transfers the
+  // transition requires. `dead` nodes cannot serve as transfer sources.
+  // `forced` marks transfers as foreground (eviction/failure handling)
+  // rather than background (planned growth).
+  void TransitionRoles(const std::set<NodeId>& dead, bool forced);
+
+  // Rebalances input data over current worker nodes; charges loads for
+  // moves whose destination lacks the block (forced => foreground).
+  void RebalanceData(bool forced);
+
+  // Incorporates nodes that finished preloading.
+  void IncorporateReady();
+
+  // Streams dirty state from every serving node to its backup; charges
+  // fg or bg traffic. Updates last_sync_clock_.
+  void SyncAllToBackups(TrafficClass cls);
+
+  // Returns the stall time (seconds) contributed by forced transfers.
+  SimDuration ChargeQueuedTransfers();
+  void RebuildClockTable();
+
+  MLApp* app_;
+  AgileMLConfig config_;
+  ModelStore model_;
+  Fabric fabric_;
+  DataAssignment data_;
+  RolePlanner planner_;
+  RoleAssignment roles_;
+  ClockTable clocks_;
+
+  std::vector<NodeInfo> nodes_;  // Join order; includes preparing nodes.
+  std::set<NodeId> ready_;
+  std::map<NodeId, std::uint64_t> preparing_;  // Remaining preload bytes.
+
+  ControlPlaneLog control_log_;
+  std::vector<QueuedTransfer> queued_;
+  std::optional<Checkpoint> checkpoint_;
+  // Bytes of the most recent background active->backup stream per
+  // partition. The stream is asynchronous, so on an eviction-driven
+  // transition the BackupPS must first absorb this in-flight tail (the
+  // paper's "network overhead in aggressively bringing up-to-date the
+  // BackupPSs", Fig. 16).
+  std::map<PartitionId, std::uint64_t> last_sync_bytes_;
+
+  Clock clock_ = 0;
+  Clock last_sync_clock_ = 0;
+  SimDuration total_time_ = 0.0;
+  SimDuration last_duration_ = 1.0;
+  int lost_clocks_total_ = 0;
+
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_AGILEML_RUNTIME_H_

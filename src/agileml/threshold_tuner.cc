@@ -1,0 +1,103 @@
+#include "src/agileml/threshold_tuner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+Stage ThresholdProbeResult::Best() const {
+  if (stage1_time <= stage2_time && stage1_time <= stage3_time) {
+    return Stage::kStage1;
+  }
+  return stage2_time <= stage3_time ? Stage::kStage2 : Stage::kStage3;
+}
+
+ThresholdTuner::ThresholdTuner(std::function<std::unique_ptr<MLApp>()> app_factory,
+                               AgileMLConfig base_config, ThresholdTunerConfig tuner_config)
+    : app_factory_(std::move(app_factory)),
+      base_config_(base_config),
+      tuner_config_(tuner_config) {
+  PROTEUS_CHECK(app_factory_ != nullptr);
+  PROTEUS_CHECK(!tuner_config_.reliable_counts.empty());
+}
+
+double ThresholdTuner::Probe(MLApp* app, int reliable, int transient, Stage stage) {
+  AgileMLConfig config = base_config_;
+  config.planner.forced_stage = stage;
+  std::vector<NodeInfo> nodes;
+  NodeId id = 0;
+  for (int i = 0; i < reliable; ++i) {
+    nodes.push_back({id++, Tier::kReliable, tuner_config_.cores_per_node, kInvalidAllocation});
+  }
+  for (int i = 0; i < transient; ++i) {
+    nodes.push_back({id++, Tier::kTransient, tuner_config_.cores_per_node, kInvalidAllocation});
+  }
+  AgileMLRuntime runtime(app, config, nodes);
+  runtime.RunClocks(tuner_config_.warmup_clocks);
+  double total = 0.0;
+  for (int i = 0; i < tuner_config_.measure_clocks; ++i) {
+    total += runtime.RunClock().duration;
+  }
+  return total / tuner_config_.measure_clocks;
+}
+
+TunedThresholds ThresholdTuner::Tune() {
+  TunedThresholds result;
+  std::vector<int> reliable_counts = tuner_config_.reliable_counts;
+  // Probe from low ratios to high so crossings are found in order.
+  std::sort(reliable_counts.rbegin(), reliable_counts.rend());
+
+  for (const int reliable : reliable_counts) {
+    const int transient = tuner_config_.total_nodes - reliable;
+    if (transient <= 0) {
+      continue;
+    }
+    ThresholdProbeResult probe;
+    probe.ratio = static_cast<double>(transient) / reliable;
+    for (const Stage stage : {Stage::kStage1, Stage::kStage2, Stage::kStage3}) {
+      const std::unique_ptr<MLApp> app = app_factory_();
+      const double t = Probe(app.get(), reliable, transient, stage);
+      switch (stage) {
+        case Stage::kStage1:
+          probe.stage1_time = t;
+          break;
+        case Stage::kStage2:
+          probe.stage2_time = t;
+          break;
+        case Stage::kStage3:
+          probe.stage3_time = t;
+          break;
+      }
+    }
+    result.probes.push_back(probe);
+  }
+
+  // Thresholds: geometric midpoint between the last ratio where the
+  // lower stage wins and the first where the higher stage wins.
+  auto crossing = [&](auto wins_lower) {
+    double below = 0.0;
+    double above = 0.0;
+    for (const auto& probe : result.probes) {
+      if (wins_lower(probe)) {
+        below = probe.ratio;
+      } else if (above == 0.0 && probe.ratio > below) {
+        above = probe.ratio;
+      }
+    }
+    if (above == 0.0) {
+      return below;  // Never crossed in the probed range.
+    }
+    return std::sqrt(std::max(below, 1e-3) * above);
+  };
+  result.stage2_threshold =
+      crossing([](const ThresholdProbeResult& p) { return p.Best() == Stage::kStage1; });
+  result.stage3_threshold =
+      crossing([](const ThresholdProbeResult& p) { return p.Best() != Stage::kStage3; });
+  result.stage3_threshold = std::max(result.stage3_threshold, result.stage2_threshold);
+  return result;
+}
+
+}  // namespace proteus

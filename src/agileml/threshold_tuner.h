@@ -1,0 +1,67 @@
+// Automated stage-threshold selection (§3.3: "future work can automate
+// the threshold selection process for any given cluster").
+//
+// The tuner runs short probe executions of the application at several
+// transient:reliable ratios on the target cluster size, measuring each
+// stage's time-per-iteration, and derives the ratio thresholds at which
+// stage 2 and stage 3 become the best modality. The thresholds feed
+// RolePlannerConfig; §6.4 notes that exact values are not critical, so
+// probes are short.
+#ifndef SRC_AGILEML_THRESHOLD_TUNER_H_
+#define SRC_AGILEML_THRESHOLD_TUNER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/agileml/app.h"
+#include "src/agileml/runtime.h"
+
+namespace proteus {
+
+struct ThresholdProbeResult {
+  double ratio = 0.0;  // transient / reliable.
+  double stage1_time = 0.0;
+  double stage2_time = 0.0;
+  double stage3_time = 0.0;
+
+  Stage Best() const;
+};
+
+struct TunedThresholds {
+  // Ratios above which stage 2 / stage 3 win; directly usable as
+  // RolePlannerConfig::stage2_threshold / stage3_threshold.
+  double stage2_threshold = 1.0;
+  double stage3_threshold = 15.0;
+  std::vector<ThresholdProbeResult> probes;
+};
+
+struct ThresholdTunerConfig {
+  int total_nodes = 64;
+  int cores_per_node = 8;
+  // Reliable counts probed (ratios derived as (total-r)/r).
+  std::vector<int> reliable_counts = {32, 16, 8, 4, 2, 1};
+  int warmup_clocks = 1;
+  int measure_clocks = 3;
+};
+
+class ThresholdTuner {
+ public:
+  // app_factory must return a fresh MLApp per probe (probes mutate model
+  // state). base_config supplies the cluster model (core speed, NIC, ...).
+  ThresholdTuner(std::function<std::unique_ptr<MLApp>()> app_factory, AgileMLConfig base_config,
+                 ThresholdTunerConfig tuner_config);
+
+  TunedThresholds Tune();
+
+ private:
+  double Probe(MLApp* app, int reliable, int transient, Stage stage);
+
+  std::function<std::unique_ptr<MLApp>()> app_factory_;
+  AgileMLConfig base_config_;
+  ThresholdTunerConfig tuner_config_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_AGILEML_THRESHOLD_TUNER_H_

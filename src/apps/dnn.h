@@ -1,0 +1,58 @@
+// A small feed-forward neural network classifier (DNN — named in §3.2 as
+// a stateless-worker application; MLR "is often the last layer of deep
+// learning models", §6.2).
+//
+// Two layers: hidden = relu(W1 x), logits = W2 hidden, trained with
+// mini-batch SGD. Both weight matrices live in the parameter server as
+// row vectors (W1: one row per hidden unit, W2: one row per class), and
+// each worker fetches them once per clock and pushes one coalesced
+// additive gradient update per row — the same access pattern a real
+// PS-based DNN exhibits.
+#ifndef SRC_APPS_DNN_H_
+#define SRC_APPS_DNN_H_
+
+#include <functional>
+
+#include "src/agileml/app.h"
+#include "src/apps/datasets.h"
+
+namespace proteus {
+
+struct DnnConfig {
+  int hidden = 64;
+  double learning_rate = 0.05;
+  double regularization = 1e-4;
+  float init_jitter = 0.05F;
+  std::int64_t objective_sample = 2048;
+};
+
+class DnnApp : public MLApp {
+ public:
+  static constexpr int kTableW1 = 0;  // hidden x dim.
+  static constexpr int kTableW2 = 1;  // classes x hidden.
+
+  DnnApp(const FeaturesDataset* data, DnnConfig config);
+
+  std::string Name() const override { return "dnn"; }
+  ModelInit DefineModel() const override;
+  std::int64_t NumItems() const override { return data_->size(); }
+  double CostPerItem() const override;
+  void ProcessRange(WorkerContext& ctx, std::int64_t begin, std::int64_t end) override;
+  // Mean cross-entropy over a fixed sample (lower is better).
+  double ComputeObjective(const ModelStore& model) const override;
+
+ private:
+  struct Weights {
+    std::vector<float> w1;  // Row-major hidden x dim.
+    std::vector<float> w2;  // Row-major classes x hidden.
+  };
+  Weights Fetch(const std::function<void(int, std::int64_t, std::vector<float>&)>& read) const;
+  double SampleLoss(const Weights& w, std::int64_t index) const;
+
+  const FeaturesDataset* data_;
+  DnnConfig config_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_APPS_DNN_H_

@@ -1,0 +1,108 @@
+#include "src/apps/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+KMeansApp::KMeansApp(const FeaturesDataset* data, KMeansConfig config)
+    : data_(data), config_(config) {
+  PROTEUS_CHECK(data != nullptr);
+  PROTEUS_CHECK_GT(config.clusters, 1);
+}
+
+ModelInit KMeansApp::DefineModel() const {
+  ModelInit init;
+  // Centers initialize with small jitter so they separate; the count
+  // component starts at 0 (jitter on it is harmless noise < 1).
+  init.tables.push_back({kTableCentroids, static_cast<std::int64_t>(config_.clusters),
+                         dim() + 1, 0.0F, 0.5F});
+  return init;
+}
+
+double KMeansApp::CostPerItem() const {
+  // Distance to every centroid plus one center update.
+  return 3.0 * static_cast<double>(config_.clusters) * dim();
+}
+
+void KMeansApp::ProcessRange(WorkerContext& ctx, std::int64_t begin, std::int64_t end) {
+  const int k = config_.clusters;
+  const int d = dim();
+  // Fetch all centroids once per clock (worker-side cache behaviour).
+  std::vector<std::vector<float>> centers(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    ctx.ReadInto(kTableCentroids, c, centers[static_cast<std::size_t>(c)]);
+  }
+  // Local deltas, coalesced into one update per centroid row.
+  std::vector<std::vector<float>> delta(
+      static_cast<std::size_t>(k), std::vector<float>(static_cast<std::size_t>(d) + 1, 0.0F));
+
+  for (std::int64_t i = begin; i < end; ++i) {
+    const float* x = data_->Sample(i);
+    int best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      const std::vector<float>& center = centers[static_cast<std::size_t>(c)];
+      double dist = 0.0;
+      for (int j = 0; j < d; ++j) {
+        const double diff = static_cast<double>(x[j]) -
+                            static_cast<double>(center[static_cast<std::size_t>(j)]);
+        dist += diff * diff;
+      }
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = c;
+      }
+    }
+    std::vector<float>& center = centers[static_cast<std::size_t>(best)];
+    std::vector<float>& dc = delta[static_cast<std::size_t>(best)];
+    const double count = std::max(0.0, static_cast<double>(center[static_cast<std::size_t>(d)]));
+    const double rate = std::max(1.0 / (count + 1.0), config_.min_rate);
+    for (int j = 0; j < d; ++j) {
+      const auto step = static_cast<float>(
+          rate * (static_cast<double>(x[j]) -
+                  static_cast<double>(center[static_cast<std::size_t>(j)])));
+      center[static_cast<std::size_t>(j)] += step;  // Keep the local view current.
+      dc[static_cast<std::size_t>(j)] += step;
+    }
+    center[static_cast<std::size_t>(d)] += 1.0F;
+    dc[static_cast<std::size_t>(d)] += 1.0F;
+  }
+
+  for (int c = 0; c < k; ++c) {
+    ctx.Update(kTableCentroids, c, delta[static_cast<std::size_t>(c)]);
+  }
+}
+
+double KMeansApp::ComputeObjective(const ModelStore& model) const {
+  const std::int64_t sample = std::min(config_.objective_sample, data_->size());
+  PROTEUS_CHECK_GT(sample, 0);
+  const int k = config_.clusters;
+  const int d = dim();
+  std::vector<std::vector<float>> centers(static_cast<std::size_t>(k));
+  for (int c = 0; c < k; ++c) {
+    model.ReadRow(kTableCentroids, c, centers[static_cast<std::size_t>(c)]);
+  }
+  double total = 0.0;
+  for (std::int64_t i = 0; i < sample; ++i) {
+    const float* x = data_->Sample(i);
+    double best = std::numeric_limits<double>::infinity();
+    for (int c = 0; c < k; ++c) {
+      const std::vector<float>& center = centers[static_cast<std::size_t>(c)];
+      double dist = 0.0;
+      for (int j = 0; j < d; ++j) {
+        const double diff = static_cast<double>(x[j]) -
+                            static_cast<double>(center[static_cast<std::size_t>(j)]);
+        dist += diff * diff;
+      }
+      best = std::min(best, dist);
+    }
+    total += best;
+  }
+  return total / static_cast<double>(sample);
+}
+
+}  // namespace proteus

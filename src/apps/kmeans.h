@@ -1,0 +1,49 @@
+// K-means clustering (named in §3.2 as a stateless-worker application).
+//
+// Mini-batch k-means (Sculley 2010) maps cleanly onto the additive
+// parameter-server model: each centroid row stores its running mean plus
+// an assignment counter, and each worker pushes per-centroid deltas
+// center += (x - center) / (n + 1), n += 1 — commutative and
+// associative in the PS's aggregation sense to first order, and robust
+// to bounded staleness like the paper's other apps.
+#ifndef SRC_APPS_KMEANS_H_
+#define SRC_APPS_KMEANS_H_
+
+#include "src/agileml/app.h"
+#include "src/apps/datasets.h"
+
+namespace proteus {
+
+struct KMeansConfig {
+  int clusters = 16;
+  // Learning-rate floor: the per-assignment rate is
+  // max(1 / (count + 1), min_rate) so late updates still move centers.
+  double min_rate = 1e-4;
+  std::int64_t objective_sample = 4096;
+};
+
+class KMeansApp : public MLApp {
+ public:
+  // Centroid table: `clusters` rows of [mean(dim floats), count].
+  static constexpr int kTableCentroids = 0;
+
+  KMeansApp(const FeaturesDataset* data, KMeansConfig config);
+
+  std::string Name() const override { return "kmeans"; }
+  ModelInit DefineModel() const override;
+  std::int64_t NumItems() const override { return data_->size(); }
+  double CostPerItem() const override;
+  void ProcessRange(WorkerContext& ctx, std::int64_t begin, std::int64_t end) override;
+  // Mean within-cluster squared distance over a sample (lower is better).
+  double ComputeObjective(const ModelStore& model) const override;
+
+ private:
+  int dim() const { return data_->config.dim; }
+
+  const FeaturesDataset* data_;
+  KMeansConfig config_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_APPS_KMEANS_H_

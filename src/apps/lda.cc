@@ -1,0 +1,180 @@
+#include "src/apps/lda.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+LdaApp::LdaApp(const CorpusDataset* data, LdaConfig config) : data_(data), config_(config) {
+  PROTEUS_CHECK(data != nullptr);
+  PROTEUS_CHECK_GT(config.topics, 1);
+  z_.assign(static_cast<std::size_t>(data->num_tokens()), -1);
+  doc_initialized_.assign(static_cast<std::size_t>(data->num_docs()), 0);
+}
+
+ModelInit LdaApp::DefineModel() const {
+  ModelInit init;
+  init.tables.push_back({kTableWordTopic, data_->config.vocab, config_.topics, 0.0F, 0.0F});
+  init.tables.push_back({kTableTotals, 1, config_.topics, 0.0F, 0.0F});
+  return init;
+}
+
+double LdaApp::CostPerItem() const {
+  // One Gibbs sweep over an average-length document: ~6 ops per
+  // (token, topic) pair.
+  return 6.0 * static_cast<double>(data_->config.avg_doc_len) *
+         static_cast<double>(config_.topics);
+}
+
+void LdaApp::InitDoc(WorkerContext& ctx, std::int64_t doc) {
+  const int topics = config_.topics;
+  std::vector<float> totals_delta(static_cast<std::size_t>(topics), 0.0F);
+  std::unordered_map<std::int32_t, std::vector<float>> word_delta;
+  for (std::int64_t t = data_->DocBegin(doc); t < data_->DocEnd(doc); ++t) {
+    const auto k = static_cast<std::int32_t>(ctx.rng().UniformInt(0, topics - 1));
+    z_[static_cast<std::size_t>(t)] = k;
+    const std::int32_t w = data_->tokens[static_cast<std::size_t>(t)];
+    auto [it, inserted] = word_delta.try_emplace(w);
+    if (inserted) {
+      it->second.assign(static_cast<std::size_t>(topics), 0.0F);
+    }
+    it->second[static_cast<std::size_t>(k)] += 1.0F;
+    totals_delta[static_cast<std::size_t>(k)] += 1.0F;
+  }
+  for (const auto& [w, delta] : word_delta) {
+    ctx.Update(kTableWordTopic, w, delta);
+  }
+  ctx.Update(kTableTotals, 0, totals_delta);
+  doc_initialized_[static_cast<std::size_t>(doc)] = 1;
+}
+
+void LdaApp::ProcessRange(WorkerContext& ctx, std::int64_t begin, std::int64_t end) {
+  const int topics = config_.topics;
+  const double alpha = config_.alpha;
+  const double beta = config_.beta;
+  const double vbeta = static_cast<double>(data_->config.vocab) * beta;
+
+  // Worker-side cache for this clock: word rows fetched once, totals
+  // fetched once, all updates coalesced into one delta per row.
+  std::unordered_map<std::int32_t, std::vector<float>> word_cache;
+  std::unordered_map<std::int32_t, std::vector<float>> word_delta;
+  std::vector<float> totals;
+  ctx.ReadInto(kTableTotals, 0, totals);
+  std::vector<float> totals_delta(static_cast<std::size_t>(topics), 0.0F);
+  std::vector<double> prob(static_cast<std::size_t>(topics));
+  std::vector<double> doc_hist(static_cast<std::size_t>(topics));
+
+  auto word_row = [&](std::int32_t w) -> std::vector<float>& {
+    auto it = word_cache.find(w);
+    if (it == word_cache.end()) {
+      std::vector<float> row;
+      ctx.ReadInto(kTableWordTopic, w, row);
+      it = word_cache.emplace(w, std::move(row)).first;
+    }
+    return it->second;
+  };
+  auto delta_row = [&](std::int32_t w) -> std::vector<float>& {
+    auto [it, inserted] = word_delta.try_emplace(w);
+    if (inserted) {
+      it->second.assign(static_cast<std::size_t>(topics), 0.0F);
+    }
+    return it->second;
+  };
+
+  for (std::int64_t doc = begin; doc < end; ++doc) {
+    if (doc_initialized_[static_cast<std::size_t>(doc)] == 0) {
+      InitDoc(ctx, doc);
+      continue;
+    }
+    // Rebuild the document-topic histogram from z.
+    std::fill(doc_hist.begin(), doc_hist.end(), 0.0);
+    for (std::int64_t t = data_->DocBegin(doc); t < data_->DocEnd(doc); ++t) {
+      doc_hist[static_cast<std::size_t>(z_[static_cast<std::size_t>(t)])] += 1.0;
+    }
+    for (std::int64_t t = data_->DocBegin(doc); t < data_->DocEnd(doc); ++t) {
+      const std::int32_t w = data_->tokens[static_cast<std::size_t>(t)];
+      const auto old_k = z_[static_cast<std::size_t>(t)];
+      std::vector<float>& wrow = word_row(w);
+      std::vector<float>& wdelta = delta_row(w);
+      // Remove the token from its current topic.
+      doc_hist[static_cast<std::size_t>(old_k)] -= 1.0;
+      wrow[static_cast<std::size_t>(old_k)] -= 1.0F;
+      wdelta[static_cast<std::size_t>(old_k)] -= 1.0F;
+      totals[static_cast<std::size_t>(old_k)] -= 1.0F;
+      totals_delta[static_cast<std::size_t>(old_k)] -= 1.0F;
+      // Collapsed Gibbs conditional.
+      for (int k = 0; k < topics; ++k) {
+        const double ndk = std::max(0.0, doc_hist[static_cast<std::size_t>(k)]);
+        const double nwk =
+            std::max(0.0, static_cast<double>(wrow[static_cast<std::size_t>(k)]));
+        const double nk =
+            std::max(0.0, static_cast<double>(totals[static_cast<std::size_t>(k)]));
+        prob[static_cast<std::size_t>(k)] = (ndk + alpha) * (nwk + beta) / (nk + vbeta);
+      }
+      const auto new_k = static_cast<std::int32_t>(ctx.rng().Categorical(prob));
+      // Add it back under the sampled topic.
+      z_[static_cast<std::size_t>(t)] = new_k;
+      doc_hist[static_cast<std::size_t>(new_k)] += 1.0;
+      wrow[static_cast<std::size_t>(new_k)] += 1.0F;
+      wdelta[static_cast<std::size_t>(new_k)] += 1.0F;
+      totals[static_cast<std::size_t>(new_k)] += 1.0F;
+      totals_delta[static_cast<std::size_t>(new_k)] += 1.0F;
+    }
+  }
+
+  for (const auto& [w, delta] : word_delta) {
+    ctx.Update(kTableWordTopic, w, delta);
+  }
+  ctx.Update(kTableTotals, 0, totals_delta);
+}
+
+double LdaApp::ComputeObjective(const ModelStore& model) const {
+  const std::int64_t sample = std::min(config_.objective_sample_docs, data_->num_docs());
+  PROTEUS_CHECK_GT(sample, 0);
+  const int topics = config_.topics;
+  const double alpha = config_.alpha;
+  const double beta = config_.beta;
+  const double vbeta = static_cast<double>(data_->config.vocab) * beta;
+
+  std::vector<float> totals;
+  model.ReadRow(kTableTotals, 0, totals);
+  std::vector<float> wrow;
+  std::vector<double> doc_hist(static_cast<std::size_t>(topics));
+  double loglik = 0.0;
+  std::int64_t tokens = 0;
+  for (std::int64_t doc = 0; doc < sample; ++doc) {
+    if (doc_initialized_[static_cast<std::size_t>(doc)] == 0) {
+      continue;
+    }
+    std::fill(doc_hist.begin(), doc_hist.end(), 0.0);
+    const double len = static_cast<double>(data_->DocEnd(doc) - data_->DocBegin(doc));
+    for (std::int64_t t = data_->DocBegin(doc); t < data_->DocEnd(doc); ++t) {
+      doc_hist[static_cast<std::size_t>(z_[static_cast<std::size_t>(t)])] += 1.0;
+    }
+    for (std::int64_t t = data_->DocBegin(doc); t < data_->DocEnd(doc); ++t) {
+      const std::int32_t w = data_->tokens[static_cast<std::size_t>(t)];
+      model.ReadRow(kTableWordTopic, w, wrow);
+      double p = 0.0;
+      for (int k = 0; k < topics; ++k) {
+        const double theta =
+            (std::max(0.0, doc_hist[static_cast<std::size_t>(k)]) + alpha) /
+            (len + static_cast<double>(topics) * alpha);
+        const double phi =
+            (std::max(0.0, static_cast<double>(wrow[static_cast<std::size_t>(k)])) + beta) /
+            (std::max(0.0, static_cast<double>(totals[static_cast<std::size_t>(k)])) + vbeta);
+        p += theta * phi;
+      }
+      loglik += std::log(std::max(p, 1e-12));
+      ++tokens;
+    }
+  }
+  if (tokens == 0) {
+    return std::log(static_cast<double>(data_->config.vocab));  // Uniform baseline.
+  }
+  return -loglik / static_cast<double>(tokens);
+}
+
+}  // namespace proteus

@@ -1,0 +1,128 @@
+#include "src/apps/mlr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+MultinomialLogRegApp::MultinomialLogRegApp(const FeaturesDataset* data, MlrConfig config)
+    : data_(data), config_(config) {
+  PROTEUS_CHECK(data != nullptr);
+}
+
+ModelInit MultinomialLogRegApp::DefineModel() const {
+  ModelInit init;
+  init.tables.push_back({kTableW, static_cast<std::int64_t>(data_->config.classes),
+                         data_->config.dim, 0.0F, config_.init_jitter});
+  return init;
+}
+
+double MultinomialLogRegApp::CostPerItem() const {
+  // K dot products + K gradient accumulations over dim components.
+  return 3.0 * static_cast<double>(data_->config.classes) *
+         static_cast<double>(data_->config.dim);
+}
+
+namespace {
+// Computes softmax probabilities in place from logits.
+void SoftmaxInPlace(std::vector<double>& logits) {
+  const double max_logit = *std::max_element(logits.begin(), logits.end());
+  double total = 0.0;
+  for (double& l : logits) {
+    l = std::exp(l - max_logit);
+    total += l;
+  }
+  for (double& l : logits) {
+    l /= total;
+  }
+}
+}  // namespace
+
+void MultinomialLogRegApp::ProcessRange(WorkerContext& ctx, std::int64_t begin,
+                                        std::int64_t end) {
+  const int classes = data_->config.classes;
+  const int dim = data_->config.dim;
+  const auto batch = static_cast<double>(end - begin);
+  if (batch <= 0) {
+    return;
+  }
+  // Fetch the full weight matrix once (one read per row per clock).
+  std::vector<float> w(static_cast<std::size_t>(classes) * dim);
+  std::vector<float> row;
+  for (int c = 0; c < classes; ++c) {
+    ctx.ReadInto(kTableW, c, row);
+    std::copy(row.begin(), row.end(), w.begin() + static_cast<std::size_t>(c) * dim);
+  }
+  std::vector<float> grad(static_cast<std::size_t>(classes) * dim, 0.0F);
+  std::vector<double> logits(static_cast<std::size_t>(classes));
+
+  for (std::int64_t n = begin; n < end; ++n) {
+    const float* x = data_->Sample(n);
+    const std::int32_t y = data_->label[static_cast<std::size_t>(n)];
+    for (int c = 0; c < classes; ++c) {
+      const float* wc = &w[static_cast<std::size_t>(c) * dim];
+      double dot = 0.0;
+      for (int d = 0; d < dim; ++d) {
+        dot += static_cast<double>(wc[d]) * static_cast<double>(x[d]);
+      }
+      logits[static_cast<std::size_t>(c)] = dot;
+    }
+    SoftmaxInPlace(logits);
+    for (int c = 0; c < classes; ++c) {
+      const auto coeff = static_cast<float>(logits[static_cast<std::size_t>(c)] -
+                                            (c == y ? 1.0 : 0.0));
+      float* gc = &grad[static_cast<std::size_t>(c) * dim];
+      for (int d = 0; d < dim; ++d) {
+        gc[d] += coeff * x[d];
+      }
+    }
+  }
+
+  // One coalesced update per weight row: -lr * (grad/batch + reg * w).
+  const auto lr = static_cast<float>(config_.learning_rate);
+  const auto reg = static_cast<float>(config_.regularization);
+  std::vector<float> delta(static_cast<std::size_t>(dim));
+  for (int c = 0; c < classes; ++c) {
+    const float* gc = &grad[static_cast<std::size_t>(c) * dim];
+    const float* wc = &w[static_cast<std::size_t>(c) * dim];
+    for (int d = 0; d < dim; ++d) {
+      delta[static_cast<std::size_t>(d)] =
+          -lr * (gc[d] / static_cast<float>(batch) + reg * wc[d]);
+    }
+    ctx.Update(kTableW, c, delta);
+  }
+}
+
+double MultinomialLogRegApp::ComputeObjective(const ModelStore& model) const {
+  const std::int64_t sample = std::min(config_.objective_sample, data_->size());
+  PROTEUS_CHECK_GT(sample, 0);
+  const int classes = data_->config.classes;
+  const int dim = data_->config.dim;
+  std::vector<float> w(static_cast<std::size_t>(classes) * dim);
+  std::vector<float> row;
+  for (int c = 0; c < classes; ++c) {
+    model.ReadRow(kTableW, c, row);
+    std::copy(row.begin(), row.end(), w.begin() + static_cast<std::size_t>(c) * dim);
+  }
+  std::vector<double> logits(static_cast<std::size_t>(classes));
+  double loss = 0.0;
+  for (std::int64_t n = 0; n < sample; ++n) {
+    const float* x = data_->Sample(n);
+    for (int c = 0; c < classes; ++c) {
+      const float* wc = &w[static_cast<std::size_t>(c) * dim];
+      double dot = 0.0;
+      for (int d = 0; d < dim; ++d) {
+        dot += static_cast<double>(wc[d]) * static_cast<double>(x[d]);
+      }
+      logits[static_cast<std::size_t>(c)] = dot;
+    }
+    SoftmaxInPlace(logits);
+    const std::int32_t y = data_->label[static_cast<std::size_t>(n)];
+    loss += -std::log(std::max(logits[static_cast<std::size_t>(y)], 1e-12));
+  }
+  return loss / static_cast<double>(sample);
+}
+
+}  // namespace proteus

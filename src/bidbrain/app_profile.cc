@@ -1,0 +1,21 @@
+#include "src/bidbrain/app_profile.h"
+
+namespace proteus {
+
+AppProfile AgileMLProfile() {
+  AppProfile p;
+  p.phi = 0.95;
+  p.sigma = 30 * kSecond;   // Background incorporation; near-free.
+  p.lambda = 60 * kSecond;  // Partition migration within the warning.
+  return p;
+}
+
+AppProfile CheckpointingProfile() {
+  AppProfile p;
+  p.phi = 0.95;
+  p.sigma = 4 * kMinute;    // Stop, re-shard, restart from checkpoint.
+  p.lambda = 10 * kMinute;  // Re-acquire machines + reload + lost work.
+  return p;
+}
+
+}  // namespace proteus

@@ -1,0 +1,94 @@
+// BidBrain: Proteus' resource-allocation policy (§4).
+//
+// At every decision point (periodic, just before a billing-hour boundary,
+// and immediately after an eviction) BidBrain enumerates candidate
+// allocations — (market, bid delta, count) tuples priced at the current
+// spot price — and acquires the best candidate if and only if it lowers
+// the footprint's expected cost per unit work (Eq. 4). Near the end of an
+// allocation's billing hour it decides whether renewing or terminating
+// the allocation yields the lower cost-per-work. On-demand resources are
+// acquired as required and never terminated (§4.2), and are modeled as
+// producing no work (Fig. 6: the reliable allocation has W = 0 — in
+// stages 2/3 reliable machines serve state, they do not run workers).
+#ifndef SRC_BIDBRAIN_BIDBRAIN_H_
+#define SRC_BIDBRAIN_BIDBRAIN_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/bidbrain/app_profile.h"
+#include "src/bidbrain/cost_model.h"
+#include "src/bidbrain/eviction_estimator.h"
+#include "src/market/instance_type.h"
+#include "src/market/trace_store.h"
+
+namespace proteus {
+
+struct BidBrainConfig {
+  // Bid deltas considered over the current market price (§4.2 range).
+  std::vector<Money> bid_deltas = {0.001, 0.005, 0.02, 0.05, 0.1, 0.25, 0.4};
+  // Instances per candidate spot allocation.
+  int allocation_quantum = 16;
+  // Cap on total spot instances (application scalability limit).
+  int max_spot_instances = 192;
+  // Periodic decision cadence (§5: every two minutes).
+  SimDuration decision_period = 2 * kMinute;
+  // Renewal decisions happen this close to a billing-hour end.
+  SimDuration renewal_lead = 4 * kMinute;
+  // Candidate must beat the current cost-per-work by this relative
+  // margin to be acquired (hysteresis against churn).
+  double improvement_margin = 0.02;
+  AppProfile app;
+  // Work produced per on-demand instance per hour (0 per Fig. 6).
+  WorkUnits on_demand_work_per_hour = 0.0;
+};
+
+// The simulator's view of one live allocation, passed to Decide().
+struct LiveAllocation {
+  AllocationId id = kInvalidAllocation;
+  MarketKey market;
+  int count = 0;
+  Money bid = 0.0;
+  bool on_demand = false;
+  SimTime start = 0.0;
+};
+
+struct BidAction {
+  enum class Kind {
+    kAcquire,    // Request `count` instances in `market` at `bid`.
+    kTerminate,  // Terminate allocation `target` before its next hour.
+  };
+  Kind kind = Kind::kAcquire;
+  MarketKey market;
+  int count = 0;
+  Money bid = 0.0;
+  AllocationId target = kInvalidAllocation;
+};
+
+class BidBrain {
+ public:
+  BidBrain(const InstanceTypeCatalog* catalog, const TraceStore* prices,
+           const EvictionModel* estimator, BidBrainConfig config);
+
+  // Evaluates the footprint at `now` and returns the actions to take.
+  std::vector<BidAction> Decide(SimTime now, const std::vector<LiveAllocation>& live) const;
+
+  // Expected cost-per-work of the given live footprint (diagnostics).
+  double FootprintCostPerWork(SimTime now, const std::vector<LiveAllocation>& live) const;
+
+  const BidBrainConfig& config() const { return config_; }
+
+ private:
+  AllocationPlan PlanFor(SimTime now, const LiveAllocation& alloc) const;
+  std::vector<AllocationPlan> PlansFor(SimTime now,
+                                       const std::vector<LiveAllocation>& live) const;
+
+  const InstanceTypeCatalog* catalog_;
+  const TraceStore* prices_;
+  const EvictionModel* estimator_;
+  BidBrainConfig config_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_BIDBRAIN_BIDBRAIN_H_

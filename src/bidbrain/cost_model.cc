@@ -1,0 +1,57 @@
+#include "src/bidbrain/cost_model.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+Money CostModel::ExpectedCost(const std::vector<AllocationPlan>& plans) {
+  Money total = 0.0;
+  for (const auto& plan : plans) {
+    const double hours = std::max(0.0, plan.omega) / kHour;
+    total += (1.0 - plan.beta) * plan.hourly_price * plan.count * hours;
+  }
+  return total;
+}
+
+double CostModel::AnyEvictionProbability(const std::vector<AllocationPlan>& plans) {
+  double none = 1.0;
+  for (const auto& plan : plans) {
+    none *= (1.0 - plan.beta);
+  }
+  return 1.0 - none;
+}
+
+SimDuration CostModel::ExpectedUsefulTime(const AllocationPlan& plan,
+                                          const std::vector<AllocationPlan>& all,
+                                          const AppProfile& app, bool footprint_changing) {
+  SimDuration t = plan.omega;
+  t -= AnyEvictionProbability(all) * app.lambda;
+  if (footprint_changing) {
+    t -= app.sigma;
+  }
+  return std::max(0.0, t);
+}
+
+WorkUnits CostModel::ExpectedWork(const std::vector<AllocationPlan>& plans, const AppProfile& app,
+                                  bool footprint_changing) {
+  WorkUnits total = 0.0;
+  for (const auto& plan : plans) {
+    const SimDuration dt = ExpectedUsefulTime(plan, plans, app, footprint_changing);
+    total += plan.count * (dt / kHour) * plan.work_per_hour;
+  }
+  return total * app.phi;
+}
+
+double CostModel::ExpectedCostPerWork(const std::vector<AllocationPlan>& plans,
+                                      const AppProfile& app, bool footprint_changing) {
+  const WorkUnits work = ExpectedWork(plans, app, footprint_changing);
+  if (work <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  return ExpectedCost(plans) / work;
+}
+
+}  // namespace proteus

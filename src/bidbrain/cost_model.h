@@ -1,0 +1,53 @@
+// BidBrain's expected cost / expected work algebra (§4.1, Eqs. 1-4).
+#ifndef SRC_BIDBRAIN_COST_MODEL_H_
+#define SRC_BIDBRAIN_COST_MODEL_H_
+
+#include <vector>
+
+#include "src/bidbrain/app_profile.h"
+#include "src/common/types.h"
+#include "src/market/trace_store.h"
+
+namespace proteus {
+
+// One allocation as the cost model sees it — either an existing element
+// of the footprint or a candidate under consideration.
+struct AllocationPlan {
+  MarketKey market;
+  int count = 0;                // k_i.
+  Money hourly_price = 0.0;     // P_i: what the hour is billed at.
+  double beta = 0.0;            // Eviction probability within the hour.
+  SimDuration omega = kHour;    // Max useful compute remaining (Table 2).
+  WorkUnits work_per_hour = 0;  // nu per instance (vCPU count).
+  bool on_demand = false;       // On-demand: beta = 0, never terminated.
+};
+
+class CostModel {
+ public:
+  // Eq. 1 summed over allocations: each allocation costs
+  // (1 - beta) * P * k * t_r, with t_r = omega in hours; eviction makes
+  // the hour free.
+  static Money ExpectedCost(const std::vector<AllocationPlan>& plans);
+
+  // Eq. 2: expected useful compute time for one allocation given the set:
+  // delta_t = omega - (1 - prod(1 - beta_j)) * lambda - sigma_if_changing.
+  static SimDuration ExpectedUsefulTime(const AllocationPlan& plan,
+                                        const std::vector<AllocationPlan>& all,
+                                        const AppProfile& app, bool footprint_changing);
+
+  // Eq. 3: WA = (sum k_i * delta_t_i * nu_i) * phi.
+  static WorkUnits ExpectedWork(const std::vector<AllocationPlan>& plans, const AppProfile& app,
+                                bool footprint_changing);
+
+  // Eq. 4: EA = CA / WA ($ per work unit). Returns +infinity for
+  // non-positive expected work.
+  static double ExpectedCostPerWork(const std::vector<AllocationPlan>& plans,
+                                    const AppProfile& app, bool footprint_changing);
+
+  // Probability at least one allocation in the set is evicted.
+  static double AnyEvictionProbability(const std::vector<AllocationPlan>& plans);
+};
+
+}  // namespace proteus
+
+#endif  // SRC_BIDBRAIN_COST_MODEL_H_

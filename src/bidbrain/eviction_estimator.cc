@@ -1,0 +1,79 @@
+#include "src/bidbrain/eviction_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+#include "src/common/stats.h"
+
+namespace proteus {
+
+std::vector<Money> EvictionEstimator::DefaultDeltaGrid() {
+  return {0.0001, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4};
+}
+
+void EvictionEstimator::Train(const TraceStore& history, SimTime train_begin, SimTime train_end,
+                              SimDuration sample_step, std::vector<Money> delta_grid) {
+  PROTEUS_CHECK_GT(train_end, train_begin);
+  PROTEUS_CHECK_GT(sample_step, 0.0);
+  PROTEUS_CHECK(!delta_grid.empty());
+  delta_grid_ = std::move(delta_grid);
+  std::sort(delta_grid_.begin(), delta_grid_.end());
+  stats_.clear();
+
+  for (const MarketKey& key : history.Keys()) {
+    const PriceSeries& series = history.Get(key);
+    std::vector<EvictionStats> per_delta;
+    per_delta.reserve(delta_grid_.size());
+    for (const Money delta : delta_grid_) {
+      int evicted = 0;
+      int samples = 0;
+      SampleStats times;
+      for (SimTime t = train_begin; t + kHour <= train_end; t += sample_step) {
+        const Money bid = series.PriceAt(t) + delta;
+        // A crossing at exactly t would mean the bid was never granted;
+        // we bid above the current price so the first crossing is later.
+        const std::optional<SimTime> crossing = series.FirstTimeAbove(bid, t, t + kHour);
+        ++samples;
+        if (crossing.has_value()) {
+          ++evicted;
+          times.Add(*crossing - t);
+        }
+      }
+      EvictionStats stats;
+      stats.samples = samples;
+      stats.beta = samples > 0 ? static_cast<double>(evicted) / samples : 0.0;
+      stats.median_time_to_eviction = times.empty() ? kHour : times.Median();
+      per_delta.push_back(stats);
+    }
+    stats_[key] = std::move(per_delta);
+  }
+}
+
+EvictionStats EvictionEstimator::Estimate(const MarketKey& market, Money bid_delta) const {
+  auto it = stats_.find(market);
+  if (it == stats_.end()) {
+    // Unknown market: assume worst-case volatility at tiny deltas,
+    // tapering with the delta (pessimistic prior).
+    EvictionStats prior;
+    prior.beta = std::clamp(0.05 / std::max(bid_delta, 0.001), 0.0, 0.9);
+    prior.median_time_to_eviction = kHour / 2;
+    return prior;
+  }
+  // Closest grid point by |delta| distance in log space (grid is
+  // geometric-ish).
+  std::size_t best = 0;
+  double best_dist = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < delta_grid_.size(); ++i) {
+    const double dist = std::fabs(std::log(std::max(bid_delta, 1e-6)) -
+                                  std::log(std::max(delta_grid_[i], 1e-6)));
+    if (dist < best_dist) {
+      best_dist = dist;
+      best = i;
+    }
+  }
+  return it->second[best];
+}
+
+}  // namespace proteus

@@ -1,0 +1,92 @@
+#include "src/common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+CsvWriter::CsvWriter(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void CsvWriter::AddRow(const std::vector<std::string>& cells) {
+  PROTEUS_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(cells);
+}
+
+std::string CsvWriter::Render() const {
+  std::ostringstream out;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) {
+        out << ",";
+      }
+      out << cells[i];
+    }
+    out << "\n";
+  };
+  emit(headers_);
+  for (const auto& row : rows_) {
+    emit(row);
+  }
+  return out.str();
+}
+
+bool CsvWriter::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    PROTEUS_LOG(Error) << "cannot open " << path << " for writing";
+    return false;
+  }
+  f << Render();
+  return static_cast<bool>(f);
+}
+
+namespace {
+std::vector<std::string> SplitLine(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  for (char c : line) {
+    if (c == ',') {
+      cells.push_back(cell);
+      cell.clear();
+    } else if (c != '\r') {
+      cell.push_back(c);
+    }
+  }
+  cells.push_back(cell);
+  return cells;
+}
+}  // namespace
+
+CsvTable ParseCsv(const std::string& text) {
+  CsvTable table;
+  std::istringstream in(text);
+  std::string line;
+  bool have_header = false;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    auto cells = SplitLine(line);
+    if (!have_header) {
+      table.headers = std::move(cells);
+      have_header = true;
+    } else {
+      table.rows.push_back(std::move(cells));
+    }
+  }
+  return table;
+}
+
+CsvTable ReadCsvFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return {};
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return ParseCsv(buf.str());
+}
+
+}  // namespace proteus

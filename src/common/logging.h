@@ -1,0 +1,61 @@
+// Minimal leveled logger. Not thread-safe per line beyond what stdio gives,
+// which is fine: log lines are short and writes are atomic-ish on Linux.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace proteus {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+#define PROTEUS_LOG(level)                                                               \
+  ::proteus::log_internal::LogMessage(::proteus::LogLevel::k##level, __FILE__, __LINE__) \
+      .stream()
+
+// CHECK macros abort on violation. Used for internal invariants, not for
+// recoverable errors.
+#define PROTEUS_CHECK(cond)                                        \
+  if (!(cond)) PROTEUS_LOG(Fatal) << "CHECK failed: " #cond << " "
+
+#define PROTEUS_CHECK_GE(a, b) PROTEUS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PROTEUS_CHECK_GT(a, b) PROTEUS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PROTEUS_CHECK_LE(a, b) PROTEUS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PROTEUS_CHECK_LT(a, b) PROTEUS_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PROTEUS_CHECK_EQ(a, b) PROTEUS_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define PROTEUS_CHECK_NE(a, b) PROTEUS_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+
+}  // namespace proteus
+
+#endif  // SRC_COMMON_LOGGING_H_

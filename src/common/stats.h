@@ -1,0 +1,64 @@
+// Small descriptive-statistics helpers used by benches and BidBrain's
+// trace analysis.
+#ifndef SRC_COMMON_STATS_H_
+#define SRC_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace proteus {
+
+// Accumulates samples and answers summary queries. Percentile queries sort
+// a copy lazily; suitable for the sample counts we deal with (<= millions).
+class SampleStats {
+ public:
+  void Add(double value);
+  void AddAll(const std::vector<double>& values);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Sum() const;
+  double Mean() const;
+  double Variance() const;  // Population variance.
+  double StdDev() const;
+  double Min() const;
+  double Max() const;
+  double Median() const;
+  // p in [0, 100]; linear interpolation between order statistics.
+  double Percentile(double p) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Online mean/variance via Welford's algorithm, for streaming contexts
+// where storing samples would be wasteful.
+class RunningStats {
+ public:
+  void Add(double value);
+
+  std::size_t count() const { return n_; }
+  double Mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double Variance() const { return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0; }
+  double StdDev() const;
+  double Min() const { return min_; }
+  double Max() const { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_COMMON_STATS_H_

@@ -1,0 +1,78 @@
+#include "src/common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "src/common/csv.h"
+#include "src/common/logging.h"
+
+namespace proteus {
+
+TextTable::TextTable(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  PROTEUS_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::Cell(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << (c == 0 ? "| " : " | ");
+      out << cells[c];
+      out << std::string(widths[c] - cells[c].size(), ' ');
+    }
+    out << " |\n";
+  };
+  emit_row(headers_);
+  out << "|";
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    out << std::string(widths[c] + 2, '-') << "|";
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    emit_row(row);
+  }
+  return out.str();
+}
+
+void TextTable::Print() const { std::fputs(Render().c_str(), stdout); }
+
+bool TextTable::WriteCsv(const std::string& path) const {
+  CsvWriter writer(headers_);
+  for (const auto& row : rows_) {
+    writer.AddRow(row);
+  }
+  return writer.WriteFile(path);
+}
+
+void TextTable::PrintAndMaybeExport(const std::string& name) const {
+  Print();
+  const char* dir = std::getenv("PROTEUS_RESULTS_DIR");
+  if (dir != nullptr && *dir != '\0') {
+    const std::string path = std::string(dir) + "/" + name + ".csv";
+    if (WriteCsv(path)) {
+      std::printf("[results exported to %s]\n", path.c_str());
+    }
+  }
+}
+
+}  // namespace proteus

@@ -1,0 +1,44 @@
+// Plain-text table rendering for benchmark output. Benches print paper
+// figures/tables as aligned rows, so results are directly comparable to
+// the paper.
+#ifndef SRC_COMMON_TABLE_H_
+#define SRC_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace proteus {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  // Row cells; number must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  // Convenience: formats doubles with the given precision.
+  static std::string Cell(double value, int precision = 2);
+  static std::string Cell(const std::string& value) { return value; }
+
+  // Renders the table with aligned columns and a separator line.
+  std::string Render() const;
+
+  // Renders and writes to stdout.
+  void Print() const;
+
+  // Writes the table as CSV. Returns false on I/O failure.
+  bool WriteCsv(const std::string& path) const;
+
+  // Print(), plus — when the PROTEUS_RESULTS_DIR environment variable is
+  // set — a CSV copy at $PROTEUS_RESULTS_DIR/<name>.csv so benchmark
+  // tables can be collected for plotting.
+  void PrintAndMaybeExport(const std::string& name) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_COMMON_TABLE_H_

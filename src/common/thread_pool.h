@@ -1,0 +1,45 @@
+// Fixed-size thread pool. AgileML's runtime uses it to run worker-node
+// compute in parallel when executing real training.
+#ifndef SRC_COMMON_THREAD_POOL_H_
+#define SRC_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace proteus {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues a task; returns a future for completion/err propagation.
+  std::future<void> Submit(std::function<void()> task);
+
+  // Runs fn(i) for i in [0, n) across the pool and waits for all.
+  void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  std::size_t size() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::queue<std::packaged_task<void()>> tasks_;
+  std::vector<std::thread> threads_;
+  bool shutdown_ = false;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_COMMON_THREAD_POOL_H_

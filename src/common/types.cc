@@ -1,0 +1,36 @@
+#include "src/common/types.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace proteus {
+
+std::string FormatDuration(SimDuration seconds) {
+  char buf[64];
+  const bool negative = seconds < 0;
+  double s = std::fabs(seconds);
+  const int hours = static_cast<int>(s / 3600);
+  s -= hours * 3600.0;
+  const int minutes = static_cast<int>(s / 60);
+  s -= minutes * 60.0;
+  if (hours > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%dh%02dm%02.0fs", negative ? "-" : "", hours, minutes, s);
+  } else if (minutes > 0) {
+    std::snprintf(buf, sizeof(buf), "%s%dm%04.1fs", negative ? "-" : "", minutes, s);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s%.2fs", negative ? "-" : "", s);
+  }
+  return buf;
+}
+
+std::string FormatMoney(Money dollars) {
+  char buf[64];
+  if (dollars < 0) {
+    std::snprintf(buf, sizeof(buf), "-$%.4f", -dollars);
+  } else {
+    std::snprintf(buf, sizeof(buf), "$%.4f", dollars);
+  }
+  return buf;
+}
+
+}  // namespace proteus

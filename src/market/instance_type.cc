@@ -1,0 +1,39 @@
+#include "src/market/instance_type.h"
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+InstanceTypeCatalog InstanceTypeCatalog::Default() {
+  InstanceTypeCatalog catalog;
+  // 2016 US-EAST-1 Linux on-demand prices.
+  catalog.Add({"c4.large", 2, 3.75, 0.105});
+  catalog.Add({"c4.xlarge", 4, 7.5, 0.209});
+  catalog.Add({"c4.2xlarge", 8, 15.0, 0.419});
+  catalog.Add({"c4.4xlarge", 16, 30.0, 0.838});
+  catalog.Add({"m4.xlarge", 4, 16.0, 0.215});
+  catalog.Add({"m4.2xlarge", 8, 32.0, 0.431});
+  return catalog;
+}
+
+void InstanceTypeCatalog::Add(InstanceType type) {
+  PROTEUS_CHECK(Find(type.name) == nullptr) << "duplicate instance type " << type.name;
+  types_.push_back(std::move(type));
+}
+
+const InstanceType* InstanceTypeCatalog::Find(const std::string& name) const {
+  for (const auto& t : types_) {
+    if (t.name == name) {
+      return &t;
+    }
+  }
+  return nullptr;
+}
+
+const InstanceType& InstanceTypeCatalog::Get(const std::string& name) const {
+  const InstanceType* t = Find(name);
+  PROTEUS_CHECK(t != nullptr) << "unknown instance type " << name;
+  return *t;
+}
+
+}  // namespace proteus

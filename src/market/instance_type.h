@@ -1,0 +1,46 @@
+// EC2-style instance catalog. Prices are the 2016 US-EAST-1 on-demand
+// rates for the families the paper uses.
+#ifndef SRC_MARKET_INSTANCE_TYPE_H_
+#define SRC_MARKET_INSTANCE_TYPE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace proteus {
+
+struct InstanceType {
+  std::string name;
+  int vcpus = 0;
+  double memory_gb = 0.0;
+  Money on_demand_price = 0.0;  // Dollars per instance-hour.
+
+  // Work produced per hour: the paper's nu is proportional to core count
+  // (footnote 7: nu of a c4.2xlarge == 2 * nu of a c4.xlarge).
+  WorkUnits WorkPerHour() const { return static_cast<WorkUnits>(vcpus); }
+};
+
+// Immutable catalog of known instance types.
+class InstanceTypeCatalog {
+ public:
+  // Catalog preloaded with the types used in the paper's evaluation:
+  // c4.large/xlarge/2xlarge/4xlarge and m4.xlarge/2xlarge.
+  static InstanceTypeCatalog Default();
+
+  void Add(InstanceType type);
+
+  const InstanceType* Find(const std::string& name) const;
+  // CHECK-fails when the type is unknown.
+  const InstanceType& Get(const std::string& name) const;
+
+  const std::vector<InstanceType>& types() const { return types_; }
+
+ private:
+  std::vector<InstanceType> types_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_MARKET_INSTANCE_TYPE_H_

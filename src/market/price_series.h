@@ -1,0 +1,59 @@
+// A spot price history for one (availability zone, instance type) pair:
+// a right-continuous step function of time.
+#ifndef SRC_MARKET_PRICE_SERIES_H_
+#define SRC_MARKET_PRICE_SERIES_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace proteus {
+
+struct PricePoint {
+  SimTime time;
+  Money price;
+};
+
+class PriceSeries {
+ public:
+  PriceSeries() = default;
+  // Points must be strictly increasing in time; first point defines the
+  // series start.
+  explicit PriceSeries(std::vector<PricePoint> points);
+
+  void Append(SimTime time, Money price);
+
+  bool empty() const { return points_.empty(); }
+  std::size_t size() const { return points_.size(); }
+  SimTime start_time() const;
+  SimTime end_time() const;  // Time of the last change point.
+
+  // Price in effect at time t (the step value). t before the first point
+  // returns the first price.
+  Money PriceAt(SimTime t) const;
+
+  // Earliest time in (from, horizon] at which the price strictly exceeds
+  // `bid`. Returns nullopt if it never does within the horizon. If the
+  // price already exceeds the bid at `from`, returns `from`.
+  std::optional<SimTime> FirstTimeAbove(Money bid, SimTime from, SimTime horizon) const;
+
+  // Minimum / maximum price over [from, to].
+  Money MinPrice(SimTime from, SimTime to) const;
+  Money MaxPrice(SimTime from, SimTime to) const;
+
+  // Time-weighted average price over [from, to].
+  Money AveragePrice(SimTime from, SimTime to) const;
+
+  const std::vector<PricePoint>& points() const { return points_; }
+
+ private:
+  // Index of the last point with time <= t, or 0.
+  std::size_t IndexAt(SimTime t) const;
+
+  std::vector<PricePoint> points_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_MARKET_PRICE_SERIES_H_

@@ -1,0 +1,150 @@
+#include "src/market/spot_market.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+SimTime Allocation::EndOrInfinity() const {
+  return running() ? std::numeric_limits<SimTime>::infinity() : end;
+}
+
+SimTime Allocation::HourStart(SimTime t) const {
+  PROTEUS_CHECK_GE(t, start);
+  const double hours = std::floor((t - start) / kHour);
+  return start + hours * kHour;
+}
+
+SimTime Allocation::HourEnd(SimTime t) const { return HourStart(t) + kHour; }
+
+SpotMarket::SpotMarket(const InstanceTypeCatalog& catalog, const TraceStore& traces)
+    : catalog_(catalog), traces_(traces) {}
+
+Money SpotMarket::PriceAt(const MarketKey& key, SimTime t) const {
+  return traces_.Get(key).PriceAt(t);
+}
+
+std::optional<AllocationId> SpotMarket::RequestSpot(const MarketKey& key, int count, Money bid,
+                                                    SimTime t) {
+  PROTEUS_CHECK_GT(count, 0);
+  const PriceSeries& series = traces_.Get(key);
+  if (series.PriceAt(t) > bid) {
+    return std::nullopt;  // Bid below market: not granted.
+  }
+  Allocation alloc;
+  alloc.id = static_cast<AllocationId>(allocations_.size());
+  alloc.kind = AllocationKind::kSpot;
+  alloc.market = key;
+  alloc.count = count;
+  alloc.bid = bid;
+  alloc.start = t;
+  // The price at t is <= bid, so any crossing is strictly after t.
+  alloc.eviction_time =
+      series.FirstTimeAbove(bid, t, std::numeric_limits<SimTime>::infinity());
+  allocations_.push_back(alloc);
+  return alloc.id;
+}
+
+AllocationId SpotMarket::RequestOnDemand(const MarketKey& key, int count, SimTime t) {
+  PROTEUS_CHECK_GT(count, 0);
+  catalog_.Get(key.instance_type);  // Validate type.
+  Allocation alloc;
+  alloc.id = static_cast<AllocationId>(allocations_.size());
+  alloc.kind = AllocationKind::kOnDemand;
+  alloc.market = key;
+  alloc.count = count;
+  alloc.start = t;
+  allocations_.push_back(alloc);
+  return alloc.id;
+}
+
+void SpotMarket::Terminate(AllocationId id, SimTime t) {
+  Allocation& alloc = GetMutable(id);
+  PROTEUS_CHECK(alloc.running()) << "terminating non-running allocation " << id;
+  PROTEUS_CHECK_GE(t, alloc.start);
+  if (alloc.eviction_time.has_value() && *alloc.eviction_time <= t) {
+    // The market got there first; the caller should have observed the
+    // eviction. Treat as evicted at the earlier instant.
+    alloc.state = AllocationState::kEvicted;
+    alloc.end = *alloc.eviction_time;
+    return;
+  }
+  alloc.state = AllocationState::kTerminated;
+  alloc.end = t;
+}
+
+void SpotMarket::MarkEvicted(AllocationId id) {
+  Allocation& alloc = GetMutable(id);
+  PROTEUS_CHECK(alloc.running());
+  PROTEUS_CHECK(alloc.eviction_time.has_value());
+  alloc.state = AllocationState::kEvicted;
+  alloc.end = *alloc.eviction_time;
+}
+
+const Allocation& SpotMarket::Get(AllocationId id) const {
+  PROTEUS_CHECK_GE(id, 0);
+  PROTEUS_CHECK_LT(static_cast<std::size_t>(id), allocations_.size());
+  return allocations_[static_cast<std::size_t>(id)];
+}
+
+Allocation& SpotMarket::GetMutable(AllocationId id) {
+  PROTEUS_CHECK_GE(id, 0);
+  PROTEUS_CHECK_LT(static_cast<std::size_t>(id), allocations_.size());
+  return allocations_[static_cast<std::size_t>(id)];
+}
+
+std::optional<SimTime> SpotMarket::WarningTime(AllocationId id) const {
+  const Allocation& alloc = Get(id);
+  if (!alloc.eviction_time.has_value()) {
+    return std::nullopt;
+  }
+  return std::max(alloc.start, *alloc.eviction_time - kEvictionWarning);
+}
+
+BillingBreakdown SpotMarket::Bill(AllocationId id, SimTime as_of) const {
+  const Allocation& alloc = Get(id);
+  BillingBreakdown bill;
+  const SimTime effective_end = std::min(as_of, alloc.EndOrInfinity());
+  if (effective_end <= alloc.start) {
+    return bill;
+  }
+  const bool evicted = alloc.state == AllocationState::kEvicted && alloc.end <= as_of;
+  const PriceSeries* series =
+      alloc.kind == AllocationKind::kSpot ? &traces_.Get(alloc.market) : nullptr;
+  const Money od_price = catalog_.Get(alloc.market.instance_type).on_demand_price;
+
+  for (SimTime hour_start = alloc.start; hour_start < effective_end; hour_start += kHour) {
+    const Money rate = series != nullptr ? series->PriceAt(hour_start) : od_price;
+    const Money hour_charge = rate * alloc.count;
+    const SimTime hour_end = hour_start + kHour;
+    const bool last_hour = hour_end >= effective_end;
+    const double used_fraction =
+        last_hour ? (effective_end - hour_start) / kHour : 1.0;
+    if (last_hour && evicted) {
+      // Refund: the hour in progress at eviction is free.
+      bill.refunded += hour_charge;
+      bill.free_hours += used_fraction * alloc.count;
+    } else {
+      bill.charged += hour_charge;
+      bill.paid_hours += alloc.count;  // Full hour billed even if partial.
+    }
+  }
+  return bill;
+}
+
+BillingBreakdown SpotMarket::TotalBill(SimTime as_of) const {
+  BillingBreakdown total;
+  for (const auto& alloc : allocations_) {
+    const BillingBreakdown one = Bill(alloc.id, as_of);
+    total.charged += one.charged;
+    total.refunded += one.refunded;
+    total.paid_hours += one.paid_hours;
+    total.free_hours += one.free_hours;
+  }
+  return total;
+}
+
+}  // namespace proteus

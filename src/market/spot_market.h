@@ -1,0 +1,119 @@
+// Trace-driven EC2 spot-market simulator.
+//
+// Semantics modeled after the 2016-era EC2 spot market the paper targets:
+//  - A bid (instance type, count, bid price) is granted immediately when
+//    the current market price <= bid, and retained until the market price
+//    strictly exceeds the bid (eviction) or the user terminates it.
+//  - Billing is per instance-hour, charged at the market price in effect
+//    at the start of each instance-hour.
+//  - If AWS evicts the allocation, the in-progress hour is refunded
+//    ("free compute"). If the user terminates, the in-progress hour is
+//    charged in full.
+//  - A two-minute warning precedes each eviction.
+//  - A granted bid price cannot be changed (paper §2.2).
+// On-demand instances are billed hourly at the fixed catalog price and are
+// never evicted.
+#ifndef SRC_MARKET_SPOT_MARKET_H_
+#define SRC_MARKET_SPOT_MARKET_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/market/instance_type.h"
+#include "src/market/trace_store.h"
+
+namespace proteus {
+
+inline constexpr SimDuration kEvictionWarning = 2 * kMinute;
+
+enum class AllocationState {
+  kRunning,
+  kEvicted,
+  kTerminated,
+};
+
+enum class AllocationKind {
+  kSpot,
+  kOnDemand,
+};
+
+// One granted allocation: a set of `count` identical instances acquired
+// together (the paper's atomic "allocation" unit).
+struct Allocation {
+  AllocationId id = kInvalidAllocation;
+  AllocationKind kind = AllocationKind::kSpot;
+  MarketKey market;
+  int count = 0;
+  Money bid = 0.0;  // Meaningless for on-demand.
+  SimTime start = 0.0;
+  AllocationState state = AllocationState::kRunning;
+  SimTime end = 0.0;  // Valid when state != kRunning.
+  // Precomputed from the trace: when the market price first exceeds the
+  // bid after `start` (nullopt if never within the trace horizon).
+  std::optional<SimTime> eviction_time;
+
+  bool running() const { return state == AllocationState::kRunning; }
+  SimTime EndOrInfinity() const;
+  // Start of the billing hour containing time t (t >= start).
+  SimTime HourStart(SimTime t) const;
+  // End of the billing hour containing time t.
+  SimTime HourEnd(SimTime t) const;
+};
+
+struct BillingBreakdown {
+  Money charged = 0.0;       // Total dollars billed.
+  Money refunded = 0.0;      // Dollars refunded due to eviction.
+  double paid_hours = 0.0;   // Instance-hours paid for.
+  double free_hours = 0.0;   // Instance-hours used but refunded.
+};
+
+class SpotMarket {
+ public:
+  SpotMarket(const InstanceTypeCatalog& catalog, const TraceStore& traces);
+
+  // Current market price for a spot market.
+  Money PriceAt(const MarketKey& key, SimTime t) const;
+
+  // Requests a spot allocation at time t. Returns nullopt when the
+  // current market price exceeds the bid (request not granted).
+  std::optional<AllocationId> RequestSpot(const MarketKey& key, int count, Money bid, SimTime t);
+
+  // Launches on-demand instances (always granted).
+  AllocationId RequestOnDemand(const MarketKey& key, int count, SimTime t);
+
+  // User-initiated termination at time t.
+  void Terminate(AllocationId id, SimTime t);
+
+  // Marks an allocation evicted at its precomputed eviction time. Called
+  // by drivers once simulated time passes the eviction instant.
+  void MarkEvicted(AllocationId id);
+
+  const Allocation& Get(AllocationId id) const;
+  Allocation& GetMutable(AllocationId id);
+  const std::vector<Allocation>& allocations() const { return allocations_; }
+
+  // Eviction warning time (eviction_time - 2 min, clamped to start).
+  std::optional<SimTime> WarningTime(AllocationId id) const;
+
+  // Bill for an allocation, final or as-of time t for running ones.
+  // Spot-hour rule: hour h is charged at PriceAt(hour start); eviction
+  // refunds the hour in progress; user termination pays it in full.
+  BillingBreakdown Bill(AllocationId id, SimTime as_of) const;
+
+  // Aggregate bill over all allocations as of time t.
+  BillingBreakdown TotalBill(SimTime as_of) const;
+
+  const InstanceTypeCatalog& catalog() const { return catalog_; }
+  const TraceStore& traces() const { return traces_; }
+
+ private:
+  const InstanceTypeCatalog& catalog_;
+  const TraceStore& traces_;
+  std::vector<Allocation> allocations_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_MARKET_SPOT_MARKET_H_

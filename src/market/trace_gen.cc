@@ -1,0 +1,69 @@
+#include "src/market/trace_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+PriceSeries GenerateSyntheticTrace(const InstanceType& type, SimDuration duration,
+                                   const SyntheticTraceConfig& config, Rng& rng) {
+  PROTEUS_CHECK_GT(duration, 0.0);
+  PROTEUS_CHECK_GT(config.step, 0.0);
+  const Money od = type.on_demand_price;
+  const double log_base = std::log(od * config.base_fraction);
+  const Money floor = od * config.floor_fraction;
+
+  // Pre-draw spike intervals: (start, end, peak multiple).
+  struct Spike {
+    SimTime start;
+    SimTime end;
+    Money peak;
+  };
+  std::vector<Spike> spikes;
+  const double spike_rate = config.spikes_per_day / kDay;  // Per second.
+  SimTime t = 0.0;
+  while (spike_rate > 0.0) {
+    t += rng.ExponentialMean(1.0 / spike_rate);
+    if (t >= duration) {
+      break;
+    }
+    const double log_min = std::log(config.spike_multiple_min);
+    const double log_max = std::log(config.spike_multiple_max);
+    const double multiple = std::exp(rng.Uniform(log_min, log_max));
+    const SimDuration len = std::max(config.step, rng.ExponentialMean(config.spike_duration_mean));
+    spikes.push_back({t, t + len, od * multiple});
+  }
+
+  PriceSeries series;
+  double log_price = log_base;
+  Money last_emitted = -1.0;
+  for (SimTime now = 0.0; now < duration; now += config.step) {
+    // Quiet-regime OU step.
+    log_price += config.reversion * (log_base - log_price) + rng.Normal(0.0, config.volatility);
+    Money price = std::exp(log_price);
+    // Spike overlay: while inside a spike window, the price ramps to the
+    // peak and decays linearly — crossings happen at window edges.
+    for (const Spike& spike : spikes) {
+      if (now >= spike.start && now < spike.end) {
+        price = std::max(price, spike.peak);
+        break;
+      }
+    }
+    price = std::max(price, floor);
+    // Round to tenth-of-a-cent like AWS price feeds.
+    price = std::round(price * 1000.0) / 1000.0;
+    if (price != last_emitted) {
+      series.Append(now, price);
+      last_emitted = price;
+    }
+  }
+  if (series.empty()) {
+    series.Append(0.0, std::max(floor, std::exp(log_base)));
+  }
+  return series;
+}
+
+}  // namespace proteus

@@ -1,0 +1,96 @@
+#include "src/market/trace_store.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/common/csv.h"
+#include "src/common/logging.h"
+
+namespace proteus {
+
+void TraceStore::Put(const MarketKey& key, PriceSeries series) {
+  traces_[key] = std::move(series);
+}
+
+const PriceSeries* TraceStore::Find(const MarketKey& key) const {
+  auto it = traces_.find(key);
+  return it == traces_.end() ? nullptr : &it->second;
+}
+
+const PriceSeries& TraceStore::Get(const MarketKey& key) const {
+  const PriceSeries* series = Find(key);
+  PROTEUS_CHECK(series != nullptr) << "no trace for " << key.zone << "/" << key.instance_type;
+  return *series;
+}
+
+std::vector<MarketKey> TraceStore::Keys() const {
+  std::vector<MarketKey> keys;
+  keys.reserve(traces_.size());
+  for (const auto& [key, unused] : traces_) {
+    keys.push_back(key);
+  }
+  return keys;
+}
+
+TraceStore TraceStore::GenerateSynthetic(const InstanceTypeCatalog& catalog,
+                                         const std::vector<std::string>& zones,
+                                         SimDuration duration, const SyntheticTraceConfig& config,
+                                         Rng& rng) {
+  TraceStore store;
+  for (const auto& zone : zones) {
+    for (const auto& type : catalog.types()) {
+      Rng child = rng.Fork();
+      store.Put({zone, type.name}, GenerateSyntheticTrace(type, duration, config, child));
+    }
+  }
+  return store;
+}
+
+std::string TraceStore::ToCsv() const {
+  CsvWriter writer({"zone", "type", "time_sec", "price"});
+  for (const auto& [key, series] : traces_) {
+    for (const auto& point : series.points()) {
+      writer.AddRow({key.zone, key.instance_type, std::to_string(point.time),
+                     std::to_string(point.price)});
+    }
+  }
+  return writer.Render();
+}
+
+TraceStore TraceStore::FromCsv(const std::string& text) {
+  TraceStore store;
+  const CsvTable table = ParseCsv(text);
+  std::map<MarketKey, std::vector<PricePoint>> grouped;
+  for (const auto& row : table.rows) {
+    if (row.size() != 4) {
+      continue;
+    }
+    grouped[{row[0], row[1]}].push_back({std::stod(row[2]), std::stod(row[3])});
+  }
+  for (auto& [key, points] : grouped) {
+    store.Put(key, PriceSeries(std::move(points)));
+  }
+  return store;
+}
+
+bool TraceStore::WriteFile(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) {
+    PROTEUS_LOG(Error) << "cannot write " << path;
+    return false;
+  }
+  f << ToCsv();
+  return static_cast<bool>(f);
+}
+
+TraceStore TraceStore::ReadFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    return {};
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  return FromCsv(buf.str());
+}
+
+}  // namespace proteus

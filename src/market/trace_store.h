@@ -1,0 +1,59 @@
+// Collection of price traces keyed by (availability zone, instance type).
+#ifndef SRC_MARKET_TRACE_STORE_H_
+#define SRC_MARKET_TRACE_STORE_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/market/instance_type.h"
+#include "src/market/price_series.h"
+#include "src/market/trace_gen.h"
+
+namespace proteus {
+
+struct MarketKey {
+  std::string zone;
+  std::string instance_type;
+  bool operator<(const MarketKey& other) const {
+    if (zone != other.zone) {
+      return zone < other.zone;
+    }
+    return instance_type < other.instance_type;
+  }
+  bool operator==(const MarketKey& other) const = default;
+};
+
+class TraceStore {
+ public:
+  void Put(const MarketKey& key, PriceSeries series);
+
+  const PriceSeries* Find(const MarketKey& key) const;
+  // CHECK-fails when absent.
+  const PriceSeries& Get(const MarketKey& key) const;
+
+  std::vector<MarketKey> Keys() const;
+  bool empty() const { return traces_.empty(); }
+
+  // Builds a store covering `zones` x `catalog types`, each generated
+  // independently (the paper notes markets "move relatively
+  // independently").
+  static TraceStore GenerateSynthetic(const InstanceTypeCatalog& catalog,
+                                      const std::vector<std::string>& zones, SimDuration duration,
+                                      const SyntheticTraceConfig& config, Rng& rng);
+
+  // CSV persistence: columns zone,type,time_sec,price.
+  std::string ToCsv() const;
+  static TraceStore FromCsv(const std::string& text);
+  bool WriteFile(const std::string& path) const;
+  static TraceStore ReadFile(const std::string& path);
+
+ private:
+  std::map<MarketKey, PriceSeries> traces_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_MARKET_TRACE_STORE_H_

@@ -1,0 +1,119 @@
+#include "src/net/fabric.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+Fabric::Fabric(double nic_bandwidth_bps) : nic_bandwidth_(nic_bandwidth_bps) {
+  PROTEUS_CHECK_GT(nic_bandwidth_bps, 0.0);
+}
+
+void Fabric::AddNode(NodeId node) {
+  PROTEUS_CHECK(traffic_.find(node) == traffic_.end()) << "node " << node << " already present";
+  traffic_[node] = NodeTraffic{};
+}
+
+void Fabric::RemoveNode(NodeId node) {
+  auto it = traffic_.find(node);
+  PROTEUS_CHECK(it != traffic_.end()) << "node " << node << " not present";
+  traffic_.erase(it);
+}
+
+bool Fabric::HasNode(NodeId node) const { return traffic_.find(node) != traffic_.end(); }
+
+void Fabric::BeginRound() {
+  for (auto& [unused, t] : traffic_) {
+    t = NodeTraffic{};
+  }
+}
+
+void Fabric::RecordTransfer(NodeId src, NodeId dst, std::uint64_t bytes, TrafficClass cls) {
+  if (src == dst || bytes == 0) {
+    return;
+  }
+  auto src_it = traffic_.find(src);
+  auto dst_it = traffic_.find(dst);
+  PROTEUS_CHECK(src_it != traffic_.end()) << "unknown src node " << src;
+  PROTEUS_CHECK(dst_it != traffic_.end()) << "unknown dst node " << dst;
+  if (cls == TrafficClass::kForeground) {
+    src_it->second.fg_egress += bytes;
+    dst_it->second.fg_ingress += bytes;
+  } else {
+    src_it->second.bg_egress += bytes;
+    dst_it->second.bg_ingress += bytes;
+  }
+}
+
+void Fabric::RecordExternalIngress(NodeId dst, std::uint64_t bytes, TrafficClass cls) {
+  if (bytes == 0) {
+    return;
+  }
+  auto it = traffic_.find(dst);
+  PROTEUS_CHECK(it != traffic_.end()) << "unknown dst node " << dst;
+  if (cls == TrafficClass::kForeground) {
+    it->second.fg_ingress += bytes;
+  } else {
+    it->second.bg_ingress += bytes;
+  }
+}
+
+void Fabric::RecordExternalEgress(NodeId src, std::uint64_t bytes, TrafficClass cls) {
+  if (bytes == 0) {
+    return;
+  }
+  auto it = traffic_.find(src);
+  PROTEUS_CHECK(it != traffic_.end()) << "unknown src node " << src;
+  if (cls == TrafficClass::kForeground) {
+    it->second.fg_egress += bytes;
+  } else {
+    it->second.bg_egress += bytes;
+  }
+}
+
+SimDuration Fabric::RoundCommTime(NodeId node) const {
+  const NodeTraffic& t = Traffic(node);
+  if (!t.HasForeground()) {
+    return 0.0;
+  }
+  const std::uint64_t wire_bytes = std::max(t.TotalIngress(), t.TotalEgress());
+  return static_cast<SimDuration>(wire_bytes) / nic_bandwidth_;
+}
+
+SimDuration Fabric::RoundCommTimeMax() const {
+  SimDuration best = 0.0;
+  for (const auto& [node, unused] : traffic_) {
+    best = std::max(best, RoundCommTime(node));
+  }
+  return best;
+}
+
+NodeId Fabric::RoundBottleneckNode() const {
+  NodeId best_node = kInvalidNode;
+  SimDuration best = -1.0;
+  for (const auto& [node, unused] : traffic_) {
+    const SimDuration t = RoundCommTime(node);
+    if (t > best) {
+      best = t;
+      best_node = node;
+    }
+  }
+  return best_node;
+}
+
+const NodeTraffic& Fabric::Traffic(NodeId node) const {
+  auto it = traffic_.find(node);
+  PROTEUS_CHECK(it != traffic_.end()) << "unknown node " << node;
+  return it->second;
+}
+
+std::uint64_t Fabric::RoundTotalBytes() const {
+  std::uint64_t total = 0;
+  for (const auto& [unused, t] : traffic_) {
+    total += t.TotalEgress();
+  }
+  return total;
+}
+
+}  // namespace proteus

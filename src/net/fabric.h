@@ -1,0 +1,93 @@
+// In-process network substrate with per-node bandwidth accounting.
+//
+// Substitution note (DESIGN.md §2): instead of 64 physical machines with
+// 1 Gbps NICs, nodes are in-process entities and the fabric charges every
+// logical transfer to per-node ingress/egress byte counters. At the end of
+// each training iteration (a "round") the runtime converts byte counts to
+// a communication time per node:
+//
+//   comm_time(node) = (foreground_bytes + background_bytes) / nic_bandwidth
+//   where the byte figure is max(ingress, egress) for full-duplex NICs.
+//
+// Foreground traffic (parameter reads/updates, ActivePS serving) gates the
+// iteration. Background traffic (ActivePS -> BackupPS streaming, §3.2) is
+// "streamed ... at a rate that the network bandwidth accommodates": it
+// never gates a node that has no foreground role (a dedicated BackupPS
+// machine), but it does contend with, and therefore slow, foreground
+// traffic on nodes that have both — this is exactly the stage-2 straggler
+// effect the paper observes on reliable machines hosting workers.
+#ifndef SRC_NET_FABRIC_H_
+#define SRC_NET_FABRIC_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace proteus {
+
+enum class TrafficClass {
+  kForeground,  // Worker reads/updates, PS serving, state migration on the critical path.
+  kBackground,  // Active->Backup streaming, prefetching, data preloading.
+};
+
+struct NodeTraffic {
+  std::uint64_t fg_ingress = 0;
+  std::uint64_t fg_egress = 0;
+  std::uint64_t bg_ingress = 0;
+  std::uint64_t bg_egress = 0;
+
+  std::uint64_t TotalIngress() const { return fg_ingress + bg_ingress; }
+  std::uint64_t TotalEgress() const { return fg_egress + bg_egress; }
+  bool HasForeground() const { return fg_ingress > 0 || fg_egress > 0; }
+};
+
+class Fabric {
+ public:
+  // nic_bandwidth in bytes/second (1 Gbps ~ 1.25e8).
+  explicit Fabric(double nic_bandwidth_bps = 1.25e8);
+
+  void AddNode(NodeId node);
+  void RemoveNode(NodeId node);
+  bool HasNode(NodeId node) const;
+
+  // Clears the per-round counters.
+  void BeginRound();
+
+  // Charges `bytes` from src to dst in the given class. Self-transfers
+  // (src == dst) are free: colocated components share memory.
+  void RecordTransfer(NodeId src, NodeId dst, std::uint64_t bytes,
+                      TrafficClass cls = TrafficClass::kForeground);
+
+  // Charges ingress-only traffic from outside the cluster (e.g. input
+  // data loads from S3-like storage).
+  void RecordExternalIngress(NodeId dst, std::uint64_t bytes,
+                             TrafficClass cls = TrafficClass::kForeground);
+  // Charges egress-only traffic to outside the cluster (e.g. checkpoint
+  // writes to durable storage).
+  void RecordExternalEgress(NodeId src, std::uint64_t bytes,
+                            TrafficClass cls = TrafficClass::kBackground);
+
+  // Communication time this round for one node. Background-only nodes
+  // report zero (their streams ride spare bandwidth outside the barrier).
+  SimDuration RoundCommTime(NodeId node) const;
+
+  // Max over all nodes: the round's network makespan contribution.
+  SimDuration RoundCommTimeMax() const;
+  // Node attaining the max (kInvalidNode when no traffic).
+  NodeId RoundBottleneckNode() const;
+
+  const NodeTraffic& Traffic(NodeId node) const;
+  std::uint64_t RoundTotalBytes() const;
+
+  double nic_bandwidth() const { return nic_bandwidth_; }
+
+ private:
+  double nic_bandwidth_;
+  std::map<NodeId, NodeTraffic> traffic_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_NET_FABRIC_H_

@@ -1,0 +1,61 @@
+#include "src/proteus/accounting.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+void JobBill::Accumulate(const JobBill& other) {
+  cost += other.cost;
+  on_demand_hours += other.on_demand_hours;
+  spot_paid_hours += other.spot_paid_hours;
+  free_hours += other.free_hours;
+}
+
+JobBill ComputeJobBill(const SpotMarket& market, AllocationId id, SimTime job_end) {
+  const Allocation& alloc = market.Get(id);
+  JobBill bill;
+  const SimTime usage_end = std::min(job_end, alloc.EndOrInfinity());
+  if (usage_end <= alloc.start) {
+    return bill;
+  }
+  const bool evicted = alloc.state == AllocationState::kEvicted && alloc.end <= job_end;
+  const PriceSeries* series =
+      alloc.kind == AllocationKind::kSpot ? &market.traces().Get(alloc.market) : nullptr;
+  const Money od_rate = market.catalog().Get(alloc.market.instance_type).on_demand_price;
+
+  for (SimTime hour_start = alloc.start; hour_start < usage_end; hour_start += kHour) {
+    const Money rate = series != nullptr ? series->PriceAt(hour_start) : od_rate;
+    const SimTime hour_end = hour_start + kHour;
+    const bool final_hour = hour_end >= usage_end;
+    const double used = (std::min(hour_end, usage_end) - hour_start) / kHour;
+    const double machine_hours = used * alloc.count;
+    if (final_hour && evicted) {
+      // The hour an eviction interrupts is refunded: free compute.
+      bill.free_hours += machine_hours;
+      continue;
+    }
+    // Full hours are charged whole; the job's final (partial) hour is
+    // charged pro-rata per the paper's per-job accounting.
+    const double billed_fraction = final_hour ? used : 1.0;
+    bill.cost += rate * alloc.count * billed_fraction;
+    if (alloc.kind == AllocationKind::kOnDemand) {
+      bill.on_demand_hours += machine_hours;
+    } else {
+      bill.spot_paid_hours += machine_hours;
+    }
+  }
+  return bill;
+}
+
+JobBill ComputeTotalJobBill(const SpotMarket& market, SimTime job_end) {
+  JobBill total;
+  for (const auto& alloc : market.allocations()) {
+    total.Accumulate(ComputeJobBill(market, alloc.id, job_end));
+  }
+  return total;
+}
+
+}  // namespace proteus

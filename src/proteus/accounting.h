@@ -1,0 +1,36 @@
+// Job-level cost accounting (§6.3).
+//
+// The paper reports average cost per job and does "not charge a given job
+// for any minutes that remained in a job's final billing hours" (the
+// leftover is used by the next job in the sequence). So, per allocation:
+//  - full billing hours before the job ends are charged at the hourly
+//    price in effect at each hour start;
+//  - an hour cut short by an AWS eviction is free (the refund);
+//  - the hour in progress when the job completes is charged pro-rata.
+#ifndef SRC_PROTEUS_ACCOUNTING_H_
+#define SRC_PROTEUS_ACCOUNTING_H_
+
+#include "src/common/types.h"
+#include "src/market/spot_market.h"
+
+namespace proteus {
+
+struct JobBill {
+  Money cost = 0.0;
+  double on_demand_hours = 0.0;  // Machine-hours on on-demand instances.
+  double spot_paid_hours = 0.0;  // Machine-hours on paid spot time.
+  double free_hours = 0.0;       // Machine-hours refunded by evictions.
+
+  double TotalHours() const { return on_demand_hours + spot_paid_hours + free_hours; }
+  void Accumulate(const JobBill& other);
+};
+
+// Bill for one allocation with the job ending at `job_end`.
+JobBill ComputeJobBill(const SpotMarket& market, AllocationId id, SimTime job_end);
+
+// Aggregate over every allocation in the market.
+JobBill ComputeTotalJobBill(const SpotMarket& market, SimTime job_end);
+
+}  // namespace proteus
+
+#endif  // SRC_PROTEUS_ACCOUNTING_H_

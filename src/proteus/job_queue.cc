@@ -1,0 +1,211 @@
+#include "src/proteus/job_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+namespace {
+constexpr WorkUnits kWorkEpsilon = 1e-6;
+constexpr SimDuration kInstant = 1.0;
+
+// Cost attributable to the window [begin, end): every billing hour is
+// charged pro-rata to the windows that overlap it; hours refunded by an
+// eviction cost nothing (matches §6.3 accounting, generalized from one
+// job to a sequence).
+Money WindowCost(const SpotMarket& market, const Allocation& alloc, SimTime begin, SimTime end) {
+  const SimTime usage_end = std::min(end, alloc.EndOrInfinity());
+  if (usage_end <= alloc.start || usage_end <= begin) {
+    return 0.0;
+  }
+  const bool evicted = alloc.state == AllocationState::kEvicted;
+  const PriceSeries* series =
+      alloc.kind == AllocationKind::kSpot ? &market.traces().Get(alloc.market) : nullptr;
+  const Money od_rate = market.catalog().Get(alloc.market.instance_type).on_demand_price;
+  Money cost = 0.0;
+  for (SimTime hour_start = alloc.start; hour_start < usage_end; hour_start += kHour) {
+    const SimTime hour_end = hour_start + kHour;
+    if (hour_end <= begin) {
+      continue;
+    }
+    if (evicted && hour_end > alloc.end) {
+      continue;  // The refunded (in-progress-at-eviction) hour.
+    }
+    const Money rate = series != nullptr ? series->PriceAt(hour_start) : od_rate;
+    const double overlap =
+        std::max(0.0, std::min(hour_end, end) - std::max(hour_start, begin)) / kHour;
+    cost += rate * alloc.count * overlap;
+  }
+  return cost;
+}
+}  // namespace
+
+JobQueueSimulator::JobQueueSimulator(const InstanceTypeCatalog* catalog, const TraceStore* traces,
+                                     const EvictionModel* estimator)
+    : catalog_(catalog), traces_(traces), estimator_(estimator) {
+  PROTEUS_CHECK(catalog_ != nullptr);
+  PROTEUS_CHECK(traces_ != nullptr);
+  PROTEUS_CHECK(estimator_ != nullptr);
+}
+
+JobQueueResult JobQueueSimulator::Run(const std::vector<QueuedJob>& jobs,
+                                      const SchemeConfig& config, SimTime start) const {
+  PROTEUS_CHECK(!jobs.empty());
+  SpotMarket market(*catalog_, *traces_);
+  BidBrain bidbrain(catalog_, traces_, estimator_, config.bidbrain);
+  const AppProfile& profile = config.agileml_profile;
+  const std::string zone0 = traces_->Keys().front().zone;
+
+  JobQueueResult result;
+  SimTime t = start;
+  std::vector<AllocationId> live;
+  std::set<AllocationId> scheduled_termination;
+  std::vector<std::pair<SimTime, AllocationId>> terminations;
+  SimTime paused_until = t;
+  SimTime next_decision = t;
+
+  // One reliable on-demand allocation for the whole queue.
+  const AllocationId od = market.RequestOnDemand({zone0, config.on_demand_type},
+                                                 config.on_demand_count, t);
+  live.push_back(od);
+
+  auto work_rate = [&]() {
+    double vcpus = 0.0;
+    for (const AllocationId id : live) {
+      const Allocation& alloc = market.Get(id);
+      if (alloc.kind == AllocationKind::kSpot) {
+        vcpus += alloc.count * catalog_->Get(alloc.market.instance_type).vcpus;
+      }
+    }
+    return vcpus * profile.phi / kHour;
+  };
+
+  for (const QueuedJob& queued : jobs) {
+    QueuedJobResult job_result;
+    job_result.name = queued.name;
+    const SimTime job_start = t;
+    WorkUnits done = 0.0;
+    const SimTime hard_end = t + config.max_runtime;
+
+    while (done + kWorkEpsilon < queued.spec.total_work && t < hard_end) {
+      const double rate = work_rate();
+      SimTime next = std::min(hard_end, next_decision);
+      for (const AllocationId id : live) {
+        const auto& ev = market.Get(id).eviction_time;
+        if (ev.has_value() && market.Get(id).running()) {
+          next = std::min(next, std::max(*ev, t + kInstant));
+        }
+      }
+      for (const auto& [when, unused] : terminations) {
+        next = std::min(next, std::max(when, t + kInstant));
+      }
+      if (paused_until > t) {
+        next = std::min(next, paused_until);
+      } else if (rate > 0.0) {
+        next = std::min(next, t + (queued.spec.total_work - done) / rate);
+      }
+      next = std::max(next, t + kInstant);
+      const SimTime active_from = std::max(t, paused_until);
+      if (next > active_from) {
+        done += rate * (next - active_from);
+      }
+      t = next;
+      if (done + kWorkEpsilon >= queued.spec.total_work) {
+        break;
+      }
+
+      // Evictions.
+      bool evicted_any = false;
+      for (auto it = live.begin(); it != live.end();) {
+        const Allocation& alloc = market.Get(*it);
+        if (alloc.kind == AllocationKind::kSpot && alloc.eviction_time.has_value() &&
+            *alloc.eviction_time <= t && alloc.running()) {
+          market.MarkEvicted(*it);
+          it = live.erase(it);
+          ++job_result.evictions;
+          evicted_any = true;
+        } else {
+          ++it;
+        }
+      }
+      if (evicted_any) {
+        paused_until = std::max(paused_until, t + profile.lambda);
+        next_decision = t;
+      }
+
+      // Scheduled terminations (renewal decisions).
+      for (auto it = terminations.begin(); it != terminations.end();) {
+        if (it->first <= t) {
+          if (market.Get(it->second).running()) {
+            market.Terminate(it->second, t);
+            live.erase(std::remove(live.begin(), live.end(), it->second), live.end());
+          }
+          it = terminations.erase(it);
+        } else {
+          ++it;
+        }
+      }
+
+      // BidBrain decision point.
+      if (t >= next_decision) {
+        std::vector<LiveAllocation> view;
+        for (const AllocationId id : live) {
+          const Allocation& alloc = market.Get(id);
+          view.push_back({alloc.id, alloc.market, alloc.count, alloc.bid,
+                          alloc.kind == AllocationKind::kOnDemand, alloc.start});
+        }
+        for (const BidAction& action : bidbrain.Decide(t, view)) {
+          if (action.kind == BidAction::Kind::kAcquire) {
+            const auto id = market.RequestSpot(action.market, action.count, action.bid, t);
+            if (id.has_value()) {
+              live.push_back(*id);
+              paused_until = std::max(paused_until, t + profile.sigma);
+            }
+          } else if (scheduled_termination.insert(action.target).second) {
+            terminations.emplace_back(market.Get(action.target).HourEnd(t) - 1.0,
+                                      action.target);
+          }
+        }
+        next_decision = t + config.decision_period;
+      }
+    }
+
+    job_result.completed = done + kWorkEpsilon >= queued.spec.total_work;
+    job_result.runtime = t - job_start;
+    for (const auto& alloc : market.allocations()) {
+      job_result.cost += WindowCost(market, alloc, job_start, t);
+    }
+    result.jobs.push_back(job_result);
+  }
+
+  // --- Queue drained: shutdown policy (§5) ---
+  const SimTime queue_end = t;
+  market.Terminate(od, queue_end);  // On-demand released immediately.
+  // Spot allocations are held to the end of their billing hours hoping
+  // AWS evicts them first (making the final hour free).
+  for (const AllocationId id : live) {
+    const Allocation& alloc = market.Get(id);
+    if (alloc.kind != AllocationKind::kSpot || !alloc.running()) {
+      continue;
+    }
+    const SimTime hour_end = alloc.HourEnd(queue_end);
+    if (alloc.eviction_time.has_value() && *alloc.eviction_time < hour_end) {
+      market.MarkEvicted(id);
+      result.shutdown_refunds +=
+          market.traces().Get(alloc.market).PriceAt(alloc.HourStart(queue_end)) * alloc.count;
+    } else {
+      market.Terminate(id, hour_end - 1.0);
+    }
+  }
+
+  const BillingBreakdown total = market.TotalBill(queue_end + kDay);
+  result.total_cost = total.charged;
+  result.makespan = queue_end - start;
+  return result;
+}
+
+}  // namespace proteus

@@ -1,0 +1,328 @@
+#include "src/proteus/job_simulator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+namespace {
+constexpr WorkUnits kWorkEpsilon = 1e-6;
+constexpr SimDuration kInstant = 1.0;  // Minimum event spacing.
+}  // namespace
+
+const char* SchemeName(SchemeKind scheme) {
+  switch (scheme) {
+    case SchemeKind::kOnDemandOnly:
+      return "OnDemandOnly";
+    case SchemeKind::kStandardCheckpoint:
+      return "Standard+Checkpoint";
+    case SchemeKind::kStandardAgileML:
+      return "Standard+AgileML";
+    case SchemeKind::kProteus:
+      return "Proteus";
+    case SchemeKind::kFlintDiversified:
+      return "Flint-Diversified";
+  }
+  return "?";
+}
+
+JobSpec JobSpec::ForReferenceDuration(const InstanceTypeCatalog& catalog, const std::string& type,
+                                      int count, SimDuration duration, double phi) {
+  JobSpec spec;
+  spec.reference_type = type;
+  spec.reference_count = count;
+  const InstanceType& it = catalog.Get(type);
+  spec.total_work = count * it.WorkPerHour() * (duration / kHour) * phi;
+  return spec;
+}
+
+JobSimulator::JobSimulator(const InstanceTypeCatalog* catalog, const TraceStore* traces,
+                           const EvictionModel* estimator)
+    : catalog_(catalog), traces_(traces), estimator_(estimator) {
+  PROTEUS_CHECK(catalog_ != nullptr);
+  PROTEUS_CHECK(traces_ != nullptr);
+  PROTEUS_CHECK(estimator_ != nullptr);
+}
+
+JobResult JobSimulator::Run(SchemeKind scheme, const JobSpec& job, const SchemeConfig& config,
+                            SimTime start) const {
+  SpotMarket market(*catalog_, *traces_);
+  const std::vector<MarketKey> markets = traces_->Keys();
+  PROTEUS_CHECK(!markets.empty());
+
+  const bool uses_agileml =
+      scheme == SchemeKind::kStandardAgileML || scheme == SchemeKind::kProteus;
+  const bool uses_checkpointing = scheme == SchemeKind::kStandardCheckpoint ||
+                                  scheme == SchemeKind::kFlintDiversified;
+  const AppProfile& profile =
+      uses_checkpointing ? config.checkpoint_profile : config.agileml_profile;
+  const double rate_factor = uses_checkpointing ? (1.0 - config.checkpoint_overhead) : 1.0;
+
+  BidBrain bidbrain(catalog_, traces_, estimator_, config.bidbrain);
+
+  JobResult result;
+  SimTime t = start;
+  const SimTime hard_end = start + config.max_runtime;
+  WorkUnits done = 0.0;
+  WorkUnits checkpoint_work = 0.0;
+  SimTime paused_until = start;
+  SimTime next_decision = start;
+  SimTime next_checkpoint = std::numeric_limits<SimTime>::infinity();
+  SimDuration checkpoint_interval = kHour;
+  std::vector<AllocationId> live;
+  std::set<AllocationId> scheduled_termination;
+  std::vector<std::pair<SimTime, AllocationId>> terminations;  // Sorted by time.
+
+  // Picks the market with the lowest price per vCPU right now.
+  auto cheapest_market = [&](SimTime now) -> MarketKey {
+    MarketKey best = markets.front();
+    double best_ppc = std::numeric_limits<double>::infinity();
+    for (const MarketKey& key : markets) {
+      const InstanceType* type = catalog_->Find(key.instance_type);
+      if (type == nullptr) {
+        continue;
+      }
+      const double ppc = traces_->Get(key).PriceAt(now) / type->vcpus;
+      if (ppc < best_ppc) {
+        best_ppc = ppc;
+        best = key;
+      }
+    }
+    return best;
+  };
+
+  auto live_spot_vcpus = [&]() {
+    int vcpus = 0;
+    for (const AllocationId id : live) {
+      const Allocation& alloc = market.Get(id);
+      if (alloc.kind == AllocationKind::kSpot) {
+        vcpus += alloc.count * catalog_->Get(alloc.market.instance_type).vcpus;
+      }
+    }
+    return vcpus;
+  };
+
+  // Work rate in WorkUnits per second. On-demand machines work only in
+  // the all-on-demand scheme (in AgileML schemes they are the reliable
+  // serving tier; Fig. 6 models them as W = 0).
+  auto work_rate = [&]() {
+    double vcpus = 0.0;
+    for (const AllocationId id : live) {
+      const Allocation& alloc = market.Get(id);
+      const bool counts = scheme == SchemeKind::kOnDemandOnly
+                              ? alloc.kind == AllocationKind::kOnDemand
+                              : alloc.kind == AllocationKind::kSpot;
+      if (counts) {
+        vcpus += alloc.count * catalog_->Get(alloc.market.instance_type).vcpus;
+      }
+    }
+    return vcpus * profile.phi * rate_factor / kHour;  // vCPU-hours per second.
+  };
+
+  // Standard bidding strategy: top up to the capacity target on the
+  // currently cheapest market, bidding the on-demand price (§6.3).
+  auto standard_topup = [&](SimTime now) {
+    const int deficit = config.standard_target_vcpus - live_spot_vcpus();
+    if (deficit <= 0) {
+      return;
+    }
+    const MarketKey key = cheapest_market(now);
+    const InstanceType& type = catalog_->Get(key.instance_type);
+    const int count = (deficit + type.vcpus - 1) / type.vcpus;
+    const auto id = market.RequestSpot(key, count, type.on_demand_price, now);
+    if (id.has_value()) {
+      live.push_back(*id);
+      ++result.acquisitions;
+      paused_until = std::max(paused_until, now + profile.sigma);
+    }
+  };
+
+  // Flint-style diversification: split the capacity target over the
+  // cheapest distinct markets so one revocation cannot take everything.
+  auto diversified_topup = [&](SimTime now) {
+    constexpr int kWays = 3;
+    const int deficit = config.standard_target_vcpus - live_spot_vcpus();
+    if (deficit <= 0) {
+      return;
+    }
+    // Rank markets by price per vCPU.
+    std::vector<std::pair<double, MarketKey>> ranked;
+    for (const MarketKey& key : markets) {
+      const InstanceType* type = catalog_->Find(key.instance_type);
+      if (type != nullptr) {
+        ranked.emplace_back(traces_->Get(key).PriceAt(now) / type->vcpus, key);
+      }
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    const int ways = std::min<int>(kWays, static_cast<int>(ranked.size()));
+    for (int w = 0; w < ways; ++w) {
+      const MarketKey& key = ranked[static_cast<std::size_t>(w)].second;
+      const InstanceType& type = catalog_->Get(key.instance_type);
+      const int share = (deficit / ways + type.vcpus - 1) / type.vcpus;
+      if (share <= 0) {
+        continue;
+      }
+      const auto id = market.RequestSpot(key, share, type.on_demand_price, now);
+      if (id.has_value()) {
+        live.push_back(*id);
+        ++result.acquisitions;
+      }
+    }
+    paused_until = std::max(paused_until, now + profile.sigma);
+  };
+
+  // --- Initial footprint ---
+  const std::string& zone0 = markets.front().zone;
+  if (scheme == SchemeKind::kOnDemandOnly) {
+    live.push_back(market.RequestOnDemand({zone0, job.reference_type}, job.reference_count, t));
+  } else if (uses_agileml) {
+    live.push_back(
+        market.RequestOnDemand({zone0, config.on_demand_type}, config.on_demand_count, t));
+  }
+  if (uses_checkpointing) {
+    // MTTF-derived checkpoint interval (Young's formula), from the
+    // trained eviction stats at the standard bid delta.
+    const MarketKey key = cheapest_market(t);
+    const InstanceType& type = catalog_->Get(key.instance_type);
+    const Money delta = std::max(0.001, type.on_demand_price - traces_->Get(key).PriceAt(t));
+    const EvictionStats stats = estimator_->Estimate(key, delta);
+    const SimDuration mttf = kHour / std::max(stats.beta, 0.02);
+    checkpoint_interval =
+        std::max(5 * kMinute, std::sqrt(2.0 * config.checkpoint_write_time * mttf));
+    next_checkpoint = t + checkpoint_interval;
+  }
+
+  // --- Event loop ---
+  while (done + kWorkEpsilon < job.total_work && t < hard_end) {
+    const double rate = work_rate();
+    SimTime next = hard_end;
+    if (scheme != SchemeKind::kOnDemandOnly) {
+      next = std::min(next, next_decision);
+    }
+    for (const AllocationId id : live) {
+      const auto& ev = market.Get(id).eviction_time;
+      if (ev.has_value()) {
+        next = std::min(next, std::max(*ev, t + kInstant));
+      }
+    }
+    for (const auto& [when, unused] : terminations) {
+      next = std::min(next, std::max(when, t + kInstant));
+    }
+    next = std::min(next, std::max(next_checkpoint, t + kInstant));
+    if (paused_until > t) {
+      next = std::min(next, paused_until);
+    } else if (rate > 0.0) {
+      next = std::min(next, t + (job.total_work - done) / rate);
+    }
+    next = std::max(next, t + kInstant);
+
+    // Accrue work over [max(t, paused_until), next).
+    const SimTime active_from = std::max(t, paused_until);
+    if (next > active_from) {
+      done += rate * (next - active_from);
+    }
+    t = next;
+    if (done + kWorkEpsilon >= job.total_work) {
+      break;
+    }
+
+    // Process evictions due now (correlated within an allocation).
+    std::vector<AllocationId> evicted_now;
+    for (const AllocationId id : live) {
+      const auto& ev = market.Get(id).eviction_time;
+      if (ev.has_value() && *ev <= t && market.Get(id).running()) {
+        evicted_now.push_back(id);
+      }
+    }
+    for (const AllocationId id : evicted_now) {
+      market.MarkEvicted(id);
+      live.erase(std::remove(live.begin(), live.end(), id), live.end());
+      ++result.evictions;
+    }
+    if (!evicted_now.empty()) {
+      if (uses_checkpointing) {
+        done = std::min(done, checkpoint_work);  // Roll back to checkpoint.
+        paused_until = std::max(paused_until, t + config.checkpoint_restart_delay);
+      } else if (uses_agileml) {
+        paused_until = std::max(paused_until, t + profile.lambda);
+      }
+      next_decision = t;  // React immediately (§5).
+    }
+
+    // Scheduled (BidBrain) terminations.
+    for (auto it = terminations.begin(); it != terminations.end();) {
+      if (it->first <= t) {
+        const AllocationId id = it->second;
+        if (market.Get(id).running()) {
+          market.Terminate(id, t);
+          live.erase(std::remove(live.begin(), live.end(), id), live.end());
+        }
+        it = terminations.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Checkpoint tick (MTTF-based interval, Young's formula; the 17%
+    // throughput overhead is already folded into rate_factor).
+    if (t >= next_checkpoint) {
+      checkpoint_work = done;
+      next_checkpoint = t + checkpoint_interval;
+    }
+
+    // Decision point.
+    if (scheme != SchemeKind::kOnDemandOnly && t >= next_decision) {
+      if (scheme == SchemeKind::kStandardCheckpoint ||
+          scheme == SchemeKind::kStandardAgileML) {
+        if (paused_until <= t || scheme == SchemeKind::kStandardAgileML) {
+          standard_topup(t);
+        }
+      } else if (scheme == SchemeKind::kFlintDiversified) {
+        if (paused_until <= t) {
+          diversified_topup(t);
+        }
+      } else if (scheme == SchemeKind::kProteus) {
+        std::vector<LiveAllocation> view;
+        for (const AllocationId id : live) {
+          const Allocation& alloc = market.Get(id);
+          view.push_back({alloc.id, alloc.market, alloc.count, alloc.bid,
+                          alloc.kind == AllocationKind::kOnDemand, alloc.start});
+        }
+        for (const BidAction& action : bidbrain.Decide(t, view)) {
+          if (action.kind == BidAction::Kind::kAcquire) {
+            const auto id = market.RequestSpot(action.market, action.count, action.bid, t);
+            if (id.has_value()) {
+              live.push_back(*id);
+              ++result.acquisitions;
+              paused_until = std::max(paused_until, t + profile.sigma);
+            }
+          } else if (scheduled_termination.insert(action.target).second) {
+            const Allocation& alloc = market.Get(action.target);
+            terminations.emplace_back(alloc.HourEnd(t) - 1.0, action.target);
+          }
+        }
+      }
+      next_decision = t + config.decision_period;
+    }
+  }
+
+  result.completed = done + kWorkEpsilon >= job.total_work;
+  result.runtime = t - start;
+  result.work_done = done;
+  // Job over: release everything still running (accounting pro-rates the
+  // final hour; the market itself would bill the full hour).
+  for (const AllocationId id : live) {
+    if (market.Get(id).running()) {
+      market.Terminate(id, t);
+    }
+  }
+  result.bill = ComputeTotalJobBill(market, t);
+  return result;
+}
+
+}  // namespace proteus

@@ -1,0 +1,109 @@
+// Trace-driven long-horizon job simulation (§6.3 methodology).
+//
+// The paper's cost evaluation replays recorded spot-market traces from
+// many random starting points and simulates each execution scheme over
+// them, with application behaviour abstracted by the empirically-set
+// parameters phi / sigma / lambda (Table 2) and the measured 17%
+// checkpointing overhead. This simulator does the same over our traces.
+//
+// Schemes:
+//  - kOnDemandOnly:        the reference: N on-demand machines.
+//  - kStandardCheckpoint:  all-spot, bid = on-demand price on the
+//                          cheapest market, checkpoint/restart recovery.
+//  - kStandardAgileML:     AgileML elasticity (tiered reliability, no
+//                          checkpoint overhead, cheap evictions) but the
+//                          standard bidding strategy.
+//  - kProteus:             AgileML + BidBrain.
+#ifndef SRC_PROTEUS_JOB_SIMULATOR_H_
+#define SRC_PROTEUS_JOB_SIMULATOR_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/bidbrain/bidbrain.h"
+#include "src/bidbrain/eviction_estimator.h"
+#include "src/common/types.h"
+#include "src/market/spot_market.h"
+#include "src/proteus/accounting.h"
+
+namespace proteus {
+
+enum class SchemeKind {
+  kOnDemandOnly,
+  kStandardCheckpoint,
+  kStandardAgileML,
+  kProteus,
+  // Flint-style baseline (§8): checkpoint/restart elasticity, but the
+  // capacity target is split across the cheapest distinct markets to
+  // reduce the probability of one revocation taking the whole job.
+  kFlintDiversified,
+};
+
+const char* SchemeName(SchemeKind scheme);
+
+struct JobSpec {
+  // Total work in vCPU-hours of worker machines. Helper below derives it
+  // from a reference cluster and duration.
+  WorkUnits total_work = 1024.0;
+  // Reference on-demand cluster (the baseline configuration).
+  std::string reference_type = "c4.2xlarge";
+  int reference_count = 64;
+
+  // total_work such that the reference cluster finishes in `duration`.
+  static JobSpec ForReferenceDuration(const InstanceTypeCatalog& catalog,
+                                      const std::string& type, int count, SimDuration duration,
+                                      double phi);
+};
+
+struct SchemeConfig {
+  // Reliable tier for AgileML-based schemes (paper: 3 on-demand).
+  int on_demand_count = 3;
+  std::string on_demand_type = "c4.xlarge";
+  // Capacity target, in vCPUs, for the standard bidding strategy.
+  int standard_target_vcpus = 512;
+  // Scalability / overhead profiles.
+  AppProfile agileml_profile;
+  AppProfile checkpoint_profile;
+  // Checkpointing scheme parameters (§6.3: 17% observed overhead).
+  double checkpoint_overhead = 0.17;
+  SimDuration checkpoint_write_time = 90 * kSecond;
+  SimDuration checkpoint_restart_delay = 5 * kMinute;
+  // Decision cadence for bidding policies.
+  SimDuration decision_period = 2 * kMinute;
+  BidBrainConfig bidbrain;
+  // Safety horizon: give up after this much simulated time.
+  SimDuration max_runtime = 10 * kDay;
+};
+
+struct JobResult {
+  bool completed = false;
+  SimDuration runtime = 0.0;
+  JobBill bill;
+  int evictions = 0;         // Allocation-level eviction events.
+  int acquisitions = 0;      // Spot allocation requests granted.
+  WorkUnits work_done = 0.0;
+  // Cost of the same job on the reference on-demand cluster, for
+  // normalization (computed by the caller or via RunScheme on
+  // kOnDemandOnly).
+};
+
+class JobSimulator {
+ public:
+  JobSimulator(const InstanceTypeCatalog* catalog, const TraceStore* traces,
+               const EvictionModel* estimator);
+
+  // Runs one scheme over the traces starting at `start`. Each call uses
+  // a fresh SpotMarket so billing is isolated per run.
+  JobResult Run(SchemeKind scheme, const JobSpec& job, const SchemeConfig& config,
+                SimTime start) const;
+
+ private:
+  const InstanceTypeCatalog* catalog_;
+  const TraceStore* traces_;
+  const EvictionModel* estimator_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_PROTEUS_JOB_SIMULATOR_H_

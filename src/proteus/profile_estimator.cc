@@ -1,0 +1,107 @@
+#include "src/proteus/profile_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+ProfileEstimator::ProfileEstimator(std::function<std::unique_ptr<MLApp>()> app_factory,
+                                   AgileMLConfig base_config, ProfileEstimatorConfig config)
+    : app_factory_(std::move(app_factory)), base_config_(base_config), config_(config) {
+  PROTEUS_CHECK(app_factory_ != nullptr);
+  PROTEUS_CHECK_GT(config_.scaled_nodes, config_.base_nodes);
+}
+
+std::unique_ptr<AgileMLRuntime> ProfileEstimator::MakeRuntime(std::unique_ptr<MLApp>& app,
+                                                              int reliable, int transient) {
+  std::vector<NodeInfo> nodes;
+  NodeId id = 0;
+  for (int i = 0; i < reliable; ++i) {
+    nodes.push_back({id++, Tier::kReliable, config_.cores_per_node, kInvalidAllocation});
+  }
+  for (int i = 0; i < transient; ++i) {
+    nodes.push_back({id++, Tier::kTransient, config_.cores_per_node, kInvalidAllocation});
+  }
+  return std::make_unique<AgileMLRuntime>(app.get(), base_config_, nodes);
+}
+
+double ProfileEstimator::SteadyTimePerClock(AgileMLRuntime& runtime) {
+  runtime.RunClocks(config_.warmup_clocks);
+  double total = 0.0;
+  for (int i = 0; i < config_.measure_clocks; ++i) {
+    total += runtime.RunClock().duration;
+  }
+  return total / config_.measure_clocks;
+}
+
+double ProfileEstimator::EstimatePhi() {
+  auto app_small = app_factory_();
+  auto small = MakeRuntime(app_small, 1, config_.base_nodes - 1);
+  const double t_small = SteadyTimePerClock(*small);
+
+  auto app_large = app_factory_();
+  auto large = MakeRuntime(app_large, 1, config_.scaled_nodes - 1);
+  const double t_large = SteadyTimePerClock(*large);
+
+  const double ideal_speedup =
+      static_cast<double>(config_.scaled_nodes) / config_.base_nodes;
+  const double speedup = t_small / t_large;
+  // First-order scalability coefficient: fraction of ideal achieved.
+  return std::clamp(speedup / ideal_speedup, 0.05, 1.0);
+}
+
+SimDuration ProfileEstimator::EstimateSigma() {
+  auto app = app_factory_();
+  auto runtime = MakeRuntime(app, 1, config_.base_nodes - 1);
+  SteadyTimePerClock(*runtime);
+
+  std::vector<NodeInfo> extra;
+  for (int i = 0; i < config_.churn_nodes; ++i) {
+    extra.push_back(
+        {1000 + i, Tier::kTransient, config_.cores_per_node, kInvalidAllocation});
+  }
+  runtime->AddNodes(extra);
+  // Integrate the overhead relative to the eventual steady state: run
+  // until incorporation finishes plus a settling clock.
+  SimDuration during = 0.0;
+  int clocks = 0;
+  while (runtime->PreparingCount() > 0 && clocks < 200) {
+    during += runtime->RunClock().duration;
+    ++clocks;
+  }
+  during += runtime->RunClock().duration;  // Transition clock.
+  ++clocks;
+  const double steady_after = SteadyTimePerClock(*runtime);
+  return std::max(0.0, during - clocks * steady_after);
+}
+
+SimDuration ProfileEstimator::EstimateLambda() {
+  auto app = app_factory_();
+  const int transient = config_.base_nodes - 1 + config_.churn_nodes;
+  auto runtime = MakeRuntime(app, 1, transient);
+  SteadyTimePerClock(*runtime);
+
+  // Evict the churn nodes (warned) and measure the recovery blip.
+  std::vector<NodeId> evictees;
+  for (const auto& node : runtime->nodes()) {
+    if (!node.reliable() && evictees.size() < static_cast<std::size_t>(config_.churn_nodes)) {
+      evictees.push_back(node.id);
+    }
+  }
+  runtime->Evict(evictees);
+  const double blip = runtime->RunClock().duration;
+  const double steady_after = SteadyTimePerClock(*runtime);
+  return std::max(0.0, blip - steady_after);
+}
+
+AppProfile ProfileEstimator::Estimate() {
+  AppProfile profile;
+  profile.phi = EstimatePhi();
+  profile.sigma = EstimateSigma();
+  profile.lambda = EstimateLambda();
+  return profile;
+}
+
+}  // namespace proteus

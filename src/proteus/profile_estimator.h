@@ -1,0 +1,63 @@
+// Automated estimation of BidBrain's application parameters (§4.1:
+// "In future work, we plan to automate the process of determining phi,
+// sigma, lambda and nu. Currently, we set phi, sigma, lambda
+// empirically").
+//
+// The estimator performs exactly the measurements the authors did by
+// hand:
+//   - phi: a strong-scaling probe (time-per-clock at two cluster sizes);
+//   - sigma: the time the application fails to make full-speed progress
+//     after a bulk addition (measured against the post-change steady
+//     state);
+//   - lambda: the same for a bulk warned eviction (the Fig. 16 blip).
+// nu needs no probe: it is the instance's vCPU count (footnote 7).
+#ifndef SRC_PROTEUS_PROFILE_ESTIMATOR_H_
+#define SRC_PROTEUS_PROFILE_ESTIMATOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/agileml/app.h"
+#include "src/agileml/runtime.h"
+#include "src/bidbrain/app_profile.h"
+
+namespace proteus {
+
+struct ProfileEstimatorConfig {
+  // Scaling probe sizes (total nodes; 1 reliable + rest transient above
+  // the base size).
+  int base_nodes = 8;
+  int scaled_nodes = 32;
+  int cores_per_node = 8;
+  int warmup_clocks = 2;
+  int measure_clocks = 4;
+  // Elasticity probes: nodes added/evicted on top of the base cluster.
+  int churn_nodes = 8;
+};
+
+class ProfileEstimator {
+ public:
+  ProfileEstimator(std::function<std::unique_ptr<MLApp>()> app_factory,
+                   AgileMLConfig base_config, ProfileEstimatorConfig config);
+
+  // Runs all probes and assembles the profile.
+  AppProfile Estimate();
+
+  // Individual probes (also used by tests).
+  double EstimatePhi();
+  SimDuration EstimateSigma();
+  SimDuration EstimateLambda();
+
+ private:
+  std::unique_ptr<AgileMLRuntime> MakeRuntime(std::unique_ptr<MLApp>& app, int reliable,
+                                              int transient);
+  double SteadyTimePerClock(AgileMLRuntime& runtime);
+
+  std::function<std::unique_ptr<MLApp>()> app_factory_;
+  AgileMLConfig base_config_;
+  ProfileEstimatorConfig config_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_PROTEUS_PROFILE_ESTIMATOR_H_

@@ -1,0 +1,188 @@
+#include "src/proteus/proteus_runtime.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+ProteusRuntime::ProteusRuntime(MLApp* app, const InstanceTypeCatalog* catalog,
+                               const TraceStore* traces, const EvictionModel* estimator,
+                               ProteusConfig config, SimTime start)
+    : app_(app),
+      catalog_(catalog),
+      config_(std::move(config)),
+      market_(*catalog, *traces),
+      bidbrain_(catalog, traces, estimator, config_.bidbrain),
+      rng_(config_.seed),
+      start_(start),
+      now_(start),
+      next_decision_(start) {
+  PROTEUS_CHECK(app_ != nullptr);
+  if (config_.on_demand_zone.empty()) {
+    config_.on_demand_zone = traces->Keys().front().zone;
+  }
+  // Reliable tier: on-demand instances acquired up front, never released.
+  const InstanceType& od_type = catalog_->Get(config_.on_demand_type);
+  on_demand_allocation_ = market_.RequestOnDemand(
+      {config_.on_demand_zone, config_.on_demand_type}, config_.on_demand_count, now_);
+  std::vector<NodeInfo> reliable;
+  for (int i = 0; i < config_.on_demand_count; ++i) {
+    reliable.push_back({next_node_id_++, Tier::kReliable, od_type.vcpus, on_demand_allocation_});
+  }
+  agileml_ = std::make_unique<AgileMLRuntime>(app_, config_.agileml, reliable);
+  // "Proteus connects AgileML to BidBrain via a ZMQ message that
+  // specifies the application characteristics" (§5).
+  controller_channel_.Send(Message(AppCharacteristicsMsg{
+      config_.bidbrain.app.phi, config_.bidbrain.app.sigma, config_.bidbrain.app.lambda,
+      static_cast<double>(od_type.vcpus)}));
+}
+
+ProteusRuntime::~ProteusRuntime() = default;
+
+std::vector<LiveAllocation> ProteusRuntime::LiveView() const {
+  std::vector<LiveAllocation> view;
+  const Allocation& od = market_.Get(on_demand_allocation_);
+  view.push_back({od.id, od.market, od.count, od.bid, /*on_demand=*/true, od.start});
+  for (const auto& [id, tracked] : live_) {
+    const Allocation& alloc = market_.Get(id);
+    if (alloc.running() && !tracked.terminating) {
+      view.push_back({alloc.id, alloc.market, alloc.count, alloc.bid, false, alloc.start});
+    }
+  }
+  return view;
+}
+
+void ProteusRuntime::RunDecisionPoint() {
+  for (const BidAction& action : bidbrain_.Decide(now_, LiveView())) {
+    if (action.kind == BidAction::Kind::kAcquire) {
+      api_channel_.Send(Message(AllocationRequestMsg{
+          action.market.zone, action.market.instance_type, action.count, action.bid}));
+      const auto id = market_.RequestSpot(action.market, action.count, action.bid, now_);
+      if (!id.has_value()) {
+        continue;  // Price moved above the bid; retry next decision.
+      }
+      const InstanceType& type = catalog_->Get(action.market.instance_type);
+      TrackedAllocation tracked;
+      tracked.id = *id;
+      std::vector<NodeInfo> nodes;
+      for (int i = 0; i < action.count; ++i) {
+        const NodeId node = next_node_id_++;
+        tracked.nodes.push_back(node);
+        nodes.push_back({node, Tier::kTransient, type.vcpus, *id});
+      }
+      // BidBrain forwards the grant (instance "IP addresses and sizes",
+      // §5) to the elasticity controller.
+      controller_channel_.Send(
+          Message(AllocationGrantMsg{*id, tracked.nodes, type.vcpus}));
+      agileml_->AddNodes(nodes);  // Background preload, then join (§3.3).
+      live_[*id] = std::move(tracked);
+      ++acquisitions_;
+    } else {
+      auto it = live_.find(action.target);
+      if (it != live_.end() && !it->second.terminating) {
+        it->second.terminating = true;
+        it->second.terminate_at = market_.Get(action.target).HourEnd(now_) - 1.0;
+      }
+    }
+  }
+}
+
+void ProteusRuntime::HandleEviction(TrackedAllocation& tracked, bool warned) {
+  // "Upon receiving an eviction notification, BidBrain translates it to
+  // the ids of the resources ... and notifies AgileML's elasticity
+  // controller" (§5).
+  controller_channel_.Send(Message(EvictionNoticeMsg{
+      tracked.id, tracked.nodes, warned ? kEvictionWarning : 0.0}));
+  if (warned) {
+    agileml_->Evict(tracked.nodes);
+    ++evictions_;
+  } else {
+    const int lost = agileml_->Fail(tracked.nodes);
+    ++failures_;
+    PROTEUS_LOG(Debug) << "effective failure: lost " << lost << " clocks";
+  }
+}
+
+void ProteusRuntime::ProcessMarketEventsUntil(SimTime until) {
+  // Warning polls happen every warning_poll seconds; with sub-minute
+  // training clocks, checking once per event window is equivalent to the
+  // paper's 5-second poll — warnings give two minutes of slack.
+  for (auto it = live_.begin(); it != live_.end();) {
+    TrackedAllocation& tracked = it->second;
+    const Allocation& alloc = market_.Get(tracked.id);
+    bool erase = false;
+    if (alloc.running() && tracked.terminating && tracked.terminate_at <= until) {
+      // Planned termination just before the billing hour renews.
+      market_.Terminate(tracked.id, std::max(now_, tracked.terminate_at));
+      agileml_->Evict(tracked.nodes);
+      erase = true;
+    } else if (alloc.running() && alloc.eviction_time.has_value()) {
+      const SimTime warning = std::max(alloc.start, *alloc.eviction_time - kEvictionWarning);
+      if (!tracked.warned && warning <= until &&
+          rng_.Bernoulli(1.0 - config_.effective_failure_fraction)) {
+        // Warning observed at the next poll: graceful scale-down now.
+        tracked.warned = true;
+        market_.MarkEvicted(tracked.id);
+        HandleEviction(tracked, /*warned=*/true);
+        erase = true;
+        next_decision_ = until;  // React immediately (§5).
+      } else if (*alloc.eviction_time <= until) {
+        // The warning was missed (or suppressed): effective failure.
+        market_.MarkEvicted(tracked.id);
+        HandleEviction(tracked, /*warned=*/false);
+        erase = true;
+        next_decision_ = until;
+      }
+    }
+    it = erase ? live_.erase(it) : ++it;
+  }
+}
+
+void ProteusRuntime::Step() {
+  if (now_ >= next_decision_) {
+    RunDecisionPoint();
+    next_decision_ = now_ + config_.decision_period;
+  }
+  const IterationReport report = agileml_->RunClock();
+  const SimTime clock_end = now_ + report.duration;
+  ProcessMarketEventsUntil(clock_end);
+  now_ = clock_end;
+}
+
+ProteusRunSummary ProteusRuntime::Train(int target_clock) {
+  ProteusRunSummary summary;
+  int safety = target_clock * 10 + 100;  // Rollbacks re-run clocks; bound the loop.
+  while (agileml_->clock() < target_clock && safety-- > 0) {
+    Step();
+    if (config_.objective_every > 0 && agileml_->clock() % config_.objective_every == 0) {
+      summary.objective_trace.push_back(agileml_->ComputeObjective());
+    }
+  }
+  summary.clocks = static_cast<int>(agileml_->clock());
+  summary.runtime = now_ - start_;
+  summary.bill = ComputeTotalJobBill(market_, now_);
+  summary.evictions = evictions_;
+  summary.failures = failures_;
+  summary.acquisitions = acquisitions_;
+  summary.lost_clocks = agileml_->lost_clocks_total();
+  summary.final_objective = agileml_->ComputeObjective();
+  return summary;
+}
+
+ProteusStatus ProteusRuntime::Status() const {
+  ProteusStatus status;
+  status.clock = agileml_->clock();
+  status.now = now_;
+  status.virtual_time = agileml_->total_time();
+  const TierCounts counts = agileml_->ReadyTierCounts();
+  status.transient_nodes = counts.transient + agileml_->PreparingCount();
+  status.evictions = evictions_;
+  status.failures = failures_;
+  status.acquisitions = acquisitions_;
+  status.lost_clocks = agileml_->lost_clocks_total();
+  status.cost_so_far = ComputeTotalJobBill(market_, now_).cost;
+  return status;
+}
+
+}  // namespace proteus

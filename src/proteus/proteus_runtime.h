@@ -1,0 +1,143 @@
+// ProteusRuntime: the full §5 integration. Couples a live AgileML
+// training run to the spot market through BidBrain (Fig. 7):
+//
+//   - BidBrain watches market prices and makes allocation decisions
+//     every two minutes of (virtual) time, near billing-hour ends, and
+//     immediately after evictions;
+//   - granted allocations materialize as transient AgileML nodes that
+//     preload input data in the background and join the computation;
+//   - the elasticity controller polls for eviction warnings every five
+//     seconds (§3.3); warned evictions trigger graceful scale-down,
+//     missed warnings ("effective failures") trigger rollback recovery;
+//   - billing follows the market simulator's hourly rules.
+//
+// Unlike JobSimulator (which abstracts the application into phi / sigma
+// / lambda for long-horizon cost studies, as the paper's §6.3 does),
+// this runtime executes the actual ML application: the model really
+// converges while machines come and go.
+#ifndef SRC_PROTEUS_PROTEUS_RUNTIME_H_
+#define SRC_PROTEUS_PROTEUS_RUNTIME_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/agileml/runtime.h"
+#include "src/bidbrain/bidbrain.h"
+#include "src/market/spot_market.h"
+#include "src/proteus/accounting.h"
+#include "src/rpc/channel.h"
+
+namespace proteus {
+
+struct ProteusConfig {
+  AgileMLConfig agileml;
+  BidBrainConfig bidbrain;
+  // Reliable tier (never terminated; §4.2).
+  int on_demand_count = 3;
+  std::string on_demand_type = "c4.xlarge";
+  std::string on_demand_zone;  // Defaults to the first zone in the traces.
+  // Elasticity controller's warning-poll period (§3.3).
+  SimDuration warning_poll = 5 * kSecond;
+  SimDuration decision_period = 2 * kMinute;
+  // Fraction of evictions whose 2-minute warning is missed, turning the
+  // eviction into an effective failure handled by rollback (§3.3).
+  double effective_failure_fraction = 0.0;
+  // Compute the training objective every this many clocks (0 = never).
+  int objective_every = 0;
+  std::uint64_t seed = 99;
+};
+
+struct ProteusStatus {
+  Clock clock = 0;
+  SimTime now = 0.0;            // Market time.
+  SimDuration virtual_time = 0.0;
+  int transient_nodes = 0;      // Ready + preparing.
+  int evictions = 0;
+  int failures = 0;
+  int acquisitions = 0;
+  int lost_clocks = 0;
+  Money cost_so_far = 0.0;
+};
+
+struct ProteusRunSummary {
+  int clocks = 0;
+  SimDuration runtime = 0.0;
+  JobBill bill;
+  int evictions = 0;
+  int failures = 0;
+  int acquisitions = 0;
+  int lost_clocks = 0;
+  double final_objective = 0.0;
+  std::vector<double> objective_trace;  // When objective_every > 0.
+};
+
+class ProteusRuntime {
+ public:
+  ProteusRuntime(MLApp* app, const InstanceTypeCatalog* catalog, const TraceStore* traces,
+                 const EvictionModel* estimator, ProteusConfig config, SimTime start);
+  ~ProteusRuntime();
+
+  ProteusRuntime(const ProteusRuntime&) = delete;
+  ProteusRuntime& operator=(const ProteusRuntime&) = delete;
+
+  // Runs one training clock, advancing market time and processing all
+  // market events (decisions, warnings, evictions, renewals) that fall
+  // inside it.
+  void Step();
+
+  // Runs until the completed-clock count reaches `target_clock`
+  // (rollbacks can make this take more iterations than the difference).
+  ProteusRunSummary Train(int target_clock);
+
+  ProteusStatus Status() const;
+  const AgileMLRuntime& agileml() const { return *agileml_; }
+  const SpotMarket& market() const { return market_; }
+  SimTime now() const { return now_; }
+  // §5 wiring: the message channels between components (Fig. 7).
+  // BidBrain -> cloud API (allocation requests).
+  const Channel& api_channel() const { return api_channel_; }
+  // BidBrain -> elasticity controller (grants, eviction notices).
+  const Channel& controller_channel() const { return controller_channel_; }
+
+ private:
+  struct TrackedAllocation {
+    AllocationId id = kInvalidAllocation;
+    std::vector<NodeId> nodes;
+    bool warned = false;       // Eviction warning already handled.
+    bool terminating = false;  // Renewal decision said terminate.
+    SimTime terminate_at = 0.0;
+  };
+
+  std::vector<LiveAllocation> LiveView() const;
+  void RunDecisionPoint();
+  // Handles warnings/evictions/terminations due at or before `until`.
+  void ProcessMarketEventsUntil(SimTime until);
+  void HandleEviction(TrackedAllocation& tracked, bool warned);
+
+  MLApp* app_;
+  const InstanceTypeCatalog* catalog_;
+  Channel api_channel_;
+  Channel controller_channel_;
+  ProteusConfig config_;
+  SpotMarket market_;
+  BidBrain bidbrain_;
+  std::unique_ptr<AgileMLRuntime> agileml_;
+  Rng rng_;
+
+  SimTime start_;
+  SimTime now_;
+  SimTime next_decision_;
+  NodeId next_node_id_ = 0;
+  std::map<AllocationId, TrackedAllocation> live_;
+  AllocationId on_demand_allocation_ = kInvalidAllocation;
+
+  int evictions_ = 0;
+  int failures_ = 0;
+  int acquisitions_ = 0;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_PROTEUS_PROTEUS_RUNTIME_H_

@@ -1,0 +1,43 @@
+// Per-node, per-iteration record of which parameter rows a node's workers
+// read and updated. The AgileML runtime converts these sets into wire
+// bytes: the worker-side library caches reads within a clock and
+// write-back-coalesces updates (§2.1), so each distinct row costs one
+// fetch and one flush per clock regardless of how many times workers on
+// the node touch it.
+#ifndef SRC_PS_ACCESS_TRACKER_H_
+#define SRC_PS_ACCESS_TRACKER_H_
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "src/ps/model.h"
+
+namespace proteus {
+
+class AccessTracker {
+ public:
+  void Clear();
+
+  // Returns true the first time the row is read this clock (a cache miss).
+  bool RecordRead(int table, std::int64_t row);
+  // Returns true the first time the row is updated this clock.
+  bool RecordUpdate(int table, std::int64_t row);
+
+  const std::unordered_set<RowKey>& reads() const { return reads_; }
+  const std::unordered_set<RowKey>& updates() const { return updates_; }
+
+  std::uint64_t total_read_ops() const { return total_read_ops_; }
+  std::uint64_t total_update_ops() const { return total_update_ops_; }
+  // Cache hit rate over reads this clock.
+  double ReadHitRate() const;
+
+ private:
+  std::unordered_set<RowKey> reads_;
+  std::unordered_set<RowKey> updates_;
+  std::uint64_t total_read_ops_ = 0;
+  std::uint64_t total_update_ops_ = 0;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_PS_ACCESS_TRACKER_H_

@@ -1,0 +1,45 @@
+// Stale-Synchronous-Parallel clock bookkeeping (§3, footnote 6). Workers
+// advance per-node clocks; the minimum clock across live workers defines
+// the "latest common iteration", which is the consistent state that
+// active->backup syncs capture and that rollback recovery restores to.
+#ifndef SRC_PS_CLOCK_TABLE_H_
+#define SRC_PS_CLOCK_TABLE_H_
+
+#include <cstdint>
+#include <map>
+
+#include "src/common/types.h"
+
+namespace proteus {
+
+using Clock = std::int64_t;
+
+class ClockTable {
+ public:
+  explicit ClockTable(int staleness = 0);
+
+  int staleness() const { return staleness_; }
+
+  void AddWorkerNode(NodeId node);
+  void RemoveWorkerNode(NodeId node);
+  bool HasWorkerNode(NodeId node) const;
+  std::size_t NumWorkerNodes() const { return clocks_.size(); }
+
+  void AdvanceTo(NodeId node, Clock clock);
+  Clock ClockOf(NodeId node) const;
+
+  // Minimum clock across live worker nodes (0 when empty).
+  Clock MinClock() const;
+
+  // SSP admission rule: a worker at `worker_clock` may proceed past a
+  // barrier iff worker_clock - MinClock() <= staleness.
+  bool CanAdvance(NodeId node) const;
+
+ private:
+  int staleness_;
+  std::map<NodeId, Clock> clocks_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_PS_CLOCK_TABLE_H_

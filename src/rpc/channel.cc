@@ -1,0 +1,41 @@
+#include "src/rpc/channel.h"
+
+namespace proteus {
+
+void Channel::Send(const Message& message) {
+  std::vector<std::uint8_t> frame = EncodeMessage(message);
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_sent_ += frame.size();
+  ++messages_sent_;
+  queue_.push_back(std::move(frame));
+}
+
+std::optional<Message> Channel::Poll() {
+  std::vector<std::uint8_t> frame;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (queue_.empty()) {
+      return std::nullopt;
+    }
+    frame = std::move(queue_.front());
+    queue_.pop_front();
+  }
+  return DecodeMessage(frame);
+}
+
+std::size_t Channel::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+std::uint64_t Channel::messages_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_sent_;
+}
+
+std::uint64_t Channel::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_sent_;
+}
+
+}  // namespace proteus

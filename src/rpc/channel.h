@@ -1,0 +1,37 @@
+// In-process message channel standing in for the ZMQ pair sockets of §5.
+// Ordered, thread-safe, with byte/message counters so tests can verify
+// control-plane traffic volumes.
+#ifndef SRC_RPC_CHANNEL_H_
+#define SRC_RPC_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "src/rpc/messages.h"
+
+namespace proteus {
+
+class Channel {
+ public:
+  // Frames and enqueues the message.
+  void Send(const Message& message);
+
+  // Dequeues and decodes the next message (nullopt when empty).
+  std::optional<Message> Poll();
+
+  std::size_t pending() const;
+  std::uint64_t messages_sent() const;
+  std::uint64_t bytes_sent() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<std::vector<std::uint8_t>> queue_;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_RPC_CHANNEL_H_

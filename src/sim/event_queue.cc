@@ -1,0 +1,53 @@
+#include "src/sim/event_queue.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+EventId EventQueue::ScheduleAt(SimTime when, std::function<void()> fn) {
+  PROTEUS_CHECK_GE(when, now_);
+  const EventId id = next_id_++;
+  heap_.push(Event{when, next_seq_++, id, std::move(fn)});
+  pending_.insert(id);
+  return id;
+}
+
+EventId EventQueue::ScheduleAfter(SimDuration delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventQueue::Cancel(EventId id) {
+  // Only events that are still pending can be cancelled; the heap entry
+  // becomes a tombstone skipped at pop time.
+  return pending_.erase(id) > 0;
+}
+
+void EventQueue::RunUntil(SimTime horizon) {
+  while (!heap_.empty() && heap_.top().when <= horizon) {
+    Step();
+  }
+  now_ = std::max(now_, horizon);
+}
+
+void EventQueue::RunAll() {
+  while (Step()) {
+  }
+}
+
+bool EventQueue::Step() {
+  while (!heap_.empty()) {
+    Event event = heap_.top();
+    heap_.pop();
+    if (pending_.erase(event.id) == 0) {
+      continue;  // Cancelled: tombstone.
+    }
+    now_ = std::max(now_, event.when);
+    event.fn();
+    return true;
+  }
+  return false;
+}
+
+}  // namespace proteus

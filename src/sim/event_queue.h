@@ -1,0 +1,75 @@
+// Discrete-event simulation core: a clock plus an ordered event queue.
+// Used by the market simulator and the long-horizon job simulations.
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace proteus {
+
+// Handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  SimTime now() const { return now_; }
+
+  // Schedules fn to run at absolute time `when` (>= now). Events scheduled
+  // for the same instant run in scheduling order (FIFO tie-break).
+  EventId ScheduleAt(SimTime when, std::function<void()> fn);
+
+  // Schedules fn to run `delay` seconds from now.
+  EventId ScheduleAfter(SimDuration delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false (and has no effect) if the
+  // event already ran or was already cancelled.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty or the next event is after
+  // `horizon`. The clock advances to min(horizon, last event time).
+  void RunUntil(SimTime horizon);
+
+  // Runs all events to exhaustion.
+  void RunAll();
+
+  // Runs a single event if one is pending; returns false when empty.
+  bool Step();
+
+  bool empty() const { return pending_.empty(); }
+  std::size_t pending() const { return pending_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+    bool operator>(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return seq > other.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+  // Ids of events that are scheduled and neither run nor cancelled.
+  // Cancelled events stay in the heap as tombstones and are skipped on
+  // pop (removal from a binary heap is not worth the complexity here).
+  std::set<EventId> pending_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

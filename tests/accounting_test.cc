@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include "src/proteus/accounting.h"
+
+namespace proteus {
+namespace {
+
+class AccountingTest : public ::testing::Test {
+ protected:
+  AccountingTest() : catalog_(InstanceTypeCatalog::Default()) {
+    traces_.Put({"z0", "c4.xlarge"},
+                PriceSeries({{0.0, 0.05}, {90 * kMinute, 0.08}, {150 * kMinute, 1.0},
+                             {160 * kMinute, 0.05}}));
+    market_ = std::make_unique<SpotMarket>(catalog_, traces_);
+  }
+
+  InstanceTypeCatalog catalog_;
+  TraceStore traces_;
+  std::unique_ptr<SpotMarket> market_;
+  const MarketKey key_{"z0", "c4.xlarge"};
+};
+
+TEST_F(AccountingTest, FinalPartialHourIsProRated) {
+  const auto id = market_->RequestSpot(key_, 2, 2.0, 0.0);
+  // Job ends at 1.5h: hour 0 full at 0.05, hour 1 half-used at 0.05
+  // (price at hour start 1h is still 0.05; it changes at 1.5h).
+  const JobBill bill = ComputeJobBill(*market_, *id, 1.5 * kHour);
+  EXPECT_NEAR(bill.cost, 2 * 0.05 + 2 * 0.05 * 0.5, 1e-9);
+  EXPECT_NEAR(bill.spot_paid_hours, 3.0, 1e-9);
+  EXPECT_DOUBLE_EQ(bill.free_hours, 0.0);
+}
+
+TEST_F(AccountingTest, EvictedHourIsFree) {
+  // Bid 0.5: evicted when price hits 1.0 at t=150min.
+  const auto id = market_->RequestSpot(key_, 2, 0.5, 0.0);
+  market_->MarkEvicted(*id);
+  const JobBill bill = ComputeJobBill(*market_, *id, 10 * kHour);
+  // Hours 0 and 1 charged at their hour-start prices (0.05 both: the
+  // 0.08 step lands mid-hour at 90min); hour 2 (evicted at 2.5h) free.
+  EXPECT_NEAR(bill.cost, 2 * 0.05 + 2 * 0.05, 1e-9);
+  EXPECT_NEAR(bill.free_hours, 2 * 0.5, 1e-9);
+  EXPECT_NEAR(bill.spot_paid_hours, 4.0, 1e-9);
+}
+
+TEST_F(AccountingTest, OnDemandHoursTracked) {
+  const AllocationId id = market_->RequestOnDemand(key_, 3, 0.0);
+  market_->Terminate(id, 2.5 * kHour);
+  const JobBill bill = ComputeJobBill(*market_, id, 2.5 * kHour);
+  EXPECT_NEAR(bill.on_demand_hours, 3 * 2.5, 1e-9);
+  EXPECT_NEAR(bill.cost, 0.209 * 3 * 2.5, 1e-6);  // Final hour pro-rated.
+  EXPECT_DOUBLE_EQ(bill.spot_paid_hours, 0.0);
+}
+
+TEST_F(AccountingTest, AllocationAfterJobEndCostsNothing) {
+  const auto id = market_->RequestSpot(key_, 1, 2.0, 2.0 * kHour);
+  const JobBill bill = ComputeJobBill(*market_, *id, 1.0 * kHour);
+  EXPECT_DOUBLE_EQ(bill.cost, 0.0);
+  EXPECT_DOUBLE_EQ(bill.TotalHours(), 0.0);
+}
+
+TEST_F(AccountingTest, TotalAggregatesAllAllocations) {
+  market_->RequestOnDemand(key_, 1, 0.0);
+  market_->RequestSpot(key_, 1, 2.0, 0.0);
+  const JobBill bill = ComputeTotalJobBill(*market_, 1.0 * kHour);
+  EXPECT_NEAR(bill.cost, 0.209 + 0.05, 1e-9);
+  EXPECT_NEAR(bill.TotalHours(), 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/lda.h"
+#include "src/apps/mf.h"
+#include "src/apps/mlr.h"
+
+namespace proteus {
+namespace {
+
+AgileMLConfig SmallConfig() {
+  AgileMLConfig config;
+  config.num_partitions = 8;
+  config.data_blocks = 32;
+  config.parallel_execution = false;  // Deterministic for tests.
+  return config;
+}
+
+std::vector<NodeInfo> OneReliableNode() {
+  return {{0, Tier::kReliable, 8, kInvalidAllocation}};
+}
+
+TEST(Datasets, RatingsShapeAndDeterminism) {
+  RatingsConfig config;
+  config.users = 100;
+  config.items = 50;
+  config.ratings = 1000;
+  const RatingsDataset a = GenerateRatings(config);
+  const RatingsDataset b = GenerateRatings(config);
+  ASSERT_EQ(a.size(), 1000);
+  EXPECT_EQ(a.value, b.value);
+  for (std::int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_GE(a.user[static_cast<std::size_t>(i)], 0);
+    EXPECT_LT(a.user[static_cast<std::size_t>(i)], 100);
+    EXPECT_GE(a.item[static_cast<std::size_t>(i)], 0);
+    EXPECT_LT(a.item[static_cast<std::size_t>(i)], 50);
+  }
+}
+
+TEST(Datasets, FeaturesShape) {
+  FeaturesConfig config;
+  config.samples = 64;
+  config.dim = 16;
+  config.classes = 4;
+  const FeaturesDataset data = GenerateFeatures(config);
+  EXPECT_EQ(data.size(), 64);
+  EXPECT_EQ(data.x.size(), 64u * 16u);
+  for (const auto label : data.label) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 4);
+  }
+}
+
+TEST(Datasets, CorpusShape) {
+  CorpusConfig config;
+  config.docs = 50;
+  config.vocab = 200;
+  const CorpusDataset data = GenerateCorpus(config);
+  EXPECT_EQ(data.num_docs(), 50);
+  EXPECT_GT(data.num_tokens(), 50 * 8);
+  for (const auto w : data.tokens) {
+    EXPECT_GE(w, 0);
+    EXPECT_LT(w, 200);
+  }
+  for (std::int64_t d = 0; d < data.num_docs(); ++d) {
+    EXPECT_LT(data.DocBegin(d), data.DocEnd(d));
+  }
+}
+
+TEST(MatrixFactorization, ConvergesOnSingleNode) {
+  RatingsConfig rc;
+  rc.users = 500;
+  rc.items = 200;
+  rc.ratings = 20000;
+  const RatingsDataset data = GenerateRatings(rc);
+  MfConfig mc;
+  mc.rank = 16;
+  MatrixFactorizationApp app(&data, mc);
+  AgileMLRuntime runtime(&app, SmallConfig(), OneReliableNode());
+  const double before = runtime.ComputeObjective();
+  runtime.RunClocks(15);
+  const double after = runtime.ComputeObjective();
+  EXPECT_LT(after, before * 0.7) << "RMSE should drop substantially";
+}
+
+TEST(MultinomialLogReg, ConvergesOnSingleNode) {
+  FeaturesConfig fc;
+  fc.samples = 512;
+  fc.dim = 64;
+  fc.classes = 8;
+  const FeaturesDataset data = GenerateFeatures(fc);
+  MultinomialLogRegApp app(&data, MlrConfig{});
+  AgileMLRuntime runtime(&app, SmallConfig(), OneReliableNode());
+  const double before = runtime.ComputeObjective();
+  runtime.RunClocks(20);
+  const double after = runtime.ComputeObjective();
+  EXPECT_LT(after, before * 0.8) << "cross-entropy should drop";
+}
+
+TEST(Lda, ConvergesOnSingleNode) {
+  CorpusConfig cc;
+  cc.docs = 300;
+  cc.vocab = 500;
+  cc.true_topics = 8;
+  const CorpusDataset data = GenerateCorpus(cc);
+  LdaConfig lc;
+  lc.topics = 16;
+  LdaApp app(&data, lc);
+  AgileMLRuntime runtime(&app, SmallConfig(), OneReliableNode());
+  runtime.RunClock();  // First clock initializes topic assignments.
+  const double before = runtime.ComputeObjective();
+  runtime.RunClocks(15);
+  const double after = runtime.ComputeObjective();
+  EXPECT_LT(after, before) << "negative log-likelihood should drop";
+}
+
+TEST(MatrixFactorization, MultiNodeMatchesSingleNodeQuality) {
+  RatingsConfig rc;
+  rc.users = 500;
+  rc.items = 200;
+  rc.ratings = 20000;
+  const RatingsDataset data = GenerateRatings(rc);
+  MfConfig mc;
+  mc.rank = 16;
+
+  MatrixFactorizationApp single_app(&data, mc);
+  AgileMLRuntime single(&single_app, SmallConfig(), OneReliableNode());
+  single.RunClocks(12);
+
+  MatrixFactorizationApp multi_app(&data, mc);
+  std::vector<NodeInfo> nodes;
+  nodes.push_back({0, Tier::kReliable, 8, kInvalidAllocation});
+  for (NodeId id = 1; id < 8; ++id) {
+    nodes.push_back({id, Tier::kTransient, 8, kInvalidAllocation});
+  }
+  AgileMLRuntime multi(&multi_app, SmallConfig(), nodes);
+  multi.RunClocks(12);
+
+  // Parallel training must reach a comparable objective.
+  EXPECT_LT(multi.ComputeObjective(), single.ComputeObjective() * 1.5);
+}
+
+TEST(Apps, CostPerItemPositive) {
+  RatingsConfig rc;
+  rc.users = 10;
+  rc.items = 10;
+  rc.ratings = 10;
+  const RatingsDataset ratings = GenerateRatings(rc);
+  FeaturesConfig fc;
+  fc.samples = 4;
+  fc.dim = 8;
+  fc.classes = 2;
+  const FeaturesDataset features = GenerateFeatures(fc);
+  CorpusConfig cc;
+  cc.docs = 4;
+  cc.vocab = 20;
+  const CorpusDataset corpus = GenerateCorpus(cc);
+  MatrixFactorizationApp mf(&ratings, MfConfig{});
+  MultinomialLogRegApp mlr(&features, MlrConfig{});
+  LdaApp lda(&corpus, LdaConfig{});
+  EXPECT_GT(mf.CostPerItem(), 0.0);
+  EXPECT_GT(mlr.CostPerItem(), 0.0);
+  EXPECT_GT(lda.CostPerItem(), 0.0);
+}
+
+}  // namespace
+}  // namespace proteus

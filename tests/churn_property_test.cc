@@ -1,0 +1,129 @@
+// Property tests: AgileML invariants must hold through arbitrary
+// sequences of bulk additions, warned evictions, and unwarned failures —
+// the paper's whole premise is surviving exactly this churn.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/common/rng.h"
+
+namespace proteus {
+namespace {
+
+class ChurnPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  ChurnPropertyTest() {
+    RatingsConfig rc;
+    rc.users = 500;
+    rc.items = 200;
+    rc.ratings = 20000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 8;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  void CheckInvariants(const AgileMLRuntime& runtime) {
+    // 1. Every partition has exactly one serving owner among ready nodes.
+    const RoleAssignment& roles = runtime.roles();
+    std::set<NodeId> ready_ids;
+    for (const auto& node : runtime.ReadyNodes()) {
+      ready_ids.insert(node.id);
+    }
+    ASSERT_EQ(roles.server.size(),
+              static_cast<std::size_t>(runtime.config().num_partitions));
+    for (const auto& [part, server] : roles.server) {
+      ASSERT_TRUE(ready_ids.count(server) > 0)
+          << "partition " << part << " served by non-ready node " << server;
+    }
+    // 2. In stages 2/3 every partition has a reliable backup owner.
+    if (roles.UsesBackups()) {
+      for (const auto& [part, backup] : roles.backup) {
+        ASSERT_TRUE(ready_ids.count(backup) > 0);
+      }
+    }
+    // 3. Worker nodes own all input data exactly once.
+    ASSERT_TRUE(runtime.data().OwnershipIsComplete());
+    std::int64_t total = 0;
+    for (const NodeId w : roles.worker_nodes) {
+      ASSERT_TRUE(ready_ids.count(w) > 0);
+      total += runtime.data().ItemCountOf(w);
+    }
+    ASSERT_EQ(total, data_.size());
+    // 4. The reliable tier is never empty.
+    ASSERT_GE(runtime.ReadyTierCounts().reliable, 1);
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_P(ChurnPropertyTest, InvariantsSurviveRandomChurn) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7919);
+  AgileMLConfig config;
+  config.num_partitions = 16;
+  config.data_blocks = 128;
+  config.parallel_execution = false;
+  config.backup_sync_every = static_cast<int>(rng.UniformInt(1, 4));
+
+  std::vector<NodeInfo> initial;
+  const int reliable = static_cast<int>(rng.UniformInt(1, 4));
+  for (NodeId id = 0; id < reliable; ++id) {
+    initial.push_back({id, Tier::kReliable, 8, kInvalidAllocation});
+  }
+  AgileMLRuntime runtime(app_.get(), config, initial);
+  NodeId next_id = 1000;
+
+  for (int step = 0; step < 25; ++step) {
+    const double dice = rng.Uniform();
+    std::vector<NodeId> transient_ids;
+    for (const auto& node : runtime.ReadyNodes()) {
+      if (!node.reliable()) {
+        transient_ids.push_back(node.id);
+      }
+    }
+    if (dice < 0.40 || transient_ids.empty()) {
+      // Bulk addition of 1-12 transient nodes.
+      std::vector<NodeInfo> added;
+      const int count = static_cast<int>(rng.UniformInt(1, 12));
+      for (int i = 0; i < count; ++i) {
+        added.push_back({next_id++, Tier::kTransient, 8, kInvalidAllocation});
+      }
+      runtime.AddNodes(added);
+    } else if (dice < 0.70) {
+      // Warned eviction of a random transient subset (possibly all).
+      rng.Shuffle(transient_ids);
+      const auto count = static_cast<std::size_t>(
+          rng.UniformInt(1, static_cast<std::int64_t>(transient_ids.size())));
+      transient_ids.resize(count);
+      runtime.Evict(transient_ids);
+    } else if (dice < 0.85) {
+      // Unwarned failure of 1-3 transient nodes.
+      rng.Shuffle(transient_ids);
+      const auto count = std::min<std::size_t>(
+          transient_ids.size(), static_cast<std::size_t>(rng.UniformInt(1, 3)));
+      transient_ids.resize(count);
+      runtime.Fail(transient_ids);
+    }
+    // Run a few clocks; invariants must hold at every boundary.
+    const int clocks = static_cast<int>(rng.UniformInt(1, 3));
+    for (int c = 0; c < clocks; ++c) {
+      runtime.RunClock();
+      CheckInvariants(runtime);
+    }
+  }
+
+  // After all that churn, training still works.
+  const double before = runtime.ComputeObjective();
+  runtime.RunClocks(8);
+  EXPECT_LT(runtime.ComputeObjective(), before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChurnPropertyTest, ::testing::Range(1, 11));
+
+}  // namespace
+}  // namespace proteus

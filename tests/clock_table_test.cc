@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "src/ps/clock_table.h"
+
+namespace proteus {
+namespace {
+
+TEST(ClockTable, MinClockTracksSlowestWorker) {
+  ClockTable table(1);
+  table.AddWorkerNode(0);
+  table.AddWorkerNode(1);
+  table.AdvanceTo(0, 5);
+  table.AdvanceTo(1, 3);
+  EXPECT_EQ(table.MinClock(), 3);
+}
+
+TEST(ClockTable, SspAdmission) {
+  ClockTable table(2);
+  table.AddWorkerNode(0);
+  table.AddWorkerNode(1);
+  table.AdvanceTo(0, 2);
+  EXPECT_TRUE(table.CanAdvance(0));  // 2 - 0 <= 2.
+  table.AdvanceTo(0, 3);
+  EXPECT_FALSE(table.CanAdvance(0));  // 3 - 0 > 2.
+  table.AdvanceTo(1, 1);
+  EXPECT_TRUE(table.CanAdvance(0));  // 3 - 1 <= 2.
+}
+
+TEST(ClockTable, NewWorkerJoinsAtMinClock) {
+  ClockTable table(0);
+  table.AddWorkerNode(0);
+  table.AdvanceTo(0, 7);
+  table.AddWorkerNode(1);
+  EXPECT_EQ(table.ClockOf(1), 7);
+  EXPECT_EQ(table.MinClock(), 7);
+}
+
+TEST(ClockTable, RemovingLaggardRaisesMin) {
+  ClockTable table(0);
+  table.AddWorkerNode(0);
+  table.AddWorkerNode(1);
+  table.AdvanceTo(0, 10);
+  table.AdvanceTo(1, 4);
+  table.RemoveWorkerNode(1);
+  EXPECT_EQ(table.MinClock(), 10);
+}
+
+TEST(ClockTable, EmptyTableMinIsZero) {
+  ClockTable table(0);
+  EXPECT_EQ(table.MinClock(), 0);
+}
+
+}  // namespace
+}  // namespace proteus

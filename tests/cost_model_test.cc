@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bidbrain/cost_model.h"
+
+namespace proteus {
+namespace {
+
+AllocationPlan SpotPlan(int count, Money price, double beta, SimDuration omega = kHour,
+                        WorkUnits nu = 4.0) {
+  AllocationPlan plan;
+  plan.market = {"z0", "c4.xlarge"};
+  plan.count = count;
+  plan.hourly_price = price;
+  plan.beta = beta;
+  plan.omega = omega;
+  plan.work_per_hour = nu;
+  return plan;
+}
+
+TEST(CostModel, ExpectedCostEq1) {
+  // (1 - beta) * P * k * t_r: 0.8 * 0.1 * 2 * 1hr = 0.16.
+  EXPECT_NEAR(CostModel::ExpectedCost({SpotPlan(2, 0.10, 0.2)}), 0.16, 1e-12);
+}
+
+TEST(CostModel, CertainEvictionIsFree) {
+  EXPECT_DOUBLE_EQ(CostModel::ExpectedCost({SpotPlan(4, 0.10, 1.0)}), 0.0);
+}
+
+TEST(CostModel, PartialHourScalesCost) {
+  EXPECT_NEAR(CostModel::ExpectedCost({SpotPlan(1, 0.10, 0.0, kHour / 2)}), 0.05, 1e-12);
+}
+
+TEST(CostModel, AnyEvictionProbabilityComposes) {
+  const std::vector<AllocationPlan> plans{SpotPlan(1, 0.1, 0.5), SpotPlan(1, 0.1, 0.5)};
+  EXPECT_NEAR(CostModel::AnyEvictionProbability(plans), 0.75, 1e-12);
+}
+
+TEST(CostModel, UsefulTimeEq2) {
+  AppProfile app;
+  app.lambda = 10 * kMinute;
+  app.sigma = 5 * kMinute;
+  const std::vector<AllocationPlan> plans{SpotPlan(1, 0.1, 0.5)};
+  // omega - beta*lambda = 3600 - 0.5*600 = 3300 (no sigma).
+  EXPECT_NEAR(CostModel::ExpectedUsefulTime(plans[0], plans, app, false), 3300.0, 1e-9);
+  // With footprint change: minus sigma = 3000.
+  EXPECT_NEAR(CostModel::ExpectedUsefulTime(plans[0], plans, app, true), 3000.0, 1e-9);
+}
+
+TEST(CostModel, UsefulTimeNeverNegative) {
+  AppProfile app;
+  app.lambda = 2 * kHour;
+  const std::vector<AllocationPlan> plans{SpotPlan(1, 0.1, 1.0)};
+  EXPECT_DOUBLE_EQ(CostModel::ExpectedUsefulTime(plans[0], plans, app, false), 0.0);
+}
+
+TEST(CostModel, WorkEq3ScalesWithPhi) {
+  AppProfile app;
+  app.phi = 0.5;
+  app.lambda = 0.0;
+  app.sigma = 0.0;
+  // 2 instances x 1hr x 4 work/hr x 0.5 = 4.
+  EXPECT_NEAR(CostModel::ExpectedWork({SpotPlan(2, 0.1, 0.0)}, app, false), 4.0, 1e-12);
+}
+
+TEST(CostModel, CostPerWorkEq4) {
+  AppProfile app;
+  app.phi = 1.0;
+  app.lambda = 0.0;
+  app.sigma = 0.0;
+  // Cost 0.1, work 4 -> 0.025 per unit.
+  EXPECT_NEAR(CostModel::ExpectedCostPerWork({SpotPlan(1, 0.1, 0.0)}, app, false), 0.025, 1e-12);
+}
+
+TEST(CostModel, ZeroWorkGivesInfiniteCostPerWork) {
+  AppProfile app;
+  AllocationPlan od = SpotPlan(1, 0.2, 0.0);
+  od.on_demand = true;
+  od.work_per_hour = 0.0;
+  EXPECT_TRUE(std::isinf(CostModel::ExpectedCostPerWork({od}, app, false)));
+}
+
+TEST(CostModel, CheaperAllocationAmortizesOnDemand) {
+  // Fig. 6 narrative: adding a cheap spot allocation to an expensive
+  // work-free on-demand footprint lowers cost per work.
+  AppProfile app;
+  app.lambda = 0.0;
+  app.sigma = 0.0;
+  AllocationPlan od = SpotPlan(1, 0.2, 0.0);
+  od.on_demand = true;
+  od.work_per_hour = 0.0;
+  const std::vector<AllocationPlan> one{od, SpotPlan(2, 0.05, 0.0)};
+  std::vector<AllocationPlan> two = one;
+  two.push_back(SpotPlan(2, 0.05, 0.0));
+  EXPECT_LT(CostModel::ExpectedCostPerWork(two, app, false),
+            CostModel::ExpectedCostPerWork(one, app, false));
+}
+
+TEST(CostModel, HigherBetaLowersExpectedCostButAlsoWork) {
+  AppProfile app;
+  app.lambda = 10 * kMinute;
+  const auto low = SpotPlan(1, 0.1, 0.1);
+  const auto high = SpotPlan(1, 0.1, 0.9);
+  EXPECT_LT(CostModel::ExpectedCost({high}), CostModel::ExpectedCost({low}));
+  EXPECT_LT(CostModel::ExpectedWork({high}, app, false),
+            CostModel::ExpectedWork({low}, app, false));
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/agileml/data_assignment.h"
+#include "src/common/rng.h"
+
+namespace proteus {
+namespace {
+
+TEST(DataAssignment, BlockRangesPartitionTheInput) {
+  DataAssignment da(1000, 7);
+  std::int64_t covered = 0;
+  for (int b = 0; b < 7; ++b) {
+    const ItemRange r = da.BlockRange(b);
+    covered += r.size();
+    if (b > 0) {
+      EXPECT_EQ(r.begin, da.BlockRange(b - 1).end);
+    }
+  }
+  EXPECT_EQ(covered, 1000);
+}
+
+TEST(DataAssignment, InitialRebalanceIsBalanced) {
+  DataAssignment da(1000, 16);
+  da.Rebalance({1, 2, 3, 4});
+  for (const NodeId n : {1, 2, 3, 4}) {
+    EXPECT_EQ(da.BlocksOf(n).size(), 4u);
+  }
+  EXPECT_TRUE(da.OwnershipIsComplete());
+}
+
+TEST(DataAssignment, UnevenCountsDifferByAtMostOne) {
+  DataAssignment da(1000, 16);
+  da.Rebalance({1, 2, 3});
+  std::size_t min = 100;
+  std::size_t max = 0;
+  for (const NodeId n : {1, 2, 3}) {
+    min = std::min(min, da.BlocksOf(n).size());
+    max = std::max(max, da.BlocksOf(n).size());
+  }
+  EXPECT_LE(max - min, 1u);
+}
+
+TEST(DataAssignment, GrowthMovesOnlyNecessaryBlocks) {
+  DataAssignment da(1000, 16);
+  da.Rebalance({1, 2});
+  const auto before1 = da.BlocksOf(1);
+  const auto moves = da.Rebalance({1, 2, 3, 4});
+  // 8 blocks move to the two new nodes.
+  EXPECT_EQ(moves.size(), 8u);
+  for (const auto& m : moves) {
+    EXPECT_TRUE(m.to == 3 || m.to == 4);
+    EXPECT_TRUE(m.needs_load);  // New nodes had nothing loaded.
+  }
+  // Node 1 kept a subset of its old blocks.
+  for (const int b : da.BlocksOf(1)) {
+    EXPECT_NE(std::find(before1.begin(), before1.end(), b), before1.end());
+  }
+}
+
+TEST(DataAssignment, PreviousOwnerTakesBackWithoutLoad) {
+  DataAssignment da(1000, 16);
+  da.Rebalance({1, 2});
+  da.Rebalance({1, 2, 3, 4});  // 3 and 4 take blocks; 1 and 2 keep copies.
+  da.DropNode(3);
+  da.DropNode(4);
+  const auto moves = da.Rebalance({1, 2});
+  for (const auto& m : moves) {
+    // Every returning block was previously owned (and still loaded) by
+    // its recipient.
+    EXPECT_FALSE(m.needs_load);
+  }
+  EXPECT_TRUE(da.OwnershipIsComplete());
+}
+
+TEST(DataAssignment, DropNodeOrphansItsBlocks) {
+  DataAssignment da(1000, 8);
+  da.Rebalance({1, 2});
+  const auto orphans = da.DropNode(1);
+  EXPECT_EQ(orphans.size(), 4u);
+  EXPECT_FALSE(da.OwnershipIsComplete());
+}
+
+TEST(DataAssignment, RangesMergeAdjacentBlocks) {
+  DataAssignment da(100, 4);
+  da.Rebalance({1});
+  const auto ranges = da.RangesOf(1);
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0].begin, 0);
+  EXPECT_EQ(ranges[0].end, 100);
+  EXPECT_EQ(da.ItemCountOf(1), 100);
+}
+
+// Property test: ownership stays complete and balanced through random
+// add/drop sequences, and item counts always sum to the input size.
+class DataAssignmentPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DataAssignmentPropertyTest, OwnershipConservedUnderChurn) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  DataAssignment da(10000, 64);
+  std::vector<NodeId> members{0, 1};
+  NodeId next_id = 2;
+  da.Rebalance(members);
+  for (int step = 0; step < 40; ++step) {
+    if (members.size() <= 2 || rng.Bernoulli(0.55)) {
+      members.push_back(next_id++);
+    } else {
+      const auto victim =
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<int>(members.size()) - 1));
+      da.DropNode(members[victim]);
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(victim));
+    }
+    da.Rebalance(members);
+    ASSERT_TRUE(da.OwnershipIsComplete());
+    std::int64_t total = 0;
+    std::size_t min_blocks = 1000;
+    std::size_t max_blocks = 0;
+    for (const NodeId n : members) {
+      total += da.ItemCountOf(n);
+      min_blocks = std::min(min_blocks, da.BlocksOf(n).size());
+      max_blocks = std::max(max_blocks, da.BlocksOf(n).size());
+    }
+    ASSERT_EQ(total, 10000);
+    ASSERT_LE(max_blocks - min_blocks, 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DataAssignmentPropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,56 @@
+// Out-of-sample validation of the eviction estimator: beta trained on
+// one window must predict realized eviction frequency on a disjoint
+// later window of the same market (the paper trains on Mar-Jun 2016 and
+// evaluates on Jun-Aug).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/bidbrain/eviction_estimator.h"
+#include "src/market/trace_gen.h"
+
+namespace proteus {
+namespace {
+
+class EstimatorValidationTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(EstimatorValidationTest, TrainedBetaPredictsHoldoutEvictionRate) {
+  const double spikes_per_day = GetParam();
+  const InstanceTypeCatalog catalog = InstanceTypeCatalog::Default();
+  SyntheticTraceConfig config;
+  config.spikes_per_day = spikes_per_day;
+  Rng rng(2024);
+  TraceStore store;
+  const MarketKey key{"z0", "c4.xlarge"};
+  store.Put(key, GenerateSyntheticTrace(catalog.Get("c4.xlarge"), 120 * kDay, config, rng));
+
+  EvictionEstimator estimator;
+  estimator.Train(store, 0.0, 60 * kDay);
+
+  // Replay the holdout window with a fixed delta and compare realized
+  // eviction frequency with the trained beta.
+  const Money delta = 0.01;
+  const PriceSeries& series = store.Get(key);
+  int samples = 0;
+  int evicted = 0;
+  for (SimTime t = 60 * kDay; t + kHour <= 120 * kDay; t += 30 * kMinute) {
+    const Money bid = series.PriceAt(t) + delta;
+    ++samples;
+    if (series.FirstTimeAbove(bid, t, t + kHour).has_value()) {
+      ++evicted;
+    }
+  }
+  ASSERT_GT(samples, 500);
+  const double realized = static_cast<double>(evicted) / samples;
+  const double predicted = estimator.Estimate(key, delta).beta;
+  // The process is stationary, so train and holdout must agree within a
+  // generous statistical margin.
+  EXPECT_NEAR(predicted, realized, std::max(0.05, realized * 0.5))
+      << "spikes/day=" << spikes_per_day;
+}
+
+INSTANTIATE_TEST_SUITE_P(SpikeRates, EstimatorValidationTest,
+                         ::testing::Values(1.0, 3.0, 8.0, 16.0));
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/event_queue.h"
+
+namespace proteus {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(3.0, [&] { order.push_back(3); });
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(2.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, FifoTieBreakAtSameInstant) {
+  EventQueue q;
+  std::vector<int> order;
+  q.ScheduleAt(1.0, [&] { order.push_back(1); });
+  q.ScheduleAt(1.0, [&] { order.push_back(2); });
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, RunUntilStopsAtHorizon) {
+  EventQueue q;
+  int ran = 0;
+  q.ScheduleAt(1.0, [&] { ++ran; });
+  q.ScheduleAt(5.0, [&] { ++ran; });
+  q.RunUntil(3.0);
+  EXPECT_EQ(ran, 1);
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime) {
+  EventQueue q;
+  SimTime fired = -1.0;
+  q.ScheduleAt(2.0, [&] { q.ScheduleAfter(3.0, [&] { fired = q.now(); }); });
+  q.RunAll();
+  EXPECT_DOUBLE_EQ(fired, 5.0);
+}
+
+TEST(EventQueue, CancelPreventsExecution) {
+  EventQueue q;
+  int ran = 0;
+  const EventId id = q.ScheduleAt(1.0, [&] { ++ran; });
+  q.ScheduleAt(2.0, [&] { ++ran; });
+  EXPECT_TRUE(q.Cancel(id));
+  q.RunAll();
+  EXPECT_EQ(ran, 1);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(1.0, [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+
+TEST(EventQueue, CancelAfterRunReturnsFalseAndKeepsCountsConsistent) {
+  EventQueue q;
+  const EventId id = q.ScheduleAt(1.0, [] {});
+  q.RunAll();
+  EXPECT_FALSE(q.Cancel(id));  // Already executed.
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.pending(), 0u);
+}
+
+TEST(EventQueue, PendingCountTracksLifecycle) {
+  EventQueue q;
+  const EventId a = q.ScheduleAt(1.0, [] {});
+  q.ScheduleAt(2.0, [] {});
+  EXPECT_EQ(q.pending(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.pending(), 1u);
+  q.Step();
+  EXPECT_EQ(q.pending(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) {
+      q.ScheduleAfter(1.0, recurse);
+    }
+  };
+  q.ScheduleAt(0.0, recurse);
+  q.RunAll();
+  EXPECT_EQ(depth, 5);
+  EXPECT_DOUBLE_EQ(q.now(), 4.0);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+  EventQueue q;
+  EXPECT_FALSE(q.Step());
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace proteus

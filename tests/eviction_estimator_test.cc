@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "src/bidbrain/eviction_estimator.h"
+#include "src/market/trace_gen.h"
+
+namespace proteus {
+namespace {
+
+class EvictionEstimatorTest : public ::testing::Test {
+ protected:
+  EvictionEstimatorTest() {
+    const InstanceTypeCatalog catalog = InstanceTypeCatalog::Default();
+    SyntheticTraceConfig config;
+    config.spikes_per_day = 8.0;  // Frequent spikes -> measurable betas.
+    Rng rng(21);
+    traces_ = TraceStore::GenerateSynthetic(catalog, {"z0"}, 30 * kDay, config, rng);
+    estimator_.Train(traces_, 0.0, 30 * kDay);
+  }
+
+  TraceStore traces_;
+  EvictionEstimator estimator_;
+  const MarketKey key_{"z0", "c4.xlarge"};
+};
+
+TEST_F(EvictionEstimatorTest, TrainedFlagSet) { EXPECT_TRUE(estimator_.trained()); }
+
+TEST_F(EvictionEstimatorTest, BetaIsAProbability) {
+  for (const Money delta : EvictionEstimator::DefaultDeltaGrid()) {
+    const EvictionStats stats = estimator_.Estimate(key_, delta);
+    EXPECT_GE(stats.beta, 0.0);
+    EXPECT_LE(stats.beta, 1.0);
+    EXPECT_GT(stats.samples, 100);
+  }
+}
+
+TEST_F(EvictionEstimatorTest, BetaWeaklyDecreasesWithDelta) {
+  // Bidding further above the market must not increase eviction risk.
+  const EvictionStats tiny = estimator_.Estimate(key_, 0.0001);
+  const EvictionStats large = estimator_.Estimate(key_, 0.4);
+  EXPECT_GE(tiny.beta, large.beta);
+}
+
+TEST_F(EvictionEstimatorTest, MedianTimeToEvictionWithinHour) {
+  const EvictionStats stats = estimator_.Estimate(key_, 0.001);
+  EXPECT_GT(stats.median_time_to_eviction, 0.0);
+  EXPECT_LE(stats.median_time_to_eviction, kHour);
+}
+
+TEST_F(EvictionEstimatorTest, UnknownMarketGetsPessimisticPrior) {
+  const EvictionStats stats = estimator_.Estimate({"nowhere", "c4.xlarge"}, 0.001);
+  EXPECT_GT(stats.beta, 0.0);
+  EXPECT_EQ(stats.samples, 0);
+}
+
+TEST_F(EvictionEstimatorTest, SpikyMarketHasHigherBetaThanCalm) {
+  const InstanceTypeCatalog catalog = InstanceTypeCatalog::Default();
+  SyntheticTraceConfig calm;
+  calm.spikes_per_day = 0.2;
+  SyntheticTraceConfig spiky;
+  spiky.spikes_per_day = 12.0;
+  Rng rng1(5);
+  Rng rng2(5);
+  TraceStore store;
+  store.Put({"calm", "c4.xlarge"},
+            GenerateSyntheticTrace(catalog.Get("c4.xlarge"), 30 * kDay, calm, rng1));
+  store.Put({"spiky", "c4.xlarge"},
+            GenerateSyntheticTrace(catalog.Get("c4.xlarge"), 30 * kDay, spiky, rng2));
+  EvictionEstimator est;
+  est.Train(store, 0.0, 30 * kDay);
+  EXPECT_GT(est.Estimate({"spiky", "c4.xlarge"}, 0.01).beta,
+            est.Estimate({"calm", "c4.xlarge"}, 0.01).beta);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "src/net/fabric.h"
+
+namespace proteus {
+namespace {
+
+TEST(Fabric, TransfersChargeBothEndpoints) {
+  Fabric fabric(100.0);  // 100 bytes/sec for easy math.
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 1, 200);
+  EXPECT_EQ(fabric.Traffic(0).fg_egress, 200u);
+  EXPECT_EQ(fabric.Traffic(1).fg_ingress, 200u);
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTime(0), 2.0);
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTime(1), 2.0);
+}
+
+TEST(Fabric, SelfTransferIsFree) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 0, 1000);
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTime(0), 0.0);
+}
+
+TEST(Fabric, FullDuplexUsesMaxOfDirections) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 1, 300);
+  fabric.RecordTransfer(1, 0, 100);
+  // Node 0: egress 300, ingress 100 -> 3s.
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTime(0), 3.0);
+}
+
+TEST(Fabric, BackgroundOnlyNodeIsFree) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 1, 500, TrafficClass::kBackground);
+  // Node 1 has only background ingress: it does not gate the round.
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTime(1), 0.0);
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTime(0), 0.0);
+}
+
+TEST(Fabric, BackgroundContendsWithForeground) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  fabric.AddNode(2);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 1, 100, TrafficClass::kForeground);
+  fabric.RecordTransfer(2, 1, 400, TrafficClass::kBackground);
+  // Node 1 has foreground, so its background ingress counts too: 5s.
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTime(1), 5.0);
+}
+
+TEST(Fabric, BeginRoundClearsCounters) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 1, 100);
+  fabric.BeginRound();
+  EXPECT_EQ(fabric.Traffic(0).fg_egress, 0u);
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTimeMax(), 0.0);
+}
+
+TEST(Fabric, BottleneckNodeIdentified) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  fabric.AddNode(2);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 2, 100);
+  fabric.RecordTransfer(1, 2, 300);
+  EXPECT_EQ(fabric.RoundBottleneckNode(), 2);
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTimeMax(), 4.0);
+}
+
+TEST(Fabric, ExternalIngressAndEgress) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.BeginRound();
+  fabric.RecordExternalIngress(0, 200, TrafficClass::kForeground);
+  fabric.RecordExternalEgress(0, 100, TrafficClass::kForeground);
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTime(0), 2.0);
+}
+
+TEST(Fabric, RemoveNodeDropsAccounting) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  fabric.RemoveNode(1);
+  EXPECT_FALSE(fabric.HasNode(1));
+  EXPECT_TRUE(fabric.HasNode(0));
+}
+
+TEST(Fabric, RoundTotalBytesSumsEgress) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 1, 100);
+  fabric.RecordTransfer(1, 0, 50, TrafficClass::kBackground);
+  EXPECT_EQ(fabric.RoundTotalBytes(), 150u);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "src/proteus/job_queue.h"
+
+namespace proteus {
+namespace {
+
+class JobQueueTest : public ::testing::Test {
+ protected:
+  JobQueueTest() : catalog_(InstanceTypeCatalog::Default()) {
+    SyntheticTraceConfig config;
+    config.spikes_per_day = 3.0;
+    Rng rng(81);
+    traces_ = TraceStore::GenerateSynthetic(catalog_, {"z0", "z1"}, 40 * kDay, config, rng);
+    estimator_.Train(traces_, 0.0, 15 * kDay);
+    sim_ = std::make_unique<JobQueueSimulator>(&catalog_, &traces_, &estimator_);
+  }
+
+  std::vector<QueuedJob> Queue(int n, SimDuration each) const {
+    std::vector<QueuedJob> jobs;
+    for (int i = 0; i < n; ++i) {
+      jobs.push_back({"job" + std::to_string(i),
+                      JobSpec::ForReferenceDuration(catalog_, "c4.2xlarge", 64, each, 0.95)});
+    }
+    return jobs;
+  }
+
+  SchemeConfig Config() const {
+    SchemeConfig config;
+    config.bidbrain.max_spot_instances = 128;
+    return config;
+  }
+
+  InstanceTypeCatalog catalog_;
+  TraceStore traces_;
+  EvictionEstimator estimator_;
+  std::unique_ptr<JobQueueSimulator> sim_;
+};
+
+TEST_F(JobQueueTest, AllJobsComplete) {
+  const JobQueueResult result = sim_->Run(Queue(3, 2 * kHour), Config(), 16 * kDay);
+  ASSERT_EQ(result.jobs.size(), 3u);
+  for (const auto& job : result.jobs) {
+    EXPECT_TRUE(job.completed) << job.name;
+    EXPECT_GT(job.runtime, 0.0);
+  }
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST_F(JobQueueTest, PerJobCostsApproximateTotal) {
+  const JobQueueResult result = sim_->Run(Queue(3, 2 * kHour), Config(), 16 * kDay);
+  Money per_job = 0.0;
+  for (const auto& job : result.jobs) {
+    per_job += job.cost;
+  }
+  // Per-job windows cover the whole queue; the difference from the true
+  // total is the drain tail (hours still ticking after the last job) and
+  // eviction refunds, both bounded.
+  EXPECT_LE(per_job, result.total_cost + result.shutdown_refunds + 1e-6);
+  EXPECT_GT(per_job, result.total_cost * 0.5);
+}
+
+TEST_F(JobQueueTest, LaterJobsReuseWarmFootprint) {
+  // The first job pays the ramp-up; subsequent identical jobs should not
+  // be slower on average (they inherit a running footprint).
+  const JobQueueResult result = sim_->Run(Queue(4, 2 * kHour), Config(), 16 * kDay);
+  ASSERT_EQ(result.jobs.size(), 4u);
+  const SimDuration first = result.jobs[0].runtime;
+  for (std::size_t i = 1; i < result.jobs.size(); ++i) {
+    EXPECT_LT(result.jobs[i].runtime, first * 1.5);
+  }
+}
+
+TEST_F(JobQueueTest, QueueIsCheaperPerJobThanStandalone) {
+  // Amortizing ramp-up and leftover hours across jobs should not make
+  // per-job cost worse than 1/n of the total.
+  const JobQueueResult q3 = sim_->Run(Queue(3, 2 * kHour), Config(), 16 * kDay);
+  const JobQueueResult q1 = sim_->Run(Queue(1, 2 * kHour), Config(), 16 * kDay);
+  const Money per_job_q3 = q3.total_cost / 3;
+  EXPECT_LT(per_job_q3, q1.total_cost * 1.2);
+}
+
+TEST_F(JobQueueTest, ShutdownWaitsForBillingHours) {
+  const JobQueueResult result = sim_->Run(Queue(1, 2 * kHour), Config(), 16 * kDay);
+  EXPECT_GE(result.shutdown_refunds, 0.0);
+}
+
+}  // namespace
+}  // namespace proteus

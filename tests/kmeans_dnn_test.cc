@@ -1,0 +1,120 @@
+// Tests for the additional §3.2 applications: K-means and DNN.
+#include <gtest/gtest.h>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/dnn.h"
+#include "src/apps/kmeans.h"
+
+namespace proteus {
+namespace {
+
+class ExtraAppsTest : public ::testing::Test {
+ protected:
+  ExtraAppsTest() {
+    FeaturesConfig fc;
+    fc.samples = 2048;
+    fc.dim = 32;
+    fc.classes = 8;
+    fc.class_separation = 4.0;
+    fc.noise = 0.5;
+    data_ = GenerateFeatures(fc);
+  }
+
+  AgileMLConfig Config() const {
+    AgileMLConfig config;
+    config.num_partitions = 8;
+    config.data_blocks = 32;
+    config.parallel_execution = false;
+    return config;
+  }
+
+  static std::vector<NodeInfo> Nodes(int n) {
+    std::vector<NodeInfo> nodes;
+    nodes.push_back({0, Tier::kReliable, 8, kInvalidAllocation});
+    for (NodeId id = 1; id < n; ++id) {
+      nodes.push_back({id, Tier::kTransient, 8, kInvalidAllocation});
+    }
+    return nodes;
+  }
+
+  FeaturesDataset data_;
+};
+
+TEST_F(ExtraAppsTest, KMeansObjectiveDrops) {
+  KMeansConfig kc;
+  kc.clusters = 8;
+  KMeansApp app(&data_, kc);
+  AgileMLRuntime runtime(&app, Config(), Nodes(1));
+  const double before = runtime.ComputeObjective();
+  runtime.RunClocks(8);
+  EXPECT_LT(runtime.ComputeObjective(), before * 0.5)
+      << "centers must move into the planted clusters";
+}
+
+TEST_F(ExtraAppsTest, KMeansWorksDistributed) {
+  KMeansConfig kc;
+  kc.clusters = 8;
+  KMeansApp app(&data_, kc);
+  AgileMLRuntime runtime(&app, Config(), Nodes(6));
+  EXPECT_EQ(runtime.stage(), Stage::kStage2);
+  const double before = runtime.ComputeObjective();
+  runtime.RunClocks(8);
+  EXPECT_LT(runtime.ComputeObjective(), before * 0.6);
+}
+
+TEST_F(ExtraAppsTest, KMeansSurvivesEviction) {
+  KMeansConfig kc;
+  kc.clusters = 8;
+  KMeansApp app(&data_, kc);
+  AgileMLRuntime runtime(&app, Config(), Nodes(6));
+  runtime.RunClocks(4);
+  std::vector<NodeId> evictees;
+  for (const auto& node : runtime.nodes()) {
+    if (!node.reliable() && evictees.size() < 3) {
+      evictees.push_back(node.id);
+    }
+  }
+  runtime.Evict(evictees);
+  const double obj = runtime.ComputeObjective();
+  runtime.RunClocks(4);
+  EXPECT_LE(runtime.ComputeObjective(), obj * 1.05);
+}
+
+TEST_F(ExtraAppsTest, DnnCrossEntropyDrops) {
+  DnnConfig dc;
+  dc.hidden = 16;
+  dc.learning_rate = 0.3;
+  DnnApp app(&data_, dc);
+  AgileMLConfig config = Config();
+  config.minibatches_per_pass = 4;  // Four SGD steps per data pass.
+  AgileMLRuntime runtime(&app, config, Nodes(1));
+  const double before = runtime.ComputeObjective();
+  runtime.RunClocks(48);  // Twelve passes.
+  EXPECT_LT(runtime.ComputeObjective(), before * 0.8);
+}
+
+TEST_F(ExtraAppsTest, DnnWorksDistributedWithRollback) {
+  DnnConfig dc;
+  dc.hidden = 16;
+  DnnApp app(&data_, dc);
+  AgileMLConfig config = Config();
+  config.backup_sync_every = 3;
+  AgileMLRuntime runtime(&app, config, Nodes(6));
+  runtime.RunClocks(8);
+  const NodeId active = *runtime.roles().active_ps_nodes.begin();
+  runtime.Fail({active});  // Unwarned: rollback recovery.
+  const double obj = runtime.ComputeObjective();
+  runtime.RunClocks(10);
+  EXPECT_LT(runtime.ComputeObjective(), obj);
+}
+
+TEST_F(ExtraAppsTest, CostPerItemPositive) {
+  KMeansApp kmeans(&data_, KMeansConfig{});
+  DnnApp dnn(&data_, DnnConfig{});
+  EXPECT_GT(kmeans.CostPerItem(), 0.0);
+  EXPECT_GT(dnn.CostPerItem(), 0.0);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,102 @@
+// Property tests over randomized spot traces: billing invariants that
+// must hold for every allocation regardless of market behaviour.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/market/spot_market.h"
+#include "src/market/trace_gen.h"
+#include "src/proteus/accounting.h"
+
+namespace proteus {
+namespace {
+
+class MarketPropertyTest : public ::testing::TestWithParam<int> {
+ protected:
+  MarketPropertyTest() : catalog_(InstanceTypeCatalog::Default()) {
+    SyntheticTraceConfig config;
+    config.spikes_per_day = 6.0;
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+    traces_ = TraceStore::GenerateSynthetic(catalog_, {"z0"}, 20 * kDay, config, rng);
+    market_ = std::make_unique<SpotMarket>(catalog_, traces_);
+  }
+
+  InstanceTypeCatalog catalog_;
+  TraceStore traces_;
+  std::unique_ptr<SpotMarket> market_;
+};
+
+TEST_P(MarketPropertyTest, BillingInvariantsUnderRandomAllocations) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31337);
+  const MarketKey key{"z0", "c4.xlarge"};
+  const PriceSeries& series = traces_.Get(key);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    const SimTime t0 = rng.Uniform(0.0, 15 * kDay);
+    const Money price = series.PriceAt(t0);
+    const Money bid = price + rng.Uniform(0.0, 0.3);
+    const int count = static_cast<int>(rng.UniformInt(1, 8));
+    const auto id = market_->RequestSpot(key, count, bid, t0);
+    ASSERT_TRUE(id.has_value()) << "bid >= price must be granted";
+    const Allocation& alloc = market_->Get(*id);
+
+    // Eviction, if predicted, is strictly after the grant and is exactly
+    // a bid crossing.
+    if (alloc.eviction_time.has_value()) {
+      ASSERT_GT(*alloc.eviction_time, t0);
+      ASSERT_GT(series.PriceAt(*alloc.eviction_time), bid);
+      // Warning precedes eviction by at most two minutes.
+      const auto warning = market_->WarningTime(*id);
+      ASSERT_TRUE(warning.has_value());
+      ASSERT_LE(*warning, *alloc.eviction_time);
+      ASSERT_GE(*warning, *alloc.eviction_time - kEvictionWarning);
+    }
+
+    // Bill monotonicity in as_of, and refund only when evicted.
+    SimTime end;
+    if (alloc.eviction_time.has_value() && rng.Bernoulli(0.5)) {
+      market_->MarkEvicted(*id);
+      end = *alloc.eviction_time;
+    } else {
+      end = t0 + rng.Uniform(0.1 * kHour, 5 * kHour);
+      market_->Terminate(*id, end);
+      end = market_->Get(*id).end;  // Terminate may resolve to eviction.
+    }
+    const BillingBreakdown early = market_->Bill(*id, t0 + 0.5 * kHour);
+    const BillingBreakdown late = market_->Bill(*id, end + 10 * kHour);
+    ASSERT_GE(late.charged + late.refunded, early.charged + early.refunded);
+    ASSERT_GE(late.charged, 0.0);
+    if (market_->Get(*id).state == AllocationState::kTerminated) {
+      ASSERT_DOUBLE_EQ(late.refunded, 0.0);
+      ASSERT_DOUBLE_EQ(late.free_hours, 0.0);
+    } else {
+      // Evicted: exactly the in-progress hour refunded.
+      ASSERT_GT(late.free_hours, 0.0);
+      ASSERT_LE(late.free_hours, static_cast<double>(count));
+    }
+
+    // Job-level accounting never exceeds the market's gross charge and
+    // machine-hours are bounded by wall time x count.
+    const JobBill job_bill = ComputeJobBill(*market_, *id, end + kHour);
+    ASSERT_LE(job_bill.cost, late.charged + 1e-9);
+    ASSERT_LE(job_bill.TotalHours(), (end - t0) / kHour * count + 1e-9);
+  }
+}
+
+TEST_P(MarketPropertyTest, NeverGrantedBelowMarket) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7);
+  const MarketKey key{"z0", "c4.2xlarge"};
+  const PriceSeries& series = traces_.Get(key);
+  for (int trial = 0; trial < 40; ++trial) {
+    const SimTime t0 = rng.Uniform(0.0, 15 * kDay);
+    const Money price = series.PriceAt(t0);
+    if (price <= 0.002) {
+      continue;
+    }
+    EXPECT_FALSE(market_->RequestSpot(key, 1, price - 0.001, t0).has_value());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MarketPropertyTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,109 @@
+// Mini-batch clocks (§3.1 footnote 3): a clock of work may be a fraction
+// of a data pass.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+
+namespace proteus {
+namespace {
+
+class MinibatchTest : public ::testing::Test {
+ protected:
+  MinibatchTest() {
+    RatingsConfig rc;
+    rc.users = 400;
+    rc.items = 100;
+    rc.ratings = 20000;
+    data_ = GenerateRatings(rc);
+  }
+
+  AgileMLConfig Config(int minibatches) const {
+    AgileMLConfig config;
+    config.num_partitions = 8;
+    config.data_blocks = 32;
+    config.parallel_execution = false;
+    config.minibatches_per_pass = minibatches;
+    return config;
+  }
+
+  static std::vector<NodeInfo> Nodes(int n) {
+    std::vector<NodeInfo> nodes;
+    nodes.push_back({0, Tier::kReliable, 8, kInvalidAllocation});
+    for (NodeId id = 1; id < n; ++id) {
+      nodes.push_back({id, Tier::kTransient, 8, kInvalidAllocation});
+    }
+    return nodes;
+  }
+
+  RatingsDataset data_;
+};
+
+TEST_F(MinibatchTest, MinibatchClockIsProportionallyCheaper) {
+  MfConfig mc;
+  mc.rank = 16;
+  MatrixFactorizationApp full_app(&data_, mc);
+  AgileMLRuntime full(&full_app, Config(1), Nodes(4));
+  const double full_compute = full.RunClock().max_compute;
+
+  MatrixFactorizationApp mini_app(&data_, mc);
+  AgileMLRuntime mini(&mini_app, Config(4), Nodes(4));
+  const double mini_compute = mini.RunClock().max_compute;
+  EXPECT_NEAR(mini_compute, full_compute / 4.0, full_compute * 0.05);
+}
+
+TEST_F(MinibatchTest, KClocksCoverTheFullPass) {
+  // With k mini-batches, k clocks must process every data item exactly
+  // once: the model after k mini-clocks equals one full-pass clock run
+  // with the same per-clock RNG... (update order differs, so compare
+  // objective improvement instead of exact state).
+  MfConfig mc;
+  mc.rank = 16;
+  MatrixFactorizationApp full_app(&data_, mc);
+  AgileMLRuntime full(&full_app, Config(1), Nodes(4));
+  full.RunClocks(3);
+
+  MatrixFactorizationApp mini_app(&data_, mc);
+  AgileMLRuntime mini(&mini_app, Config(4), Nodes(4));
+  mini.RunClocks(12);  // Same number of data passes.
+
+  const double full_obj = full.ComputeObjective();
+  const double mini_obj = mini.ComputeObjective();
+  EXPECT_NEAR(mini_obj, full_obj, full_obj * 0.25);
+}
+
+TEST_F(MinibatchTest, ConvergesWithMinibatches) {
+  MfConfig mc;
+  mc.rank = 16;
+  mc.learning_rate = 0.05;
+  MatrixFactorizationApp app(&data_, mc);
+  AgileMLRuntime runtime(&app, Config(8), Nodes(4));
+  const double before = runtime.ComputeObjective();
+  runtime.RunClocks(80);  // Ten passes.
+  EXPECT_LT(runtime.ComputeObjective(), before * 0.8);
+}
+
+TEST_F(MinibatchTest, ElasticityWorksMidPass) {
+  MfConfig mc;
+  mc.rank = 16;
+  MatrixFactorizationApp app(&data_, mc);
+  AgileMLRuntime runtime(&app, Config(4), Nodes(8));
+  runtime.RunClocks(6);  // Mid-pass (6 % 4 != 0).
+  std::vector<NodeId> evictees;
+  for (const auto& node : runtime.nodes()) {
+    if (!node.reliable() && evictees.size() < 3) {
+      evictees.push_back(node.id);
+    }
+  }
+  runtime.Evict(evictees);
+  EXPECT_TRUE(runtime.data().OwnershipIsComplete());
+  const double obj = runtime.ComputeObjective();
+  runtime.RunClocks(8);
+  EXPECT_LT(runtime.ComputeObjective(), obj);
+}
+
+}  // namespace
+}  // namespace proteus

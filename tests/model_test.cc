@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "src/ps/model.h"
+
+namespace proteus {
+namespace {
+
+std::vector<TableSpec> TwoTables() {
+  return {{0, 100, 4, 0.0F, 0.1F}, {1, 50, 8, 1.0F, 0.0F}};
+}
+
+TEST(ModelStore, LazyInitIsDeterministic) {
+  ModelStore a(TwoTables(), 8, 7);
+  ModelStore b(TwoTables(), 8, 7);
+  std::vector<float> va;
+  std::vector<float> vb;
+  a.ReadRow(0, 42, va);
+  b.ReadRow(0, 42, vb);
+  EXPECT_EQ(va, vb);
+  ASSERT_EQ(va.size(), 4u);
+  for (float v : va) {
+    EXPECT_LE(std::abs(v), 0.1F);
+  }
+}
+
+TEST(ModelStore, LazyInitIndependentOfAccessOrder) {
+  ModelStore a(TwoTables(), 8, 7);
+  ModelStore b(TwoTables(), 8, 7);
+  std::vector<float> tmp;
+  b.ReadRow(0, 1, tmp);  // Touch another row first in b.
+  std::vector<float> va;
+  std::vector<float> vb;
+  a.ReadRow(0, 42, va);
+  b.ReadRow(0, 42, vb);
+  EXPECT_EQ(va, vb);
+}
+
+TEST(ModelStore, JitterFreeTableInitsToValue) {
+  ModelStore m(TwoTables(), 8, 7);
+  std::vector<float> v;
+  m.ReadRow(1, 3, v);
+  ASSERT_EQ(v.size(), 8u);
+  for (float x : v) {
+    EXPECT_FLOAT_EQ(x, 1.0F);
+  }
+}
+
+TEST(ModelStore, ApplyDeltaAccumulates) {
+  ModelStore m(TwoTables(), 8, 7);
+  const std::vector<float> delta{1.0F, 2.0F, 3.0F, 4.0F, 5.0F, 6.0F, 7.0F, 8.0F};
+  m.ApplyDelta(1, 0, delta);
+  m.ApplyDelta(1, 0, delta);
+  std::vector<float> v;
+  m.ReadRow(1, 0, v);
+  EXPECT_FLOAT_EQ(v[0], 3.0F);  // 1.0 init + 2x1.0.
+  EXPECT_FLOAT_EQ(v[7], 17.0F);
+}
+
+TEST(ModelStore, PartitionOfIsStableAndInRange) {
+  ModelStore m(TwoTables(), 8, 7);
+  for (std::int64_t r = 0; r < 100; ++r) {
+    const PartitionId p = m.PartitionOf(0, r);
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 8);
+    EXPECT_EQ(p, m.PartitionOf(0, r));
+  }
+}
+
+TEST(ModelStore, RowBytesIncludesOverhead) {
+  ModelStore m(TwoTables(), 8, 7);
+  EXPECT_EQ(m.RowBytes(0), 4 * sizeof(float) + kRowWireOverhead);
+  EXPECT_EQ(m.ModelBytes(), 100 * m.RowBytes(0) + 50 * m.RowBytes(1));
+}
+
+TEST(ModelStore, SyncClearsDirtyAndReportsBytes) {
+  ModelStore m(TwoTables(), 4, 7);
+  m.EnableBackups();
+  const std::vector<float> delta(4, 1.0F);
+  m.ApplyDelta(0, 0, delta);
+  const PartitionId p = m.PartitionOf(0, 0);
+  EXPECT_EQ(m.DirtyBytes(p), m.RowBytes(0));
+  EXPECT_EQ(m.SyncPartitionToBackup(p), m.RowBytes(0));
+  EXPECT_EQ(m.DirtyBytes(p), 0u);
+  EXPECT_EQ(m.SyncPartitionToBackup(p), 0u);  // Nothing dirty anymore.
+}
+
+TEST(ModelStore, RollbackRestoresBackupState) {
+  ModelStore m(TwoTables(), 4, 7);
+  std::vector<float> before;
+  m.ReadRow(0, 5, before);
+  m.EnableBackups();
+  const std::vector<float> delta(4, 2.0F);
+  m.ApplyDelta(0, 5, delta);
+  m.RollbackPartitionToBackup(m.PartitionOf(0, 5));
+  std::vector<float> after;
+  m.ReadRow(0, 5, after);
+  EXPECT_EQ(before, after);
+}
+
+TEST(ModelStore, RollbackKeepsSyncedChanges) {
+  ModelStore m(TwoTables(), 4, 7);
+  m.EnableBackups();
+  const std::vector<float> delta(4, 2.0F);
+  m.ApplyDelta(0, 5, delta);
+  m.SyncPartitionToBackup(m.PartitionOf(0, 5));
+  m.ApplyDelta(0, 5, delta);  // Unsynced second delta.
+  m.RollbackAllToBackup();
+  std::vector<float> v;
+  m.ReadRow(0, 5, v);
+  std::vector<float> fresh;
+  ModelStore clean(TwoTables(), 4, 7);
+  clean.ReadRow(0, 5, fresh);
+  EXPECT_FLOAT_EQ(v[0], fresh[0] + 2.0F);  // First delta survived.
+}
+
+TEST(ModelStore, RollbackDropsRowsCreatedAfterSync) {
+  ModelStore m(TwoTables(), 4, 7);
+  m.EnableBackups();
+  const std::vector<float> delta(4, 2.0F);
+  m.ApplyDelta(0, 7, delta);  // Materializes after backup snapshot.
+  m.RollbackAllToBackup();
+  std::vector<float> v;
+  m.ReadRow(0, 7, v);  // Lazy re-init must give the original value.
+  ModelStore clean(TwoTables(), 4, 7);
+  std::vector<float> fresh;
+  clean.ReadRow(0, 7, fresh);
+  EXPECT_EQ(v, fresh);
+}
+
+TEST(ModelStore, CheckpointRoundTrip) {
+  ModelStore m(TwoTables(), 4, 7);
+  const std::vector<float> delta(4, 3.0F);
+  m.ApplyDelta(0, 1, delta);
+  m.ApplyDelta(0, 2, delta);
+  const auto blob = m.SerializeCheckpoint();
+  const std::vector<float> more(4, 9.0F);
+  m.ApplyDelta(0, 1, more);
+  m.RestoreCheckpoint(blob);
+  std::vector<float> v;
+  m.ReadRow(0, 1, v);
+  ModelStore expect(TwoTables(), 4, 7);
+  std::vector<float> e;
+  expect.ReadRow(0, 1, e);
+  EXPECT_FLOAT_EQ(v[0], e[0] + 3.0F);
+}
+
+TEST(ModelStore, ForEachRowVisitsMaterializedRows) {
+  ModelStore m(TwoTables(), 4, 7);
+  std::vector<float> tmp;
+  m.ReadRow(0, 1, tmp);
+  m.ReadRow(0, 2, tmp);
+  m.ReadRow(1, 0, tmp);
+  int count = 0;
+  m.ForEachRow(0, [&](std::int64_t, std::span<const float>) { ++count; });
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(m.MaterializedRows(), 3u);
+}
+
+TEST(ModelStore, PartitionBytesCountsMaterializedRows) {
+  ModelStore m(TwoTables(), 1, 7);  // Single partition.
+  std::vector<float> tmp;
+  m.ReadRow(0, 1, tmp);
+  m.ReadRow(1, 1, tmp);
+  EXPECT_EQ(m.PartitionBytes(0), m.RowBytes(0) + m.RowBytes(1));
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,127 @@
+// Regression guard for the paper's quantitative anchors (§6.3/§6.4).
+// These are the headline reproduction results; if a change to the
+// runtime, fabric, market, or policies moves them outside the bands
+// below, the reproduction has regressed. Uses reduced scale relative to
+// the benches so the suite stays fast; the bands are correspondingly
+// loose.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/common/stats.h"
+#include "src/proteus/job_simulator.h"
+
+namespace proteus {
+namespace {
+
+// --- AgileML stage anchors, at 1/2 bench scale (32 nodes) ---
+
+class StageAnchorsTest : public ::testing::Test {
+ protected:
+  StageAnchorsTest() {
+    RatingsConfig rc;
+    rc.users = 15000;
+    rc.items = 1000;
+    rc.ratings = 100000;
+    rc.item_zipf = 1.01;
+    rc.seed = 1001;
+    data_ = GenerateRatings(rc);
+    mf_.rank = 512;
+    mf_.objective_sample = 1000;
+  }
+
+  double Run(int reliable, int transient, Stage stage, std::optional<int> actives) {
+    MatrixFactorizationApp app(&data_, mf_);
+    AgileMLConfig config;
+    config.num_partitions = 16;
+    config.core_speed = 1.2e7;
+    config.data_blocks = 512;
+    config.parallel_execution = true;
+    config.planner.forced_stage = stage;
+    config.planner.forced_active_ps_count = actives;
+    std::vector<NodeInfo> nodes;
+    NodeId id = 0;
+    for (int i = 0; i < reliable; ++i) {
+      nodes.push_back({id++, Tier::kReliable, 8, kInvalidAllocation});
+    }
+    for (int i = 0; i < transient; ++i) {
+      nodes.push_back({id++, Tier::kTransient, 8, kInvalidAllocation});
+    }
+    AgileMLRuntime runtime(&app, config, nodes);
+    runtime.RunClocks(2);
+    double total = 0.0;
+    for (int i = 0; i < 3; ++i) {
+      total += runtime.RunClock().duration;
+    }
+    return total / 3;
+  }
+
+  RatingsDataset data_;
+  MfConfig mf_;
+};
+
+TEST_F(StageAnchorsTest, Stage1BottlenecksAtHighRatio) {
+  const double traditional = Run(32, 0, Stage::kStage1, std::nullopt);
+  const double skewed = Run(2, 30, Stage::kStage1, std::nullopt);
+  // Paper: >85% slowdown when few reliable machines serve everyone.
+  EXPECT_GT(skewed / traditional, 1.5);
+}
+
+TEST_F(StageAnchorsTest, Stage2RelievesTheBottleneck) {
+  const double traditional = Run(32, 0, Stage::kStage1, std::nullopt);
+  const double stage1 = Run(2, 30, Stage::kStage1, std::nullopt);
+  const double stage2 = Run(2, 30, Stage::kStage2, 16);
+  EXPECT_LT(stage2, stage1 * 0.8) << "ActivePSs must relieve the reliable tier";
+  EXPECT_LT(stage2 / traditional, 1.5);
+}
+
+TEST_F(StageAnchorsTest, Stage3MatchesTraditionalAtExtremeRatio) {
+  const double traditional = Run(32, 0, Stage::kStage1, std::nullopt);
+  const double stage3 = Run(1, 31, Stage::kStage3, 16);
+  EXPECT_LT(stage3 / traditional, 1.3);
+  // And stage 2 with the straggling reliable worker is clearly worse.
+  const double stage2 = Run(1, 31, Stage::kStage2, 16);
+  EXPECT_GT(stage2 / stage3, 1.3);
+}
+
+// --- Cost-scheme ordering anchor (§6.3) ---
+
+TEST(CostAnchorsTest, SchemeOrderingHolds) {
+  const InstanceTypeCatalog catalog = InstanceTypeCatalog::Default();
+  SyntheticTraceConfig trace_config;
+  trace_config.spikes_per_day = 3.0;
+  Rng rng(2016);
+  const TraceStore traces = TraceStore::GenerateSynthetic(
+      catalog, {"a", "b", "c", "d"}, 60 * kDay, trace_config, rng);
+  EvictionEstimator estimator;
+  estimator.Train(traces, 0.0, 30 * kDay);
+  const JobSimulator sim(&catalog, &traces, &estimator);
+  SchemeConfig config;
+  config.bidbrain.max_spot_instances = 189;
+  const JobSpec job = JobSpec::ForReferenceDuration(catalog, "c4.2xlarge", 64, 2 * kHour, 0.95);
+
+  SampleStats od;
+  SampleStats ck;
+  SampleStats ag;
+  SampleStats pr;
+  Rng starts(7);
+  for (int i = 0; i < 40; ++i) {
+    const SimTime start = starts.Uniform(31 * kDay, 58 * kDay);
+    od.Add(sim.Run(SchemeKind::kOnDemandOnly, job, config, start).bill.cost);
+    ck.Add(sim.Run(SchemeKind::kStandardCheckpoint, job, config, start).bill.cost);
+    ag.Add(sim.Run(SchemeKind::kStandardAgileML, job, config, start).bill.cost);
+    pr.Add(sim.Run(SchemeKind::kProteus, job, config, start).bill.cost);
+  }
+  // Paper ordering: Proteus < Standard+AgileML < Standard+Checkpoint <<
+  // on-demand, with Proteus at <= 25% of on-demand.
+  EXPECT_LT(pr.Mean(), ag.Mean());
+  EXPECT_LT(ag.Mean(), ck.Mean());
+  EXPECT_LT(ck.Mean(), od.Mean() * 0.6);
+  EXPECT_LT(pr.Mean(), od.Mean() * 0.25);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/market/trace_gen.h"
+#include "src/proteus/proteus_runtime.h"
+
+namespace proteus {
+namespace {
+
+class ProteusRuntimeTest : public ::testing::Test {
+ protected:
+  ProteusRuntimeTest() : catalog_(InstanceTypeCatalog::Default()) {
+    SyntheticTraceConfig trace_config;
+    trace_config.spikes_per_day = 6.0;  // Lively market: evictions happen.
+    Rng rng(51);
+    traces_ = TraceStore::GenerateSynthetic(catalog_, {"z0", "z1"}, 20 * kDay, trace_config, rng);
+    estimator_.Train(traces_, 0.0, 10 * kDay);
+
+    RatingsConfig rc;
+    rc.users = 800;
+    rc.items = 300;
+    rc.ratings = 40000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 16;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  ProteusConfig Config() const {
+    ProteusConfig config;
+    config.agileml.num_partitions = 16;
+    config.agileml.data_blocks = 128;
+    config.agileml.parallel_execution = false;
+    // Long virtual clocks so market events interleave with training.
+    config.agileml.core_speed = 2e3;
+    config.bidbrain.max_spot_instances = 32;
+    config.bidbrain.allocation_quantum = 8;
+    config.on_demand_count = 2;
+    return config;
+  }
+
+  InstanceTypeCatalog catalog_;
+  TraceStore traces_;
+  EvictionEstimator estimator_;
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(ProteusRuntimeTest, StartsWithOnDemandReliableTier) {
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, Config(), 11 * kDay);
+  const TierCounts counts = runtime.agileml().ReadyTierCounts();
+  EXPECT_EQ(counts.reliable, 2);
+  EXPECT_EQ(counts.transient, 0);
+  // On-demand allocation exists and is running.
+  EXPECT_EQ(runtime.market().allocations().size(), 1u);
+  EXPECT_EQ(runtime.market().allocations()[0].kind, AllocationKind::kOnDemand);
+}
+
+TEST_F(ProteusRuntimeTest, AcquiresSpotCapacityAndTrains) {
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, Config(), 11 * kDay);
+  const double before = runtime.agileml().ComputeObjective();
+  const ProteusRunSummary summary = runtime.Train(20);
+  EXPECT_GE(summary.clocks, 20);
+  EXPECT_GT(summary.acquisitions, 0);
+  EXPECT_LT(summary.final_objective, before) << "training must make progress";
+  EXPECT_GT(summary.bill.cost, 0.0);
+  EXPECT_GT(summary.bill.on_demand_hours, 0.0);
+}
+
+TEST_F(ProteusRuntimeTest, SurvivesEvictionsAndKeepsConverging) {
+  // Find a window with eviction churn by running long enough.
+  ProteusConfig config = Config();
+  config.agileml.core_speed = 400.0;  // ~minutes-long clocks: many events.
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, config, 11 * kDay);
+  const double initial = runtime.agileml().ComputeObjective();
+  const ProteusRunSummary summary = runtime.Train(30);
+  EXPECT_GE(summary.clocks, 30);
+  // With spikes every ~4h and multi-minute clocks we expect market churn.
+  EXPECT_GT(summary.evictions + summary.failures + summary.acquisitions, 1);
+  EXPECT_LT(summary.final_objective, initial) << "objective better than init";
+}
+
+TEST_F(ProteusRuntimeTest, EffectiveFailuresTriggerRollback) {
+  ProteusConfig config = Config();
+  config.agileml.core_speed = 400.0;
+  config.effective_failure_fraction = 1.0;  // Every eviction is unwarned.
+  config.agileml.backup_sync_every = 3;
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, config, 11 * kDay);
+  const ProteusRunSummary summary = runtime.Train(30);
+  EXPECT_GE(summary.clocks, 30);
+  if (summary.failures > 0) {
+    EXPECT_EQ(summary.evictions, 0);
+  }
+  // Completed the requested clocks despite any rollbacks.
+  EXPECT_GE(runtime.agileml().clock(), 30);
+}
+
+
+TEST_F(ProteusRuntimeTest, ChannelsCarryTheSection5Messages) {
+  ProteusConfig config = Config();
+  config.agileml.core_speed = 400.0;  // Long clocks: market events occur.
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, config, 11 * kDay);
+  // Start-up registers the application characteristics (§5).
+  EXPECT_GE(runtime.controller_channel().messages_sent(), 1u);
+  const ProteusRunSummary summary = runtime.Train(25);
+  // One cloud-API request per acquisition attempt; at least the granted
+  // ones are present.
+  EXPECT_GE(runtime.api_channel().messages_sent(),
+            static_cast<std::uint64_t>(summary.acquisitions));
+  // One grant per acquisition + one notice per eviction/failure + the
+  // start-up registration.
+  EXPECT_GE(runtime.controller_channel().messages_sent(),
+            static_cast<std::uint64_t>(summary.acquisitions + summary.evictions +
+                                       summary.failures + 1));
+  EXPECT_GT(runtime.controller_channel().bytes_sent(), 0u);
+}
+
+TEST_F(ProteusRuntimeTest, StatusReflectsProgress) {
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, Config(), 11 * kDay);
+  runtime.Train(5);
+  const ProteusStatus status = runtime.Status();
+  EXPECT_GE(status.clock, 5);
+  EXPECT_GT(status.now, 11 * kDay);
+  EXPECT_GT(status.virtual_time, 0.0);
+  EXPECT_GE(status.cost_so_far, 0.0);
+}
+
+TEST_F(ProteusRuntimeTest, ObjectiveTraceRecorded) {
+  ProteusConfig config = Config();
+  config.objective_every = 5;
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, config, 11 * kDay);
+  const ProteusRunSummary summary = runtime.Train(15);
+  EXPECT_GE(summary.objective_trace.size(), 3u);
+  EXPECT_LE(summary.objective_trace.back(), summary.objective_trace.front());
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,119 @@
+// Churn on the *reliable* tier. The paper treats reliable nodes as
+// stable, but the mechanisms must still cope: BackupPS ownership moves
+// when a reliable node leaves, and a reliable failure in stages 2/3
+// loses nothing because the authoritative state lives on the ActivePSs.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+
+namespace proteus {
+namespace {
+
+class ReliableChurnTest : public ::testing::Test {
+ protected:
+  ReliableChurnTest() {
+    RatingsConfig rc;
+    rc.users = 500;
+    rc.items = 200;
+    rc.ratings = 20000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 8;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  AgileMLConfig Config() const {
+    AgileMLConfig config;
+    config.num_partitions = 16;
+    config.data_blocks = 64;
+    config.parallel_execution = false;
+    return config;
+  }
+
+  static std::vector<NodeInfo> Cluster(int reliable, int transient) {
+    std::vector<NodeInfo> nodes;
+    NodeId id = 0;
+    for (int i = 0; i < reliable; ++i) {
+      nodes.push_back({id++, Tier::kReliable, 8, kInvalidAllocation});
+    }
+    for (int i = 0; i < transient; ++i) {
+      nodes.push_back({id++, Tier::kTransient, 8, kInvalidAllocation});
+    }
+    return nodes;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(ReliableChurnTest, EvictingReliableNodeMovesBackups) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 12));
+  ASSERT_EQ(runtime.stage(), Stage::kStage2);
+  runtime.RunClocks(3);
+  // Evict reliable node 0 (e.g. planned maintenance).
+  runtime.Evict({0});
+  for (const auto& [part, backup] : runtime.roles().backup) {
+    EXPECT_NE(backup, 0) << "partition " << part << " still backed by the removed node";
+  }
+  EXPECT_EQ(runtime.lost_clocks_total(), 0);
+  const double obj = runtime.ComputeObjective();
+  runtime.RunClocks(4);
+  EXPECT_LT(runtime.ComputeObjective(), obj);
+}
+
+TEST_F(ReliableChurnTest, ReliableFailureInStage2LosesNothing) {
+  AgileMLConfig config = Config();
+  config.backup_sync_every = 4;  // Any rollback would be visible.
+  AgileMLRuntime runtime(app_.get(), config, Cluster(4, 12));
+  ASSERT_EQ(runtime.stage(), Stage::kStage2);
+  runtime.RunClocks(6);  // Clock 6: two clocks past the sync at 4.
+  const int lost = runtime.Fail({1});  // A BackupPS host dies.
+  // The authoritative state lives on the ActivePSs: nothing is lost.
+  EXPECT_EQ(lost, 0);
+  EXPECT_EQ(runtime.clock(), 6);
+  for (const auto& [part, backup] : runtime.roles().backup) {
+    EXPECT_NE(backup, 1);
+  }
+}
+
+TEST_F(ReliableChurnTest, LastReliableNodeCannotLeave) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(1, 4));
+  runtime.RunClocks(2);
+  // Evicting all transient nodes must work (fall back to stage 1)...
+  std::vector<NodeId> transient;
+  for (const auto& node : runtime.nodes()) {
+    if (!node.reliable()) {
+      transient.push_back(node.id);
+    }
+  }
+  runtime.Evict(transient);
+  EXPECT_EQ(runtime.stage(), Stage::kStage1);
+  // ...and the runtime keeps making progress on the lone reliable node.
+  const double obj = runtime.ComputeObjective();
+  runtime.RunClocks(3);
+  EXPECT_LT(runtime.ComputeObjective(), obj);
+}
+
+TEST_F(ReliableChurnTest, ReliableAdditionRebalancesBackups) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(1, 12));
+  runtime.RunClocks(2);
+  runtime.AddNodes({{100, Tier::kReliable, 8, kInvalidAllocation},
+                    {101, Tier::kReliable, 8, kInvalidAllocation}});
+  for (int i = 0; i < 40 && runtime.PreparingCount() > 0; ++i) {
+    runtime.RunClock();
+  }
+  // The new reliable nodes should now hold a share of the backups.
+  std::set<NodeId> backup_owners;
+  for (const auto& [part, backup] : runtime.roles().backup) {
+    backup_owners.insert(backup);
+  }
+  EXPECT_GE(backup_owners.size(), 2u);
+}
+
+}  // namespace
+}  // namespace proteus

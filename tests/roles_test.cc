@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/agileml/roles.h"
+#include "src/common/rng.h"
+
+namespace proteus {
+namespace {
+
+std::vector<NodeInfo> MakeCluster(int reliable, int transient) {
+  std::vector<NodeInfo> nodes;
+  NodeId id = 0;
+  for (int i = 0; i < reliable; ++i) {
+    nodes.push_back({id++, Tier::kReliable, 8, kInvalidAllocation});
+  }
+  for (int i = 0; i < transient; ++i) {
+    nodes.push_back({id++, Tier::kTransient, 8, kInvalidAllocation});
+  }
+  return nodes;
+}
+
+std::set<NodeId> ReliableIds(const std::vector<NodeInfo>& nodes) {
+  std::set<NodeId> ids;
+  for (const auto& n : nodes) {
+    if (n.reliable()) {
+      ids.insert(n.id);
+    }
+  }
+  return ids;
+}
+
+TEST(RolePlanner, StageThresholdsFromPaper) {
+  RolePlanner planner(RolePlannerConfig{});
+  EXPECT_EQ(planner.PickStage({4, 0}), Stage::kStage1);
+  EXPECT_EQ(planner.PickStage({4, 4}), Stage::kStage1);   // 1:1 not > 1:1.
+  EXPECT_EQ(planner.PickStage({4, 8}), Stage::kStage2);   // 2:1.
+  EXPECT_EQ(planner.PickStage({4, 60}), Stage::kStage2);  // 15:1 not > 15:1.
+  EXPECT_EQ(planner.PickStage({1, 63}), Stage::kStage3);  // 63:1.
+}
+
+TEST(RolePlanner, ForcedStageOverrides) {
+  RolePlannerConfig config;
+  config.forced_stage = Stage::kStage3;
+  RolePlanner planner(config);
+  EXPECT_EQ(planner.PickStage({4, 4}), Stage::kStage3);
+}
+
+TEST(RolePlanner, Stage1ServersOnlyOnReliable) {
+  RolePlanner planner(RolePlannerConfig{});
+  const auto nodes = MakeCluster(4, 4);
+  const RoleAssignment roles = planner.Plan(nodes, 32, nullptr);
+  EXPECT_EQ(roles.stage, Stage::kStage1);
+  const auto reliable = ReliableIds(nodes);
+  for (const auto& [part, server] : roles.server) {
+    EXPECT_TRUE(reliable.count(server) > 0) << "partition " << part;
+  }
+  EXPECT_TRUE(roles.backup.empty());
+  EXPECT_EQ(roles.worker_nodes.size(), 8u);  // Workers everywhere.
+}
+
+TEST(RolePlanner, Stage2ActivesOnTransientBackupsOnReliable) {
+  RolePlanner planner(RolePlannerConfig{});
+  const auto nodes = MakeCluster(4, 16);  // Ratio 4:1 -> stage 2.
+  const RoleAssignment roles = planner.Plan(nodes, 32, nullptr);
+  EXPECT_EQ(roles.stage, Stage::kStage2);
+  // ActivePSs on half the transient nodes.
+  EXPECT_EQ(roles.active_ps_nodes.size(), 8u);
+  const auto reliable = ReliableIds(nodes);
+  for (const NodeId n : roles.active_ps_nodes) {
+    EXPECT_EQ(reliable.count(n), 0u);
+  }
+  for (const auto& [part, server] : roles.server) {
+    EXPECT_TRUE(roles.active_ps_nodes.count(server) > 0) << "partition " << part;
+  }
+  for (const auto& [part, backup] : roles.backup) {
+    EXPECT_TRUE(reliable.count(backup) > 0) << "partition " << part;
+  }
+  EXPECT_EQ(roles.worker_nodes.size(), 20u);  // Stage 2 keeps reliable workers.
+}
+
+TEST(RolePlanner, Stage3ExcludesReliableWorkers) {
+  RolePlanner planner(RolePlannerConfig{});
+  const auto nodes = MakeCluster(1, 63);
+  const RoleAssignment roles = planner.Plan(nodes, 32, nullptr);
+  EXPECT_EQ(roles.stage, Stage::kStage3);
+  EXPECT_EQ(roles.worker_nodes.size(), 63u);
+  EXPECT_EQ(roles.worker_nodes.count(0), 0u);  // Node 0 is the reliable one.
+}
+
+TEST(RolePlanner, EveryPartitionHasExactlyOneServer) {
+  RolePlanner planner(RolePlannerConfig{});
+  const auto nodes = MakeCluster(2, 30);
+  const RoleAssignment roles = planner.Plan(nodes, 32, nullptr);
+  EXPECT_EQ(roles.server.size(), 32u);
+  EXPECT_EQ(roles.backup.size(), 32u);
+}
+
+TEST(RolePlanner, ForcedActivePsCount) {
+  RolePlannerConfig config;
+  config.forced_stage = Stage::kStage2;
+  config.forced_active_ps_count = 48;
+  RolePlanner planner(config);
+  const auto nodes = MakeCluster(4, 60);
+  const RoleAssignment roles = planner.Plan(nodes, 64, nullptr);
+  EXPECT_EQ(roles.active_ps_nodes.size(), 48u);
+}
+
+TEST(RolePlanner, StablePlacementAcrossReplans) {
+  RolePlanner planner(RolePlannerConfig{});
+  auto nodes = MakeCluster(4, 16);
+  const RoleAssignment first = planner.Plan(nodes, 32, nullptr);
+  // Add two more transient nodes; most partitions should stay put.
+  nodes.push_back({100, Tier::kTransient, 8, kInvalidAllocation});
+  nodes.push_back({101, Tier::kTransient, 8, kInvalidAllocation});
+  const RoleAssignment second = planner.Plan(nodes, 32, &first);
+  int moved = 0;
+  for (const auto& [part, server] : second.server) {
+    if (first.server.at(part) != server) {
+      ++moved;
+    }
+  }
+  EXPECT_LE(moved, 8);  // Only rebalancing moves, not a reshuffle.
+}
+
+TEST(RolePlanner, ActivesPreferLongestRunningTransient) {
+  RolePlanner planner(RolePlannerConfig{});
+  const auto nodes = MakeCluster(4, 16);  // Transient ids 4..19 in join order.
+  const RoleAssignment roles = planner.Plan(nodes, 32, nullptr);
+  // The 8 actives must be the 8 earliest-joined transient nodes.
+  for (NodeId id = 4; id < 12; ++id) {
+    EXPECT_TRUE(roles.active_ps_nodes.count(id) > 0) << id;
+  }
+}
+
+TEST(RolePlanner, FallsBackToStage1WithoutTransient) {
+  RolePlannerConfig config;
+  config.forced_stage = Stage::kStage2;
+  RolePlanner planner(config);
+  const auto nodes = MakeCluster(4, 0);
+  const RoleAssignment roles = planner.Plan(nodes, 16, nullptr);
+  EXPECT_EQ(roles.stage, Stage::kStage1);
+}
+
+// Property: partitions balanced over servers within +-1 of the ceiling.
+class RolesBalanceTest : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RolesBalanceTest, ServerLoadBalanced) {
+  const auto [reliable, transient] = GetParam();
+  RolePlanner planner(RolePlannerConfig{});
+  const auto nodes = MakeCluster(reliable, transient);
+  const RoleAssignment roles = planner.Plan(nodes, 64, nullptr);
+  std::map<NodeId, int> load;
+  for (const auto& [part, server] : roles.server) {
+    ++load[server];
+  }
+  int min = 1000;
+  int max = 0;
+  for (const auto& [node, count] : load) {
+    min = std::min(min, count);
+    max = std::max(max, count);
+  }
+  EXPECT_LE(max - min, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RolesBalanceTest,
+                         ::testing::Values(std::tuple{4, 0}, std::tuple{4, 12},
+                                           std::tuple{2, 30}, std::tuple{1, 63},
+                                           std::tuple{8, 8}));
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,269 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+
+namespace proteus {
+namespace {
+
+// Shared fixture: a small MF problem and helpers to build clusters.
+class RuntimeTest : public ::testing::Test {
+ protected:
+  RuntimeTest() {
+    RatingsConfig rc;
+    rc.users = 600;
+    rc.items = 300;
+    rc.ratings = 30000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 16;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  AgileMLConfig Config() const {
+    AgileMLConfig config;
+    config.num_partitions = 16;
+    config.data_blocks = 64;
+    config.parallel_execution = false;
+    return config;
+  }
+
+  static std::vector<NodeInfo> Cluster(int reliable, int transient, NodeId first_id = 0) {
+    std::vector<NodeInfo> nodes;
+    NodeId id = first_id;
+    for (int i = 0; i < reliable; ++i) {
+      nodes.push_back({id++, Tier::kReliable, 8, kInvalidAllocation});
+    }
+    for (int i = 0; i < transient; ++i) {
+      nodes.push_back({id++, Tier::kTransient, 8, kInvalidAllocation});
+    }
+    return nodes;
+  }
+
+  static std::vector<NodeId> TransientIds(const AgileMLRuntime& runtime) {
+    std::vector<NodeId> ids;
+    for (const auto& node : runtime.nodes()) {
+      if (!node.reliable()) {
+        ids.push_back(node.id);
+      }
+    }
+    return ids;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(RuntimeTest, StagePickedFromInitialRatio) {
+  AgileMLRuntime s1(app_.get(), Config(), Cluster(4, 4));
+  EXPECT_EQ(s1.stage(), Stage::kStage1);
+  MatrixFactorizationApp app2(&data_, MfConfig{});
+  AgileMLRuntime s2(&app2, Config(), Cluster(4, 12));
+  EXPECT_EQ(s2.stage(), Stage::kStage2);
+  MatrixFactorizationApp app3(&data_, MfConfig{});
+  AgileMLRuntime s3(&app3, Config(), Cluster(1, 31));
+  EXPECT_EQ(s3.stage(), Stage::kStage3);
+}
+
+TEST_F(RuntimeTest, ClockAdvancesAndTimeAccrues) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(2, 2));
+  const IterationReport report = runtime.RunClock();
+  EXPECT_EQ(report.clock, 1);
+  EXPECT_GT(report.duration, 0.0);
+  EXPECT_GT(report.max_compute, 0.0);
+  EXPECT_DOUBLE_EQ(runtime.total_time(), report.duration);
+}
+
+TEST_F(RuntimeTest, AddedNodesPreloadThenJoin) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 0));
+  runtime.RunClocks(3);
+  runtime.AddNodes(Cluster(0, 8, /*first_id=*/100));
+  EXPECT_EQ(runtime.PreparingCount(), 8);
+  EXPECT_EQ(runtime.roles().worker_nodes.size(), 4u);  // Not yet joined.
+  // Run until they finish preloading and get incorporated.
+  for (int i = 0; i < 50 && runtime.PreparingCount() > 0; ++i) {
+    runtime.RunClock();
+  }
+  EXPECT_EQ(runtime.PreparingCount(), 0);
+  EXPECT_EQ(runtime.roles().worker_nodes.size(), 12u);
+  EXPECT_EQ(runtime.stage(), Stage::kStage2);  // 8:4 ratio.
+}
+
+TEST_F(RuntimeTest, IncorporationCausesNoDisruption) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 0));
+  runtime.RunClocks(3);
+  const SimDuration before = runtime.RunClock().duration;
+  runtime.AddNodes(Cluster(0, 8, 100));
+  // Clocks while preparing must not slow down (background preload).
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_LT(runtime.RunClock().duration, before * 1.25);
+  }
+}
+
+TEST_F(RuntimeTest, SpeedupAfterIncorporation) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 0));
+  runtime.RunClocks(2);
+  const SimDuration small_cluster = runtime.RunClock().duration;
+  runtime.AddNodes(Cluster(0, 12, 100));
+  for (int i = 0; i < 60 && runtime.PreparingCount() > 0; ++i) {
+    runtime.RunClock();
+  }
+  runtime.RunClock();  // Let the transition settle.
+  const SimDuration big_cluster = runtime.RunClock().duration;
+  EXPECT_LT(big_cluster, small_cluster);
+}
+
+TEST_F(RuntimeTest, PartialEvictionKeepsAllProgress) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 12));
+  runtime.RunClocks(5);
+  const Clock before = runtime.clock();
+  const auto transient = TransientIds(runtime);
+  runtime.Evict({transient[0], transient[1], transient[2]});
+  EXPECT_EQ(runtime.clock(), before);  // Warned eviction loses nothing.
+  EXPECT_EQ(runtime.lost_clocks_total(), 0);
+  EXPECT_TRUE(runtime.data().OwnershipIsComplete());
+  EXPECT_EQ(runtime.roles().worker_nodes.size(), 13u);
+  const double obj_before = runtime.ComputeObjective();
+  runtime.RunClocks(5);
+  EXPECT_LT(runtime.ComputeObjective(), obj_before);
+}
+
+TEST_F(RuntimeTest, FullTransientEvictionFallsBackToStage1) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 12));
+  EXPECT_EQ(runtime.stage(), Stage::kStage2);
+  runtime.RunClocks(4);
+  runtime.Evict(TransientIds(runtime));
+  EXPECT_EQ(runtime.stage(), Stage::kStage1);
+  EXPECT_EQ(runtime.roles().worker_nodes.size(), 4u);
+  EXPECT_EQ(runtime.lost_clocks_total(), 0);
+  const double obj = runtime.ComputeObjective();
+  runtime.RunClocks(4);
+  EXPECT_LT(runtime.ComputeObjective(), obj);
+}
+
+TEST_F(RuntimeTest, EvictionBlipThenRecovery) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 12));
+  runtime.RunClocks(5);
+  const SimDuration steady = runtime.RunClock().duration;
+  const auto transient = TransientIds(runtime);
+  runtime.Evict({transient[0], transient[1], transient[2], transient[3]});
+  // The eviction-handling clock pays foreground migration traffic.
+  const SimDuration blip = runtime.RunClock().duration;
+  EXPECT_GT(blip, steady * 0.9);
+  // Subsequent clocks settle near the smaller-cluster steady state.
+  runtime.RunClock();
+  const SimDuration settled = runtime.RunClock().duration;
+  EXPECT_LT(settled, blip * 1.5);
+}
+
+TEST_F(RuntimeTest, ActivePsFailureRollsBackToLastSync) {
+  AgileMLConfig config = Config();
+  config.backup_sync_every = 4;  // Make lost work observable.
+  AgileMLRuntime runtime(app_.get(), config, Cluster(4, 12));
+  EXPECT_EQ(runtime.stage(), Stage::kStage2);
+  runtime.RunClocks(4);  // Sync happens at clock 4.
+  runtime.RunClocks(3);  // Clocks 5..7 unsynced.
+  ASSERT_EQ(runtime.clock(), 7);
+  // Fail an ActivePS host without warning.
+  const NodeId active = *runtime.roles().active_ps_nodes.begin();
+  const int lost = runtime.Fail({active});
+  EXPECT_EQ(lost, 3);
+  EXPECT_EQ(runtime.clock(), 4);  // Rolled back to the consistent clock.
+  EXPECT_EQ(runtime.lost_clocks_total(), 3);
+  // Training continues and still converges.
+  const double obj = runtime.ComputeObjective();
+  runtime.RunClocks(6);
+  EXPECT_LT(runtime.ComputeObjective(), obj);
+}
+
+TEST_F(RuntimeTest, PlainWorkerFailureLosesNothing) {
+  AgileMLConfig config = Config();
+  config.backup_sync_every = 4;
+  AgileMLRuntime runtime(app_.get(), config, Cluster(4, 12));
+  runtime.RunClocks(6);
+  // Find a transient worker that hosts no ActivePS.
+  NodeId victim = kInvalidNode;
+  for (const NodeId id : TransientIds(runtime)) {
+    if (runtime.roles().active_ps_nodes.count(id) == 0) {
+      victim = id;
+      break;
+    }
+  }
+  ASSERT_NE(victim, kInvalidNode);
+  const int lost = runtime.Fail({victim});
+  EXPECT_EQ(lost, 0);
+  EXPECT_EQ(runtime.clock(), 6);
+}
+
+TEST_F(RuntimeTest, CheckpointRestoresAfterReliableFailureInStage1) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 4));
+  ASSERT_EQ(runtime.stage(), Stage::kStage1);
+  runtime.RunClocks(3);
+  runtime.CheckpointReliable();
+  runtime.RunClocks(2);
+  const int lost = runtime.Fail({0});  // Node 0 is a reliable ParamServ.
+  EXPECT_EQ(lost, 2);
+  EXPECT_EQ(runtime.clock(), 3);
+  const double obj = runtime.ComputeObjective();
+  runtime.RunClocks(4);
+  EXPECT_LT(runtime.ComputeObjective(), obj);
+}
+
+TEST_F(RuntimeTest, EvictingPreparingNodeIsHarmless) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 0));
+  runtime.RunClock();
+  runtime.AddNodes(Cluster(0, 2, 100));
+  EXPECT_EQ(runtime.PreparingCount(), 2);
+  runtime.Evict({100, 101});
+  EXPECT_EQ(runtime.PreparingCount(), 0);
+  EXPECT_EQ(runtime.roles().worker_nodes.size(), 4u);
+  runtime.RunClocks(2);  // Still healthy.
+  EXPECT_EQ(runtime.clock(), 3);
+}
+
+TEST_F(RuntimeTest, ObjectiveDecreasesThroughStageTransitions) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 0));
+  runtime.RunClocks(3);
+  const double obj1 = runtime.ComputeObjective();
+  runtime.AddNodes(Cluster(0, 12, 100));  // Will trigger stage 2.
+  for (int i = 0; i < 60 && runtime.PreparingCount() > 0; ++i) {
+    runtime.RunClock();
+  }
+  runtime.RunClocks(4);
+  const double obj2 = runtime.ComputeObjective();
+  EXPECT_LT(obj2, obj1);
+  EXPECT_EQ(runtime.stage(), Stage::kStage2);
+  runtime.Evict(TransientIds(runtime));  // Back to stage 1.
+  runtime.RunClocks(4);
+  EXPECT_LT(runtime.ComputeObjective(), obj2);
+}
+
+
+TEST_F(RuntimeTest, BisectionBandwidthFloorsIterationTime) {
+  AgileMLConfig fast = Config();
+  AgileMLRuntime unconstrained(app_.get(), fast, Cluster(4, 12));
+  const SimDuration free_net = unconstrained.RunClock().duration;
+
+  MatrixFactorizationApp app2(&data_, MfConfig{.rank = 16});
+  AgileMLConfig slow = Config();
+  slow.bisection_bandwidth = 1e6;  // 8 Mbps core: brutally oversubscribed.
+  AgileMLRuntime constrained(&app2, slow, Cluster(4, 12));
+  const SimDuration capped_net = constrained.RunClock().duration;
+  EXPECT_GT(capped_net, free_net * 2.0);
+}
+
+TEST_F(RuntimeTest, WorkerNodesOwnAllDataAtAllTimes) {
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(4, 8));
+  runtime.RunClocks(2);
+  std::int64_t total = 0;
+  for (const NodeId w : runtime.roles().worker_nodes) {
+    total += runtime.data().ItemCountOf(w);
+  }
+  EXPECT_EQ(total, data_.size());
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include "src/market/spot_market.h"
+
+namespace proteus {
+namespace {
+
+class SpotMarketTest : public ::testing::Test {
+ protected:
+  SpotMarketTest() : catalog_(InstanceTypeCatalog::Default()) {
+    // c4.xlarge trace: cheap (0.05), spikes to 1.0 in [2.5h, 2.6h).
+    traces_.Put({"z0", "c4.xlarge"},
+                PriceSeries({{0.0, 0.05}, {2.5 * kHour, 1.0}, {2.6 * kHour, 0.05}}));
+    market_ = std::make_unique<SpotMarket>(catalog_, traces_);
+  }
+
+  InstanceTypeCatalog catalog_;
+  TraceStore traces_;
+  std::unique_ptr<SpotMarket> market_;
+  const MarketKey key_{"z0", "c4.xlarge"};
+};
+
+TEST_F(SpotMarketTest, GrantsWhenBidAtOrAboveMarket) {
+  EXPECT_TRUE(market_->RequestSpot(key_, 2, 0.05, 0.0).has_value());
+  EXPECT_TRUE(market_->RequestSpot(key_, 2, 0.10, 0.0).has_value());
+}
+
+TEST_F(SpotMarketTest, DeniesWhenBidBelowMarket) {
+  EXPECT_FALSE(market_->RequestSpot(key_, 2, 0.04, 0.0).has_value());
+  // During the spike the market is at 1.0.
+  EXPECT_FALSE(market_->RequestSpot(key_, 2, 0.5, 2.55 * kHour).has_value());
+}
+
+TEST_F(SpotMarketTest, PrecomputesEvictionAtBidCrossing) {
+  const auto id = market_->RequestSpot(key_, 4, 0.10, 0.0);
+  ASSERT_TRUE(id.has_value());
+  const Allocation& alloc = market_->Get(*id);
+  ASSERT_TRUE(alloc.eviction_time.has_value());
+  EXPECT_DOUBLE_EQ(*alloc.eviction_time, 2.5 * kHour);
+}
+
+TEST_F(SpotMarketTest, HighBidNeverEvicted) {
+  const auto id = market_->RequestSpot(key_, 1, 2.0, 0.0);
+  ASSERT_TRUE(id.has_value());
+  EXPECT_FALSE(market_->Get(*id).eviction_time.has_value());
+}
+
+TEST_F(SpotMarketTest, WarningPrecedesEvictionByTwoMinutes) {
+  const auto id = market_->RequestSpot(key_, 1, 0.10, 0.0);
+  const auto warning = market_->WarningTime(*id);
+  ASSERT_TRUE(warning.has_value());
+  EXPECT_DOUBLE_EQ(*warning, 2.5 * kHour - 2 * kMinute);
+}
+
+TEST_F(SpotMarketTest, BillsFullHoursAtHourStartPrice) {
+  const auto id = market_->RequestSpot(key_, 2, 0.10, 0.0);
+  market_->Terminate(*id, 2.0 * kHour);
+  const BillingBreakdown bill = market_->Bill(*id, 10 * kHour);
+  // Two full hours at 0.05 x 2 instances.
+  EXPECT_NEAR(bill.charged, 2 * 0.05 * 2, 1e-9);
+  EXPECT_DOUBLE_EQ(bill.refunded, 0.0);
+  EXPECT_DOUBLE_EQ(bill.paid_hours, 4.0);
+}
+
+TEST_F(SpotMarketTest, UserTerminationPaysPartialHourInFull) {
+  const auto id = market_->RequestSpot(key_, 1, 0.10, 0.0);
+  market_->Terminate(*id, 0.5 * kHour);
+  const BillingBreakdown bill = market_->Bill(*id, 10 * kHour);
+  EXPECT_NEAR(bill.charged, 0.05, 1e-9);  // Whole hour billed.
+  EXPECT_DOUBLE_EQ(bill.free_hours, 0.0);
+}
+
+TEST_F(SpotMarketTest, EvictionRefundsInProgressHour) {
+  const auto id = market_->RequestSpot(key_, 2, 0.10, 0.0);
+  market_->MarkEvicted(*id);
+  const Allocation& alloc = market_->Get(*id);
+  EXPECT_DOUBLE_EQ(alloc.end, 2.5 * kHour);
+  const BillingBreakdown bill = market_->Bill(*id, 10 * kHour);
+  // Hours 0 and 1 charged; hour 2 (evicted at 2.5h) refunded.
+  EXPECT_NEAR(bill.charged, 2 * 0.05 * 2, 1e-9);
+  EXPECT_NEAR(bill.refunded, 0.05 * 2, 1e-9);
+  EXPECT_NEAR(bill.free_hours, 0.5 * 2, 1e-9);  // Half an hour x 2 machines.
+}
+
+TEST_F(SpotMarketTest, TerminateAfterEvictionTimeBecomesEviction) {
+  const auto id = market_->RequestSpot(key_, 1, 0.10, 0.0);
+  market_->Terminate(*id, 3.0 * kHour);  // Market evicted it at 2.5h.
+  const Allocation& alloc = market_->Get(*id);
+  EXPECT_EQ(alloc.state, AllocationState::kEvicted);
+  EXPECT_DOUBLE_EQ(alloc.end, 2.5 * kHour);
+}
+
+TEST_F(SpotMarketTest, OnDemandBilledAtCatalogPrice) {
+  const AllocationId id = market_->RequestOnDemand(key_, 3, 0.0);
+  market_->Terminate(id, 1.5 * kHour);
+  const BillingBreakdown bill = market_->Bill(id, 10 * kHour);
+  // 2 started hours x 3 instances x $0.209.
+  EXPECT_NEAR(bill.charged, 2 * 3 * 0.209, 1e-9);
+}
+
+TEST_F(SpotMarketTest, BillAsOfMidRun) {
+  const auto id = market_->RequestSpot(key_, 1, 2.0, 0.0);
+  const BillingBreakdown bill = market_->Bill(*id, 0.25 * kHour);
+  EXPECT_NEAR(bill.charged, 0.05, 1e-9);  // First hour already billed.
+}
+
+TEST_F(SpotMarketTest, TotalBillAggregates) {
+  const auto a = market_->RequestSpot(key_, 1, 2.0, 0.0);
+  const AllocationId b = market_->RequestOnDemand(key_, 1, 0.0);
+  (void)a;
+  (void)b;
+  const BillingBreakdown bill = market_->TotalBill(0.5 * kHour);
+  EXPECT_NEAR(bill.charged, 0.05 + 0.209, 1e-9);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,131 @@
+// Tests for the automated tuning components (the paper's stated future
+// work): stage-threshold selection (§3.3) and phi/sigma/lambda profile
+// estimation (§4.1).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/agileml/threshold_tuner.h"
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/proteus/profile_estimator.h"
+
+namespace proteus {
+namespace {
+
+class TuningTest : public ::testing::Test {
+ protected:
+  TuningTest() {
+    RatingsConfig rc;
+    rc.users = 3000;
+    rc.items = 400;
+    rc.ratings = 30000;
+    rc.item_zipf = 1.01;
+    data_ = GenerateRatings(rc);
+  }
+
+  std::function<std::unique_ptr<MLApp>()> Factory() const {
+    return [this] {
+      MfConfig mc;
+      mc.rank = 64;
+      return std::make_unique<MatrixFactorizationApp>(&data_, mc);
+    };
+  }
+
+  AgileMLConfig BaseConfig() const {
+    AgileMLConfig config;
+    config.num_partitions = 16;
+    config.data_blocks = 256;
+    config.core_speed = 4e6;
+    config.parallel_execution = false;
+    return config;
+  }
+
+  RatingsDataset data_;
+};
+
+TEST_F(TuningTest, TunerProducesOrderedThresholds) {
+  ThresholdTunerConfig tc;
+  tc.total_nodes = 32;
+  tc.reliable_counts = {16, 8, 4, 2, 1};
+  tc.warmup_clocks = 1;
+  tc.measure_clocks = 2;
+  ThresholdTuner tuner(Factory(), BaseConfig(), tc);
+  const TunedThresholds tuned = tuner.Tune();
+  ASSERT_EQ(tuned.probes.size(), 5u);
+  EXPECT_GT(tuned.stage2_threshold, 0.0);
+  EXPECT_GE(tuned.stage3_threshold, tuned.stage2_threshold);
+  // Probes must be ordered by increasing ratio.
+  for (std::size_t i = 1; i < tuned.probes.size(); ++i) {
+    EXPECT_GT(tuned.probes[i].ratio, tuned.probes[i - 1].ratio);
+  }
+}
+
+TEST_F(TuningTest, TunedThresholdsSelectSensibleStages) {
+  ThresholdTunerConfig tc;
+  tc.total_nodes = 32;
+  tc.reliable_counts = {16, 8, 4, 2, 1};
+  tc.warmup_clocks = 1;
+  tc.measure_clocks = 2;
+  ThresholdTuner tuner(Factory(), BaseConfig(), tc);
+  const TunedThresholds tuned = tuner.Tune();
+  // At low ratios stage 1 must win; at the top probed ratio stage 3 or 2.
+  EXPECT_EQ(tuned.probes.front().Best(), Stage::kStage1);
+  EXPECT_NE(tuned.probes.back().Best(), Stage::kStage1);
+}
+
+TEST_F(TuningTest, PhiIsAFractionOfIdeal) {
+  ProfileEstimatorConfig pc;
+  pc.base_nodes = 4;
+  pc.scaled_nodes = 16;
+  pc.warmup_clocks = 1;
+  pc.measure_clocks = 2;
+  ProfileEstimator estimator(Factory(), BaseConfig(), pc);
+  const double phi = estimator.EstimatePhi();
+  EXPECT_GT(phi, 0.3);
+  EXPECT_LE(phi, 1.0);
+}
+
+TEST_F(TuningTest, SigmaSmallForBackgroundIncorporation) {
+  ProfileEstimatorConfig pc;
+  pc.base_nodes = 4;
+  pc.scaled_nodes = 16;
+  pc.churn_nodes = 4;
+  pc.warmup_clocks = 1;
+  pc.measure_clocks = 2;
+  ProfileEstimator estimator(Factory(), BaseConfig(), pc);
+  const SimDuration sigma = estimator.EstimateSigma();
+  // AgileML incorporates in the background: overhead well under a minute.
+  EXPECT_GE(sigma, 0.0);
+  EXPECT_LT(sigma, 60.0);
+}
+
+TEST_F(TuningTest, LambdaReflectsEvictionBlip) {
+  ProfileEstimatorConfig pc;
+  pc.base_nodes = 4;
+  pc.scaled_nodes = 16;
+  pc.churn_nodes = 8;
+  pc.warmup_clocks = 1;
+  pc.measure_clocks = 2;
+  ProfileEstimator estimator(Factory(), BaseConfig(), pc);
+  const SimDuration lambda = estimator.EstimateLambda();
+  EXPECT_GE(lambda, 0.0);
+  EXPECT_LT(lambda, 120.0);  // Far cheaper than a checkpoint restart.
+}
+
+TEST_F(TuningTest, FullProfileAssembly) {
+  ProfileEstimatorConfig pc;
+  pc.base_nodes = 4;
+  pc.scaled_nodes = 8;
+  pc.churn_nodes = 2;
+  pc.warmup_clocks = 1;
+  pc.measure_clocks = 2;
+  ProfileEstimator estimator(Factory(), BaseConfig(), pc);
+  const AppProfile profile = estimator.Estimate();
+  EXPECT_GT(profile.phi, 0.0);
+  EXPECT_GE(profile.sigma, 0.0);
+  EXPECT_GE(profile.lambda, 0.0);
+}
+
+}  // namespace
+}  // namespace proteus
