@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_mlr_headline.dir/fig01_mlr_headline.cc.o"
+  "CMakeFiles/fig01_mlr_headline.dir/fig01_mlr_headline.cc.o.d"
+  "fig01_mlr_headline"
+  "fig01_mlr_headline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_mlr_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

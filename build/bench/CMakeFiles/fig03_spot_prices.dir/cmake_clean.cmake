@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_spot_prices.dir/fig03_spot_prices.cc.o"
+  "CMakeFiles/fig03_spot_prices.dir/fig03_spot_prices.cc.o.d"
+  "fig03_spot_prices"
+  "fig03_spot_prices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_spot_prices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

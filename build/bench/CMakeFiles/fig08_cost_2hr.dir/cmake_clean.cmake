@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_cost_2hr.dir/fig08_cost_2hr.cc.o"
+  "CMakeFiles/fig08_cost_2hr.dir/fig08_cost_2hr.cc.o.d"
+  "fig08_cost_2hr"
+  "fig08_cost_2hr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_cost_2hr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_cost_20hr.dir/fig09_cost_20hr.cc.o"
+  "CMakeFiles/fig09_cost_20hr.dir/fig09_cost_20hr.cc.o.d"
+  "fig09_cost_20hr"
+  "fig09_cost_20hr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_cost_20hr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_machine_hours.dir/fig10_machine_hours.cc.o"
+  "CMakeFiles/fig10_machine_hours.dir/fig10_machine_hours.cc.o.d"
+  "fig10_machine_hours"
+  "fig10_machine_hours.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_machine_hours.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

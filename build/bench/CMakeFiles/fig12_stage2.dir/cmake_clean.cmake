@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_stage2.dir/fig12_stage2.cc.o"
+  "CMakeFiles/fig12_stage2.dir/fig12_stage2.cc.o.d"
+  "fig12_stage2"
+  "fig12_stage2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_stage2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_stage3.dir/fig13_stage3.cc.o"
+  "CMakeFiles/fig13_stage3.dir/fig13_stage3.cc.o.d"
+  "fig13_stage3"
+  "fig13_stage3.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_stage3.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_stage_compare.dir/fig14_stage_compare.cc.o"
+  "CMakeFiles/fig14_stage_compare.dir/fig14_stage_compare.cc.o.d"
+  "fig14_stage_compare"
+  "fig14_stage_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_stage_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_elasticity.dir/fig16_elasticity.cc.o"
+  "CMakeFiles/fig16_elasticity.dir/fig16_elasticity.cc.o.d"
+  "fig16_elasticity"
+  "fig16_elasticity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_elasticity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

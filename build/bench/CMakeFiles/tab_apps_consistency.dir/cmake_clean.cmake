@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_apps_consistency.dir/tab_apps_consistency.cc.o"
+  "CMakeFiles/tab_apps_consistency.dir/tab_apps_consistency.cc.o.d"
+  "tab_apps_consistency"
+  "tab_apps_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_apps_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_bid_delta_sweep.dir/tab_bid_delta_sweep.cc.o"
+  "CMakeFiles/tab_bid_delta_sweep.dir/tab_bid_delta_sweep.cc.o.d"
+  "tab_bid_delta_sweep"
+  "tab_bid_delta_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_bid_delta_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

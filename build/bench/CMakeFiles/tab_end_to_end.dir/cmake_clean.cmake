@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_end_to_end.dir/tab_end_to_end.cc.o"
+  "CMakeFiles/tab_end_to_end.dir/tab_end_to_end.cc.o.d"
+  "tab_end_to_end"
+  "tab_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

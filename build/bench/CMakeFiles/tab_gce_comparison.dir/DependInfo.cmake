@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab_gce_comparison.cc" "bench/CMakeFiles/tab_gce_comparison.dir/tab_gce_comparison.cc.o" "gcc" "bench/CMakeFiles/tab_gce_comparison.dir/tab_gce_comparison.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/proteus/CMakeFiles/proteus_proteus.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpc/CMakeFiles/proteus_rpc.dir/DependInfo.cmake"
+  "/root/repo/build/src/bidbrain/CMakeFiles/proteus_bidbrain.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/proteus_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/agileml/CMakeFiles/proteus_agileml.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/proteus_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/proteus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/proteus_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proteus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

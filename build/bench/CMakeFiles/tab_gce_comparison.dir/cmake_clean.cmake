@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_gce_comparison.dir/tab_gce_comparison.cc.o"
+  "CMakeFiles/tab_gce_comparison.dir/tab_gce_comparison.cc.o.d"
+  "tab_gce_comparison"
+  "tab_gce_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_gce_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_job_queue.dir/tab_job_queue.cc.o"
+  "CMakeFiles/tab_job_queue.dir/tab_job_queue.cc.o.d"
+  "tab_job_queue"
+  "tab_job_queue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_job_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

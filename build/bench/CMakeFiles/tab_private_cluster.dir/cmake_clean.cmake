@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_private_cluster.dir/tab_private_cluster.cc.o"
+  "CMakeFiles/tab_private_cluster.dir/tab_private_cluster.cc.o.d"
+  "tab_private_cluster"
+  "tab_private_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_private_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_ratio_sweep.dir/tab_ratio_sweep.cc.o"
+  "CMakeFiles/tab_ratio_sweep.dir/tab_ratio_sweep.cc.o.d"
+  "tab_ratio_sweep"
+  "tab_ratio_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_ratio_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

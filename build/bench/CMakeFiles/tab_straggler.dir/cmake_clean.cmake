@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab_straggler.dir/tab_straggler.cc.o"
+  "CMakeFiles/tab_straggler.dir/tab_straggler.cc.o.d"
+  "tab_straggler"
+  "tab_straggler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_straggler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

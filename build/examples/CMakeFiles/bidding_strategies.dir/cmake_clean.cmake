@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidding_strategies.dir/bidding_strategies.cpp.o"
+  "CMakeFiles/bidding_strategies.dir/bidding_strategies.cpp.o.d"
+  "bidding_strategies"
+  "bidding_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidding_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperparameter_sweep.dir/hyperparameter_sweep.cpp.o"
+  "CMakeFiles/hyperparameter_sweep.dir/hyperparameter_sweep.cpp.o.d"
+  "hyperparameter_sweep"
+  "hyperparameter_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperparameter_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

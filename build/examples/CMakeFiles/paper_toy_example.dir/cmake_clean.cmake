@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_toy_example.dir/paper_toy_example.cpp.o"
+  "CMakeFiles/paper_toy_example.dir/paper_toy_example.cpp.o.d"
+  "paper_toy_example"
+  "paper_toy_example.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_toy_example.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

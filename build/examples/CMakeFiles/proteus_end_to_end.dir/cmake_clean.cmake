@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_end_to_end.dir/proteus_end_to_end.cpp.o"
+  "CMakeFiles/proteus_end_to_end.dir/proteus_end_to_end.cpp.o.d"
+  "proteus_end_to_end"
+  "proteus_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

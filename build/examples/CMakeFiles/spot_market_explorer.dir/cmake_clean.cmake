@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_market_explorer.dir/spot_market_explorer.cpp.o"
+  "CMakeFiles/spot_market_explorer.dir/spot_market_explorer.cpp.o.d"
+  "spot_market_explorer"
+  "spot_market_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_market_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/agileml/cluster.cc" "src/agileml/CMakeFiles/proteus_agileml.dir/cluster.cc.o" "gcc" "src/agileml/CMakeFiles/proteus_agileml.dir/cluster.cc.o.d"
+  "/root/repo/src/agileml/control_plane.cc" "src/agileml/CMakeFiles/proteus_agileml.dir/control_plane.cc.o" "gcc" "src/agileml/CMakeFiles/proteus_agileml.dir/control_plane.cc.o.d"
+  "/root/repo/src/agileml/data_assignment.cc" "src/agileml/CMakeFiles/proteus_agileml.dir/data_assignment.cc.o" "gcc" "src/agileml/CMakeFiles/proteus_agileml.dir/data_assignment.cc.o.d"
+  "/root/repo/src/agileml/roles.cc" "src/agileml/CMakeFiles/proteus_agileml.dir/roles.cc.o" "gcc" "src/agileml/CMakeFiles/proteus_agileml.dir/roles.cc.o.d"
+  "/root/repo/src/agileml/runtime.cc" "src/agileml/CMakeFiles/proteus_agileml.dir/runtime.cc.o" "gcc" "src/agileml/CMakeFiles/proteus_agileml.dir/runtime.cc.o.d"
+  "/root/repo/src/agileml/threshold_tuner.cc" "src/agileml/CMakeFiles/proteus_agileml.dir/threshold_tuner.cc.o" "gcc" "src/agileml/CMakeFiles/proteus_agileml.dir/threshold_tuner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/proteus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/proteus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/proteus_ps.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

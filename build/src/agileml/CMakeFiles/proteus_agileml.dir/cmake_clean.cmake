@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_agileml.dir/cluster.cc.o"
+  "CMakeFiles/proteus_agileml.dir/cluster.cc.o.d"
+  "CMakeFiles/proteus_agileml.dir/control_plane.cc.o"
+  "CMakeFiles/proteus_agileml.dir/control_plane.cc.o.d"
+  "CMakeFiles/proteus_agileml.dir/data_assignment.cc.o"
+  "CMakeFiles/proteus_agileml.dir/data_assignment.cc.o.d"
+  "CMakeFiles/proteus_agileml.dir/roles.cc.o"
+  "CMakeFiles/proteus_agileml.dir/roles.cc.o.d"
+  "CMakeFiles/proteus_agileml.dir/runtime.cc.o"
+  "CMakeFiles/proteus_agileml.dir/runtime.cc.o.d"
+  "CMakeFiles/proteus_agileml.dir/threshold_tuner.cc.o"
+  "CMakeFiles/proteus_agileml.dir/threshold_tuner.cc.o.d"
+  "libproteus_agileml.a"
+  "libproteus_agileml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_agileml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

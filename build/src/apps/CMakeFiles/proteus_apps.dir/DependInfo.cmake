@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/datasets.cc" "src/apps/CMakeFiles/proteus_apps.dir/datasets.cc.o" "gcc" "src/apps/CMakeFiles/proteus_apps.dir/datasets.cc.o.d"
+  "/root/repo/src/apps/dnn.cc" "src/apps/CMakeFiles/proteus_apps.dir/dnn.cc.o" "gcc" "src/apps/CMakeFiles/proteus_apps.dir/dnn.cc.o.d"
+  "/root/repo/src/apps/kmeans.cc" "src/apps/CMakeFiles/proteus_apps.dir/kmeans.cc.o" "gcc" "src/apps/CMakeFiles/proteus_apps.dir/kmeans.cc.o.d"
+  "/root/repo/src/apps/lda.cc" "src/apps/CMakeFiles/proteus_apps.dir/lda.cc.o" "gcc" "src/apps/CMakeFiles/proteus_apps.dir/lda.cc.o.d"
+  "/root/repo/src/apps/mf.cc" "src/apps/CMakeFiles/proteus_apps.dir/mf.cc.o" "gcc" "src/apps/CMakeFiles/proteus_apps.dir/mf.cc.o.d"
+  "/root/repo/src/apps/mlr.cc" "src/apps/CMakeFiles/proteus_apps.dir/mlr.cc.o" "gcc" "src/apps/CMakeFiles/proteus_apps.dir/mlr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/agileml/CMakeFiles/proteus_agileml.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/proteus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/ps/CMakeFiles/proteus_ps.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proteus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_apps.dir/datasets.cc.o"
+  "CMakeFiles/proteus_apps.dir/datasets.cc.o.d"
+  "CMakeFiles/proteus_apps.dir/dnn.cc.o"
+  "CMakeFiles/proteus_apps.dir/dnn.cc.o.d"
+  "CMakeFiles/proteus_apps.dir/kmeans.cc.o"
+  "CMakeFiles/proteus_apps.dir/kmeans.cc.o.d"
+  "CMakeFiles/proteus_apps.dir/lda.cc.o"
+  "CMakeFiles/proteus_apps.dir/lda.cc.o.d"
+  "CMakeFiles/proteus_apps.dir/mf.cc.o"
+  "CMakeFiles/proteus_apps.dir/mf.cc.o.d"
+  "CMakeFiles/proteus_apps.dir/mlr.cc.o"
+  "CMakeFiles/proteus_apps.dir/mlr.cc.o.d"
+  "libproteus_apps.a"
+  "libproteus_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bidbrain/app_profile.cc" "src/bidbrain/CMakeFiles/proteus_bidbrain.dir/app_profile.cc.o" "gcc" "src/bidbrain/CMakeFiles/proteus_bidbrain.dir/app_profile.cc.o.d"
+  "/root/repo/src/bidbrain/bidbrain.cc" "src/bidbrain/CMakeFiles/proteus_bidbrain.dir/bidbrain.cc.o" "gcc" "src/bidbrain/CMakeFiles/proteus_bidbrain.dir/bidbrain.cc.o.d"
+  "/root/repo/src/bidbrain/cost_model.cc" "src/bidbrain/CMakeFiles/proteus_bidbrain.dir/cost_model.cc.o" "gcc" "src/bidbrain/CMakeFiles/proteus_bidbrain.dir/cost_model.cc.o.d"
+  "/root/repo/src/bidbrain/eviction_estimator.cc" "src/bidbrain/CMakeFiles/proteus_bidbrain.dir/eviction_estimator.cc.o" "gcc" "src/bidbrain/CMakeFiles/proteus_bidbrain.dir/eviction_estimator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/market/CMakeFiles/proteus_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/proteus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_bidbrain.dir/app_profile.cc.o"
+  "CMakeFiles/proteus_bidbrain.dir/app_profile.cc.o.d"
+  "CMakeFiles/proteus_bidbrain.dir/bidbrain.cc.o"
+  "CMakeFiles/proteus_bidbrain.dir/bidbrain.cc.o.d"
+  "CMakeFiles/proteus_bidbrain.dir/cost_model.cc.o"
+  "CMakeFiles/proteus_bidbrain.dir/cost_model.cc.o.d"
+  "CMakeFiles/proteus_bidbrain.dir/eviction_estimator.cc.o"
+  "CMakeFiles/proteus_bidbrain.dir/eviction_estimator.cc.o.d"
+  "libproteus_bidbrain.a"
+  "libproteus_bidbrain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_bidbrain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

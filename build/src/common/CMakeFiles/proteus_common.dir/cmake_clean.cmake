@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_common.dir/csv.cc.o"
+  "CMakeFiles/proteus_common.dir/csv.cc.o.d"
+  "CMakeFiles/proteus_common.dir/logging.cc.o"
+  "CMakeFiles/proteus_common.dir/logging.cc.o.d"
+  "CMakeFiles/proteus_common.dir/rng.cc.o"
+  "CMakeFiles/proteus_common.dir/rng.cc.o.d"
+  "CMakeFiles/proteus_common.dir/stats.cc.o"
+  "CMakeFiles/proteus_common.dir/stats.cc.o.d"
+  "CMakeFiles/proteus_common.dir/table.cc.o"
+  "CMakeFiles/proteus_common.dir/table.cc.o.d"
+  "CMakeFiles/proteus_common.dir/thread_pool.cc.o"
+  "CMakeFiles/proteus_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/proteus_common.dir/types.cc.o"
+  "CMakeFiles/proteus_common.dir/types.cc.o.d"
+  "libproteus_common.a"
+  "libproteus_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

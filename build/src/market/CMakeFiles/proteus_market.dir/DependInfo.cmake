@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/market/capacity_trace.cc" "src/market/CMakeFiles/proteus_market.dir/capacity_trace.cc.o" "gcc" "src/market/CMakeFiles/proteus_market.dir/capacity_trace.cc.o.d"
+  "/root/repo/src/market/instance_type.cc" "src/market/CMakeFiles/proteus_market.dir/instance_type.cc.o" "gcc" "src/market/CMakeFiles/proteus_market.dir/instance_type.cc.o.d"
+  "/root/repo/src/market/preemptible.cc" "src/market/CMakeFiles/proteus_market.dir/preemptible.cc.o" "gcc" "src/market/CMakeFiles/proteus_market.dir/preemptible.cc.o.d"
+  "/root/repo/src/market/price_series.cc" "src/market/CMakeFiles/proteus_market.dir/price_series.cc.o" "gcc" "src/market/CMakeFiles/proteus_market.dir/price_series.cc.o.d"
+  "/root/repo/src/market/spot_market.cc" "src/market/CMakeFiles/proteus_market.dir/spot_market.cc.o" "gcc" "src/market/CMakeFiles/proteus_market.dir/spot_market.cc.o.d"
+  "/root/repo/src/market/trace_gen.cc" "src/market/CMakeFiles/proteus_market.dir/trace_gen.cc.o" "gcc" "src/market/CMakeFiles/proteus_market.dir/trace_gen.cc.o.d"
+  "/root/repo/src/market/trace_store.cc" "src/market/CMakeFiles/proteus_market.dir/trace_store.cc.o" "gcc" "src/market/CMakeFiles/proteus_market.dir/trace_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/proteus_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/proteus_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

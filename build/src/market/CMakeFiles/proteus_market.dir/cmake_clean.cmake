@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_market.dir/capacity_trace.cc.o"
+  "CMakeFiles/proteus_market.dir/capacity_trace.cc.o.d"
+  "CMakeFiles/proteus_market.dir/instance_type.cc.o"
+  "CMakeFiles/proteus_market.dir/instance_type.cc.o.d"
+  "CMakeFiles/proteus_market.dir/preemptible.cc.o"
+  "CMakeFiles/proteus_market.dir/preemptible.cc.o.d"
+  "CMakeFiles/proteus_market.dir/price_series.cc.o"
+  "CMakeFiles/proteus_market.dir/price_series.cc.o.d"
+  "CMakeFiles/proteus_market.dir/spot_market.cc.o"
+  "CMakeFiles/proteus_market.dir/spot_market.cc.o.d"
+  "CMakeFiles/proteus_market.dir/trace_gen.cc.o"
+  "CMakeFiles/proteus_market.dir/trace_gen.cc.o.d"
+  "CMakeFiles/proteus_market.dir/trace_store.cc.o"
+  "CMakeFiles/proteus_market.dir/trace_store.cc.o.d"
+  "libproteus_market.a"
+  "libproteus_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

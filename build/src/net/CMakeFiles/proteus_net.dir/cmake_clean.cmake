@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_net.dir/fabric.cc.o"
+  "CMakeFiles/proteus_net.dir/fabric.cc.o.d"
+  "libproteus_net.a"
+  "libproteus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

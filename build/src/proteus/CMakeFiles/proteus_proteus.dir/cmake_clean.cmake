@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_proteus.dir/accounting.cc.o"
+  "CMakeFiles/proteus_proteus.dir/accounting.cc.o.d"
+  "CMakeFiles/proteus_proteus.dir/job_queue.cc.o"
+  "CMakeFiles/proteus_proteus.dir/job_queue.cc.o.d"
+  "CMakeFiles/proteus_proteus.dir/job_simulator.cc.o"
+  "CMakeFiles/proteus_proteus.dir/job_simulator.cc.o.d"
+  "CMakeFiles/proteus_proteus.dir/profile_estimator.cc.o"
+  "CMakeFiles/proteus_proteus.dir/profile_estimator.cc.o.d"
+  "CMakeFiles/proteus_proteus.dir/proteus_runtime.cc.o"
+  "CMakeFiles/proteus_proteus.dir/proteus_runtime.cc.o.d"
+  "libproteus_proteus.a"
+  "libproteus_proteus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_proteus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

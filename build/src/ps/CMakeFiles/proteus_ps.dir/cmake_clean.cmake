@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_ps.dir/access_tracker.cc.o"
+  "CMakeFiles/proteus_ps.dir/access_tracker.cc.o.d"
+  "CMakeFiles/proteus_ps.dir/clock_table.cc.o"
+  "CMakeFiles/proteus_ps.dir/clock_table.cc.o.d"
+  "CMakeFiles/proteus_ps.dir/model.cc.o"
+  "CMakeFiles/proteus_ps.dir/model.cc.o.d"
+  "libproteus_ps.a"
+  "libproteus_ps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_ps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

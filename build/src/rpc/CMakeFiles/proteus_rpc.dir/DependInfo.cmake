@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpc/channel.cc" "src/rpc/CMakeFiles/proteus_rpc.dir/channel.cc.o" "gcc" "src/rpc/CMakeFiles/proteus_rpc.dir/channel.cc.o.d"
+  "/root/repo/src/rpc/messages.cc" "src/rpc/CMakeFiles/proteus_rpc.dir/messages.cc.o" "gcc" "src/rpc/CMakeFiles/proteus_rpc.dir/messages.cc.o.d"
+  "/root/repo/src/rpc/serializer.cc" "src/rpc/CMakeFiles/proteus_rpc.dir/serializer.cc.o" "gcc" "src/rpc/CMakeFiles/proteus_rpc.dir/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/proteus_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

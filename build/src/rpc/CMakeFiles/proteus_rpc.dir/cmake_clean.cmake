@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_rpc.dir/channel.cc.o"
+  "CMakeFiles/proteus_rpc.dir/channel.cc.o.d"
+  "CMakeFiles/proteus_rpc.dir/messages.cc.o"
+  "CMakeFiles/proteus_rpc.dir/messages.cc.o.d"
+  "CMakeFiles/proteus_rpc.dir/serializer.cc.o"
+  "CMakeFiles/proteus_rpc.dir/serializer.cc.o.d"
+  "libproteus_rpc.a"
+  "libproteus_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

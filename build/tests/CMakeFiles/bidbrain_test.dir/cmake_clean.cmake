@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bidbrain_test.dir/bidbrain_test.cc.o"
+  "CMakeFiles/bidbrain_test.dir/bidbrain_test.cc.o.d"
+  "bidbrain_test"
+  "bidbrain_test.pdb"
+  "bidbrain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bidbrain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/capacity_trace_test.dir/capacity_trace_test.cc.o"
+  "CMakeFiles/capacity_trace_test.dir/capacity_trace_test.cc.o.d"
+  "capacity_trace_test"
+  "capacity_trace_test.pdb"
+  "capacity_trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/capacity_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/churn_property_test.dir/churn_property_test.cc.o"
+  "CMakeFiles/churn_property_test.dir/churn_property_test.cc.o.d"
+  "churn_property_test"
+  "churn_property_test.pdb"
+  "churn_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/churn_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/estimator_validation_test.dir/estimator_validation_test.cc.o"
+  "CMakeFiles/estimator_validation_test.dir/estimator_validation_test.cc.o.d"
+  "estimator_validation_test"
+  "estimator_validation_test.pdb"
+  "estimator_validation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/estimator_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

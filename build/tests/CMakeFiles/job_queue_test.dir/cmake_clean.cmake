@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/job_queue_test.dir/job_queue_test.cc.o"
+  "CMakeFiles/job_queue_test.dir/job_queue_test.cc.o.d"
+  "job_queue_test"
+  "job_queue_test.pdb"
+  "job_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/job_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kmeans_dnn_test.dir/kmeans_dnn_test.cc.o"
+  "CMakeFiles/kmeans_dnn_test.dir/kmeans_dnn_test.cc.o.d"
+  "kmeans_dnn_test"
+  "kmeans_dnn_test.pdb"
+  "kmeans_dnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kmeans_dnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_property_test.dir/market_property_test.cc.o"
+  "CMakeFiles/market_property_test.dir/market_property_test.cc.o.d"
+  "market_property_test"
+  "market_property_test.pdb"
+  "market_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preemptible_test.dir/preemptible_test.cc.o"
+  "CMakeFiles/preemptible_test.dir/preemptible_test.cc.o.d"
+  "preemptible_test"
+  "preemptible_test.pdb"
+  "preemptible_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preemptible_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/price_series_test.dir/price_series_test.cc.o"
+  "CMakeFiles/price_series_test.dir/price_series_test.cc.o.d"
+  "price_series_test"
+  "price_series_test.pdb"
+  "price_series_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/price_series_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/proteus_runtime_test.dir/proteus_runtime_test.cc.o"
+  "CMakeFiles/proteus_runtime_test.dir/proteus_runtime_test.cc.o.d"
+  "proteus_runtime_test"
+  "proteus_runtime_test.pdb"
+  "proteus_runtime_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/proteus_runtime_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

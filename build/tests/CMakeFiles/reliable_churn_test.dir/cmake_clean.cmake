@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliable_churn_test.dir/reliable_churn_test.cc.o"
+  "CMakeFiles/reliable_churn_test.dir/reliable_churn_test.cc.o.d"
+  "reliable_churn_test"
+  "reliable_churn_test.pdb"
+  "reliable_churn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliable_churn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/roles_test.dir/roles_test.cc.o"
+  "CMakeFiles/roles_test.dir/roles_test.cc.o.d"
+  "roles_test"
+  "roles_test.pdb"
+  "roles_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/roles_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

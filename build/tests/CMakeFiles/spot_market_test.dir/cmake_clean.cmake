@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spot_market_test.dir/spot_market_test.cc.o"
+  "CMakeFiles/spot_market_test.dir/spot_market_test.cc.o.d"
+  "spot_market_test"
+  "spot_market_test.pdb"
+  "spot_market_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spot_market_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
