@@ -1,0 +1,114 @@
+// Chaos soak driver: runs many seeded adversarial fault schedules
+// against AgileML and reports recovery overhead per fault class —
+// clocks rolled back, pipeline stall seconds, and controller
+// notifications — plus the auditor verdict and a determinism check
+// (every schedule is re-run once with the same seed; digests must
+// match).
+//
+// Usage: chaos_soak [schedules=50] [base_seed=1]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/chaos/harness.h"
+
+namespace proteus {
+namespace {
+
+ChaosConfig MakeConfig(std::uint64_t seed) {
+  ChaosConfig config;
+  config.agileml.num_partitions = 16;
+  config.agileml.data_blocks = 128;
+  config.agileml.parallel_execution = false;  // Required for determinism.
+  // Leave room between active->backup syncs so mid-sync failures have
+  // unsynced clocks at stake.
+  config.agileml.backup_sync_every = 3;
+  config.agileml.seed = seed;
+  config.schedule.horizon = 40;
+  config.schedule.events = 10;
+  config.schedule.zones = 3;
+  config.seed = seed;
+  return config;
+}
+
+int RunSoak(int schedules, std::uint64_t base_seed) {
+  RatingsConfig rc;
+  rc.users = 400;
+  rc.items = 200;
+  rc.ratings = 15000;
+  RatingsDataset data = GenerateRatings(rc);
+  MfConfig mc;
+  mc.rank = 8;
+  MatrixFactorizationApp app(&data, mc);
+
+  FaultClassStats totals[kNumFaultClasses];
+  std::size_t total_violations = 0;
+  int digest_mismatches = 0;
+  int total_clocks = 0;
+  int total_lost = 0;
+
+  for (int s = 0; s < schedules; ++s) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s);
+    const ChaosConfig config = MakeConfig(seed);
+    ChaosHarness harness(&app, config);
+    const ChaosRunResult result = harness.Run();
+
+    ChaosHarness replay(&app, config);
+    const ChaosRunResult replayed = replay.Run();
+    if (result.Digest() != replayed.Digest()) {
+      ++digest_mismatches;
+      std::fprintf(stderr, "seed %llu: digest mismatch (%llx vs %llx)\n",
+                   static_cast<unsigned long long>(seed),
+                   static_cast<unsigned long long>(result.Digest()),
+                   static_cast<unsigned long long>(replayed.Digest()));
+    }
+    if (!result.ok()) {
+      std::fprintf(stderr, "seed %llu: %s\n", static_cast<unsigned long long>(seed),
+                   harness.auditor().Report().c_str());
+    }
+    total_violations += result.violations.size();
+    total_clocks += result.clocks_run;
+    total_lost += result.lost_clocks_total;
+    for (int c = 0; c < kNumFaultClasses; ++c) {
+      const auto& stats = result.per_class[static_cast<std::size_t>(c)];
+      totals[c].events += stats.events;
+      totals[c].lost_clocks += stats.lost_clocks;
+      totals[c].stall_seconds += stats.stall_seconds;
+      totals[c].control_messages += stats.control_messages;
+    }
+  }
+
+  std::printf("chaos soak: %d schedules x %lld-clock horizon, base seed %llu\n",
+              schedules,
+              static_cast<long long>(MakeConfig(base_seed).schedule.horizon),
+              static_cast<unsigned long long>(base_seed));
+  std::printf("%-22s %8s %12s %14s %10s\n", "fault class", "events", "lost clocks",
+              "stall seconds", "ctrl msgs");
+  for (int c = 0; c < kNumFaultClasses; ++c) {
+    std::printf("%-22s %8d %12d %14.2f %10lld\n",
+                FaultClassName(static_cast<FaultClass>(c)), totals[c].events,
+                totals[c].lost_clocks, totals[c].stall_seconds,
+                static_cast<long long>(totals[c].control_messages));
+  }
+  std::printf("total clocks executed:  %d (%d rolled back and re-done)\n", total_clocks,
+              total_lost);
+  std::printf("auditor violations:     %zu\n", total_violations);
+  std::printf("determinism mismatches: %d\n", digest_mismatches);
+  return (total_violations == 0 && digest_mismatches == 0) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  const int schedules = argc > 1 ? std::atoi(argv[1]) : 50;
+  const std::uint64_t base_seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
+  if (schedules <= 0) {
+    std::fprintf(stderr, "usage: %s [schedules] [base_seed]\n", argv[0]);
+    return 2;
+  }
+  return proteus::RunSoak(schedules, base_seed);
+}

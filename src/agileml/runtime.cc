@@ -93,8 +93,13 @@ void AgileMLRuntime::TransitionRoles(const std::set<NodeId>& leaving, bool force
   if (!had_backups && will_have_backups) {
     // Stage 1 -> 2: snapshot current state as the backup copy. The
     // backup owners are reliable nodes that held the state as ParamServs,
-    // so creating the backup costs no wire traffic.
+    // so creating the backup costs no wire traffic. The snapshot is by
+    // construction a complete active->backup sync as of this clock —
+    // without advancing last_sync_clock_ here, a failure right after the
+    // transition would roll back past state the backups actually hold.
     model_.EnableBackups();
+    last_sync_clock_ = clock_;
+    last_sync_bytes_.clear();
   }
   if (roles_.stage != next.stage && !roles_.server.empty()) {
     control_log_.Record(ControlMessage::kStageSwitch);
@@ -333,14 +338,19 @@ int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
   }
 
   int lost_clocks = 0;
+  [[maybe_unused]] const std::int64_t rollback_notices_before =
+      control_log_.Count(ControlMessage::kRollbackNotice);
   if (lost_server_state) {
     // §3.3 "Failures": BackupPS state is the new solution state; all
     // workers re-do the clocks since the last active->backup sync.
     lost_clocks = static_cast<int>(clock_ - last_sync_clock_);
     model_.RollbackAllToBackup();
     clock_ = last_sync_clock_;
-    control_log_.Record(ControlMessage::kRollbackNotice,
-                        static_cast<std::int64_t>(roles_.worker_nodes.size()));
+    lost_clocks_total_ += lost_clocks;
+    if (lost_clocks > 0) {
+      control_log_.Record(ControlMessage::kRollbackNotice,
+                          static_cast<std::int64_t>(roles_.worker_nodes.size()));
+    }
   } else if (lost_reliable_ps) {
     // A reliable ParamServ died in stage 1: only a checkpoint can save
     // the solution state.
@@ -348,6 +358,12 @@ int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
         << "reliable ParamServ failed with no checkpoint; solution state lost";
     lost_clocks = RestoreFromCheckpoint();
   }
+  // Every Fail() path that discards completed clocks must have told the
+  // workers to restart from a past clock.
+  PROTEUS_DCHECK(lost_clocks == 0 ||
+                 control_log_.Count(ControlMessage::kRollbackNotice) >
+                     rollback_notices_before)
+      << "Fail() lost " << lost_clocks << " clocks without a rollback notice";
 
   TransitionRoles(/*leaving=*/{}, /*forced=*/true);
   for (const NodeId id : dead) {
@@ -361,7 +377,6 @@ int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
                  nodes_.end());
   }
   RebuildClockTable();
-  lost_clocks_total_ += lost_clocks;
   return lost_clocks;
 }
 
@@ -384,12 +399,23 @@ void AgileMLRuntime::CheckpointReliable() {
 int AgileMLRuntime::RestoreFromCheckpoint() {
   PROTEUS_CHECK(checkpoint_.has_value());
   model_.RestoreCheckpoint(checkpoint_->blob);
-  if (roles_.UsesBackups()) {
-    model_.EnableBackups();  // Re-snapshot: backups were also stale.
-  }
   const int lost = static_cast<int>(clock_ - checkpoint_->clock);
   clock_ = checkpoint_->clock;
-  last_sync_clock_ = std::min(last_sync_clock_, clock_);
+  if (roles_.UsesBackups()) {
+    // Re-snapshot: backups were also stale. The snapshot doubles as a
+    // complete sync at the restored clock.
+    model_.EnableBackups();
+    last_sync_clock_ = clock_;
+    last_sync_bytes_.clear();
+  } else {
+    last_sync_clock_ = std::min(last_sync_clock_, clock_);
+  }
+  lost_clocks_total_ += lost;
+  if (lost > 0) {
+    // Workers restart from the checkpointed clock.
+    control_log_.Record(ControlMessage::kRollbackNotice,
+                        static_cast<std::int64_t>(roles_.worker_nodes.size()));
+  }
   return lost;
 }
 
@@ -550,6 +576,7 @@ IterationReport AgileMLRuntime::RunClock() {
     report.bottleneck_time = std::max(report.bottleneck_time, fabric_floor);
   }
   report.duration = report.bottleneck_time + config_.barrier_overhead + stall;
+  report.stall = stall;
   report.total_bytes = fabric_.RoundTotalBytes();
   report.stage = roles_.stage;
   report.worker_nodes = static_cast<int>(workers.size());

@@ -88,6 +88,10 @@ struct IterationReport {
   SimDuration bottleneck_time = 0.0;  // compute+comm of the gating node.
   NodeId bottleneck_node = kInvalidNode;
   std::uint64_t total_bytes = 0;      // All wire bytes this clock.
+  // Pipeline stall from forced (eviction/failure-handling) transfers;
+  // already included in `duration`. The chaos harness attributes this to
+  // the fault class that queued the transfers.
+  SimDuration stall = 0.0;
   Stage stage = Stage::kStage1;
   int worker_nodes = 0;
 };
@@ -123,6 +127,8 @@ class AgileMLRuntime {
   // failure; free in stage 3 because reliable nodes run no workers).
   void CheckpointReliable();
   bool HasCheckpoint() const { return checkpoint_.has_value(); }
+  // Clock the last reliable-tier checkpoint was taken at (-1 when none).
+  Clock checkpoint_clock() const { return checkpoint_ ? checkpoint_->clock : -1; }
   // Restores model state from the last checkpoint; returns lost clocks.
   int RestoreFromCheckpoint();
 
@@ -131,6 +137,13 @@ class AgileMLRuntime {
   Stage stage() const { return roles_.stage; }
   SimDuration total_time() const { return total_time_; }
   int lost_clocks_total() const { return lost_clocks_total_; }
+  // Last clock at which the backup copy was made consistent with the
+  // active state (sync, snapshot, or rollback). Meaningful in stages
+  // 2/3; the auditor checks clock() - last_sync_clock() stays bounded.
+  Clock last_sync_clock() const { return last_sync_clock_; }
+  bool IsReadyNode(NodeId id) const { return IsReady(id); }
+  bool IsPreparingNode(NodeId id) const { return preparing_.count(id) > 0; }
+  const ClockTable& clock_table() const { return clocks_; }
   const RoleAssignment& roles() const { return roles_; }
   const ModelStore& model() const { return model_; }
   const DataAssignment& data() const { return data_; }

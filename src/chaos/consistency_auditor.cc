@@ -1,0 +1,207 @@
+#include "src/chaos/consistency_auditor.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+ConsistencyAuditor::ConsistencyAuditor(const AgileMLRuntime* runtime)
+    : runtime_(runtime) {
+  PROTEUS_CHECK(runtime_ != nullptr);
+}
+
+void ConsistencyAuditor::Add(const std::string& invariant, const std::string& detail) {
+  violations_.push_back({invariant, detail, runtime_->clock()});
+}
+
+void ConsistencyAuditor::ObserveClock() {
+  CheckServingOwnership();
+  CheckStaleness();
+  CheckDataCoverage();
+  CheckBackupLag();
+  CheckProgressAccounting();
+  CheckMembership();
+  prev_clock_ = runtime_->clock();
+  prev_lost_ = runtime_->lost_clocks_total();
+  has_prev_ = true;
+}
+
+void ConsistencyAuditor::CheckServingOwnership() {
+  const RoleAssignment& roles = runtime_->roles();
+  std::set<NodeId> ready;
+  std::set<NodeId> reliable;
+  for (const NodeInfo& node : runtime_->ReadyNodes()) {
+    ready.insert(node.id);
+    if (node.reliable()) {
+      reliable.insert(node.id);
+    }
+  }
+  const int parts = runtime_->config().num_partitions;
+  if (roles.server.size() != static_cast<std::size_t>(parts)) {
+    std::ostringstream out;
+    out << "server map covers " << roles.server.size() << " of " << parts
+        << " partitions";
+    Add("serving-ownership", out.str());
+  }
+  for (const auto& [part, server] : roles.server) {
+    if (ready.count(server) == 0) {
+      std::ostringstream out;
+      out << "partition " << part << " served by non-ready node " << server;
+      Add("serving-ownership", out.str());
+    }
+    if (!roles.UsesBackups() && reliable.count(server) == 0) {
+      std::ostringstream out;
+      out << "stage-1 partition " << part << " served by transient node " << server;
+      Add("serving-ownership", out.str());
+    }
+  }
+  if (roles.UsesBackups()) {
+    if (roles.backup.size() != static_cast<std::size_t>(parts)) {
+      std::ostringstream out;
+      out << "backup map covers " << roles.backup.size() << " of " << parts
+          << " partitions";
+      Add("serving-ownership", out.str());
+    }
+    for (const auto& [part, backup] : roles.backup) {
+      if (reliable.count(backup) == 0) {
+        std::ostringstream out;
+        out << "partition " << part << " backed by non-reliable or non-ready node "
+            << backup;
+        Add("serving-ownership", out.str());
+      }
+    }
+  }
+}
+
+void ConsistencyAuditor::CheckStaleness() {
+  const ClockTable& table = runtime_->clock_table();
+  const Clock min_clock = table.MinClock();
+  for (const NodeId worker : runtime_->roles().worker_nodes) {
+    if (!table.HasWorkerNode(worker)) {
+      std::ostringstream out;
+      out << "worker " << worker << " missing from the clock table";
+      Add("ssp-staleness", out.str());
+      continue;
+    }
+    const Clock c = table.ClockOf(worker);
+    if (c - min_clock > table.staleness()) {
+      std::ostringstream out;
+      out << "worker " << worker << " at clock " << c << " exceeds staleness bound "
+          << table.staleness() << " over min " << min_clock;
+      Add("ssp-staleness", out.str());
+    }
+    if (c > runtime_->clock()) {
+      std::ostringstream out;
+      out << "worker " << worker << " at clock " << c << " ahead of global clock "
+          << runtime_->clock();
+      Add("ssp-staleness", out.str());
+    }
+  }
+}
+
+void ConsistencyAuditor::CheckDataCoverage() {
+  const DataAssignment& data = runtime_->data();
+  const std::set<NodeId>& workers = runtime_->roles().worker_nodes;
+  if (!data.OwnershipIsComplete()) {
+    Add("data-coverage", "some input block has no live owner");
+  }
+  for (int block = 0; block < data.num_blocks(); ++block) {
+    const NodeId owner = data.OwnerOf(block);
+    if (owner != kInvalidNode && workers.count(owner) == 0) {
+      std::ostringstream out;
+      out << "block " << block << " owned by non-worker node " << owner;
+      Add("data-coverage", out.str());
+    }
+  }
+  std::int64_t total = 0;
+  for (const NodeId w : workers) {
+    total += data.ItemCountOf(w);
+  }
+  if (total != data.num_items()) {
+    std::ostringstream out;
+    out << "workers cover " << total << " of " << data.num_items() << " items";
+    Add("data-coverage", out.str());
+  }
+}
+
+void ConsistencyAuditor::CheckBackupLag() {
+  if (!runtime_->roles().UsesBackups()) {
+    return;
+  }
+  const Clock lag = runtime_->clock() - runtime_->last_sync_clock();
+  if (lag < 0 || lag > runtime_->config().backup_sync_every) {
+    std::ostringstream out;
+    out << "backup lag " << lag << " outside [0, "
+        << runtime_->config().backup_sync_every << "]";
+    Add("backup-lag", out.str());
+  }
+}
+
+void ConsistencyAuditor::CheckProgressAccounting() {
+  const Clock completed = runtime_->clock() + runtime_->lost_clocks_total();
+  if (!has_prev_) {
+    return;
+  }
+  if (runtime_->lost_clocks_total() < prev_lost_) {
+    std::ostringstream out;
+    out << "lost-clock counter went backwards: " << prev_lost_ << " -> "
+        << runtime_->lost_clocks_total();
+    Add("progress-accounting", out.str());
+  }
+  // Rollbacks move clocks from `clock` to `lost`; one RunClock adds one.
+  const Clock prev_completed = prev_clock_ + prev_lost_;
+  if (completed != prev_completed + 1) {
+    std::ostringstream out;
+    out << "completed-clock count moved " << prev_completed << " -> " << completed
+        << " across one executed clock (expected +1): silent loss or double count";
+    Add("progress-accounting", out.str());
+  }
+}
+
+void ConsistencyAuditor::CheckMembership() {
+  const std::size_t ready = runtime_->ReadyNodes().size();
+  const std::size_t preparing = static_cast<std::size_t>(runtime_->PreparingCount());
+  const std::size_t all = runtime_->nodes().size();
+  if (ready + preparing != all) {
+    std::ostringstream out;
+    out << ready << " ready + " << preparing << " preparing != " << all << " nodes";
+    Add("membership", out.str());
+  }
+  if (runtime_->ReadyTierCounts().reliable < 1) {
+    Add("membership", "reliable tier is empty");
+  }
+}
+
+void ConsistencyAuditor::ObserveChannel(const Channel& channel, const std::string& name) {
+  const std::uint64_t accounted = channel.messages_delivered() +
+                                  channel.messages_dropped() +
+                                  static_cast<std::uint64_t>(channel.pending());
+  if (channel.messages_sent() != accounted) {
+    std::ostringstream out;
+    out << "channel " << name << ": sent " << channel.messages_sent()
+        << " != delivered " << channel.messages_delivered() << " + dropped "
+        << channel.messages_dropped() << " + pending " << channel.pending();
+    Add("channel-conservation", out.str());
+  }
+}
+
+std::string ConsistencyAuditor::Report(std::size_t max_items) const {
+  if (violations_.empty()) {
+    return "no violations";
+  }
+  std::ostringstream out;
+  out << violations_.size() << " violation(s):";
+  for (std::size_t i = 0; i < violations_.size() && i < max_items; ++i) {
+    const AuditViolation& v = violations_[i];
+    out << "\n  [clock " << v.clock << "] " << v.invariant << ": " << v.detail;
+  }
+  if (violations_.size() > max_items) {
+    out << "\n  ... and " << (violations_.size() - max_items) << " more";
+  }
+  return out.str();
+}
+
+}  // namespace proteus

@@ -1,0 +1,103 @@
+#include "src/chaos/fault_injector.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+const char* FaultClassName(FaultClass cls) {
+  switch (cls) {
+    case FaultClass::kZoneMassEviction:
+      return "zone-mass-eviction";
+    case FaultClass::kPreparingEviction:
+      return "preparing-eviction";
+    case FaultClass::kMidSyncFailure:
+      return "mid-sync-failure";
+    case FaultClass::kReliableFailure:
+      return "reliable-failure";
+    case FaultClass::kTransientWipeout:
+      return "transient-wipeout";
+    case FaultClass::kControlPlaneChaos:
+      return "control-plane-chaos";
+  }
+  return "?";
+}
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultScheduleConfig config)
+    : config_(config), rng_(seed), seed_(seed) {
+  PROTEUS_CHECK_GE(config_.horizon, 4);
+  PROTEUS_CHECK_GE(config_.events, 0);
+  PROTEUS_CHECK_GE(config_.zones, 1);
+  // The first six events cycle through a shuffled permutation of the
+  // classes so every schedule with >= 6 events mixes all of them; the
+  // rest are drawn uniformly.
+  std::vector<FaultClass> classes;
+  for (int c = 0; c < kNumFaultClasses; ++c) {
+    classes.push_back(static_cast<FaultClass>(c));
+  }
+  rng_.Shuffle(classes);
+  for (int i = 0; i < config_.events; ++i) {
+    FaultEvent event;
+    event.cls = i < kNumFaultClasses
+                    ? classes[static_cast<std::size_t>(i)]
+                    : static_cast<FaultClass>(rng_.UniformInt(0, kNumFaultClasses - 1));
+    // Leave the first clock fault-free (start-up) and the last two for
+    // recovery to be observable.
+    event.at_clock = rng_.UniformInt(1, config_.horizon - 3);
+    switch (event.cls) {
+      case FaultClass::kZoneMassEviction:
+        event.magnitude = static_cast<int>(rng_.UniformInt(0, config_.zones - 1));
+        break;
+      case FaultClass::kPreparingEviction:
+      case FaultClass::kMidSyncFailure:
+        event.magnitude = static_cast<int>(rng_.UniformInt(1, 3));
+        break;
+      case FaultClass::kControlPlaneChaos:
+        event.magnitude = static_cast<int>(rng_.UniformInt(50, 300));  // Permille.
+        break;
+      case FaultClass::kReliableFailure:
+      case FaultClass::kTransientWipeout:
+        event.magnitude = 1;
+        break;
+    }
+    schedule_.push_back(event);
+  }
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.at_clock < b.at_clock;
+                   });
+}
+
+std::vector<FaultEvent> FaultInjector::EventsAt(Clock clock) const {
+  std::vector<FaultEvent> due;
+  for (const FaultEvent& event : schedule_) {
+    if (event.at_clock == clock) {
+      due.push_back(event);
+    }
+  }
+  return due;
+}
+
+ChannelFaultHook FaultInjector::MakeChannelFaultHook(int drop_permille) {
+  const double p = std::clamp(drop_permille / 1000.0, 0.0, 0.9);
+  // Each hook gets an independent deterministic stream so installing a
+  // new hook mid-run does not disturb the injector's own draws.
+  auto hook_rng = std::make_shared<Rng>(seed_ ^ (0xC4A05F1ULL + static_cast<std::uint64_t>(
+                                                                    ++hooks_made_) *
+                                                                    0x9E3779B97F4A7C15ULL));
+  return [hook_rng, p](const Message&) -> ChannelFault {
+    const double dice = hook_rng->Uniform();
+    if (dice < p) {
+      return {ChannelFault::Action::kDrop, 0};
+    }
+    if (dice < 2 * p) {
+      return {ChannelFault::Action::kDelay,
+              static_cast<int>(hook_rng->UniformInt(1, 4))};
+    }
+    return {ChannelFault::Action::kDeliver, 0};
+  };
+}
+
+}  // namespace proteus

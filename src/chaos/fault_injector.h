@@ -1,0 +1,94 @@
+// Deterministic chaos fault-injection for the elasticity paths.
+//
+// Proteus's value proposition is surviving hostile churn: warned bulk
+// evictions, missed warnings ("effective failures", §3.3), reliable-node
+// loss, and total transient wipeouts. The seeded FaultInjector turns
+// those into composable adversarial schedules: given a seed it produces
+// the same sequence of fault events every time, so a failing soak run
+// can be replayed exactly. Six fault classes are generated:
+//
+//   kZoneMassEviction   correlated warned eviction of every allocation
+//                       in one zone (spot price spike takes the zone)
+//   kPreparingEviction  a new allocation is revoked while its nodes are
+//                       still preloading input data (never incorporated)
+//   kMidSyncFailure     a missed warning lands between active->backup
+//                       syncs, forcing rollback of unsynced clocks
+//   kReliableFailure    a reliable node dies; in stage 1 this forces
+//                       RestoreFromCheckpoint (§3.3 insurance)
+//   kTransientWipeout   every transient node vanishes at once, forcing
+//                       the stage-3 -> stage-1 fallback
+//   kControlPlaneChaos  control-plane messages are dropped/delayed via
+//                       the Channel fault hook
+//
+// A schedule with >= kNumFaultClasses events is guaranteed to contain
+// every class at least once (the first six draws cycle through a
+// shuffled permutation of the classes).
+#ifndef SRC_CHAOS_FAULT_INJECTOR_H_
+#define SRC_CHAOS_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/ps/clock_table.h"
+#include "src/rpc/channel.h"
+
+namespace proteus {
+
+enum class FaultClass : int {
+  kZoneMassEviction = 0,
+  kPreparingEviction = 1,
+  kMidSyncFailure = 2,
+  kReliableFailure = 3,
+  kTransientWipeout = 4,
+  kControlPlaneChaos = 5,
+};
+
+inline constexpr int kNumFaultClasses = 6;
+
+const char* FaultClassName(FaultClass cls);
+
+struct FaultEvent {
+  FaultClass cls = FaultClass::kZoneMassEviction;
+  Clock at_clock = 0;  // Fires at the boundary before this clock runs.
+  // Class-specific knob: zone index (mass eviction), node count
+  // (preparing eviction / mid-sync failure), or drop intensity permille
+  // (control-plane chaos).
+  int magnitude = 1;
+};
+
+struct FaultScheduleConfig {
+  Clock horizon = 40;  // Clocks the schedule spans.
+  int events = 8;      // Fault events to generate (>= 6 covers all classes).
+  int zones = 3;       // Zones allocations are spread over.
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(std::uint64_t seed, FaultScheduleConfig config);
+
+  const FaultScheduleConfig& config() const { return config_; }
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+
+  // Events scheduled to fire at the boundary before `clock` runs.
+  std::vector<FaultEvent> EventsAt(Clock clock) const;
+
+  // Builds a deterministic drop/delay fault hook for a control channel.
+  // `drop_permille` of messages are lost and an equal share delayed by
+  // 1-4 polls; the hook owns its own Rng stream derived from the seed.
+  ChannelFaultHook MakeChannelFaultHook(int drop_permille);
+
+  // Seeded stream for the harness's victim-picking decisions.
+  Rng& rng() { return rng_; }
+
+ private:
+  FaultScheduleConfig config_;
+  Rng rng_;
+  std::uint64_t seed_;
+  int hooks_made_ = 0;
+  std::vector<FaultEvent> schedule_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_CHAOS_FAULT_INJECTOR_H_

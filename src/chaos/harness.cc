@@ -1,0 +1,373 @@
+#include "src/chaos/harness.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+namespace {
+
+std::uint64_t HashCombine(std::uint64_t a, std::uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+}
+
+std::uint64_t HashDouble(double v) { return std::bit_cast<std::uint64_t>(v); }
+
+std::uint64_t HashString(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h = (h ^ static_cast<std::uint8_t>(c)) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+// Initial membership: reliable nodes first, then transient nodes grouped
+// into allocations of `nodes_per_allocation`, all incorporated at
+// start-up (input data loads before training begins, like the paper's
+// job start). The harness constructor mirrors this grouping into its
+// allocation table.
+std::vector<NodeInfo> InitialNodes(const ChaosConfig& config) {
+  std::vector<NodeInfo> nodes;
+  NodeId id = 0;
+  for (int i = 0; i < config.initial_reliable; ++i) {
+    nodes.push_back({id++, Tier::kReliable, 8, kInvalidAllocation});
+  }
+  for (int a = 0; a < config.initial_transient_allocations; ++a) {
+    for (int i = 0; i < config.nodes_per_allocation; ++i) {
+      nodes.push_back({id++, Tier::kTransient, 8, static_cast<AllocationId>(a)});
+    }
+  }
+  return nodes;
+}
+
+}  // namespace
+
+std::uint64_t ChaosRunResult::Digest() const {
+  std::uint64_t h = 0;
+  h = HashCombine(h, static_cast<std::uint64_t>(final_clock));
+  h = HashCombine(h, static_cast<std::uint64_t>(clocks_run));
+  h = HashCombine(h, static_cast<std::uint64_t>(lost_clocks_total));
+  h = HashCombine(h, HashDouble(virtual_time));
+  h = HashCombine(h, HashDouble(final_objective));
+  for (const FaultClassStats& s : per_class) {
+    h = HashCombine(h, static_cast<std::uint64_t>(s.events));
+    h = HashCombine(h, static_cast<std::uint64_t>(s.lost_clocks));
+    h = HashCombine(h, HashDouble(s.stall_seconds));
+    h = HashCombine(h, static_cast<std::uint64_t>(s.control_messages));
+  }
+  h = HashCombine(h, static_cast<std::uint64_t>(violations.size()));
+  h = HashCombine(h, control_sent);
+  h = HashCombine(h, control_delivered);
+  h = HashCombine(h, control_dropped);
+  h = HashCombine(h, control_pending);
+  h = HashCombine(h, HashString(control_log_summary));
+  return h;
+}
+
+ChaosHarness::ChaosHarness(MLApp* app, ChaosConfig config)
+    : app_(app),
+      config_(std::move(config)),
+      injector_(config_.seed, config_.schedule),
+      runtime_(std::make_unique<AgileMLRuntime>(app_, config_.agileml,
+                                                InitialNodes(config_))),
+      auditor_(runtime_.get()) {
+  PROTEUS_CHECK_GE(config_.initial_reliable, 1);
+  PROTEUS_CHECK_GE(config_.nodes_per_allocation, 1);
+  // Mirror the initial grouping into the allocation table.
+  NodeId id = static_cast<NodeId>(config_.initial_reliable);
+  for (int a = 0; a < config_.initial_transient_allocations; ++a) {
+    ChaosAllocation alloc;
+    alloc.zone = a % config_.schedule.zones;
+    for (int i = 0; i < config_.nodes_per_allocation; ++i) {
+      alloc.nodes.push_back(id++);
+    }
+    allocations_[next_allocation_++] = std::move(alloc);
+  }
+  next_node_ = id;
+  // Start-up insurance: a checkpoint always exists, so a stage-1
+  // reliable failure can restore rather than lose the solution state.
+  runtime_->CheckpointReliable();
+}
+
+ChaosHarness::~ChaosHarness() = default;
+
+std::vector<NodeId> ChaosHarness::ReadyTransientIds() const {
+  std::vector<NodeId> out;
+  for (const NodeInfo& node : runtime_->ReadyNodes()) {
+    if (!node.reliable()) {
+      out.push_back(node.id);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> ChaosHarness::AllTransientIds() const {
+  std::vector<NodeId> out;
+  for (const NodeInfo& node : runtime_->nodes()) {
+    if (!node.reliable()) {
+      out.push_back(node.id);
+    }
+  }
+  return out;
+}
+
+void ChaosHarness::SendEvictionNotice(AllocationId id, const std::vector<NodeId>& nodes,
+                                      bool warned) {
+  control_channel_.Send(Message(EvictionNoticeMsg{
+      id, nodes, warned ? 2 * kMinute : 0.0}));
+}
+
+AllocationId ChaosHarness::AddAllocation(int zone, int count) {
+  const AllocationId id = next_allocation_++;
+  ChaosAllocation alloc;
+  alloc.zone = zone;
+  std::vector<NodeInfo> nodes;
+  for (int i = 0; i < count; ++i) {
+    const NodeId node = next_node_++;
+    alloc.nodes.push_back(node);
+    nodes.push_back({node, Tier::kTransient, 8, id});
+  }
+  control_channel_.Send(Message(AllocationGrantMsg{id, alloc.nodes, 8}));
+  runtime_->AddNodes(nodes);
+  allocations_[id] = std::move(alloc);
+  return id;
+}
+
+void ChaosHarness::ForgetNodes(const std::vector<NodeId>& nodes) {
+  for (auto it = allocations_.begin(); it != allocations_.end();) {
+    auto& held = it->second.nodes;
+    held.erase(std::remove_if(held.begin(), held.end(),
+                              [&nodes](NodeId id) {
+                                return std::find(nodes.begin(), nodes.end(), id) !=
+                                       nodes.end();
+                              }),
+               held.end());
+    it = held.empty() ? allocations_.erase(it) : ++it;
+  }
+}
+
+bool ChaosHarness::Apply(const FaultEvent& event) {
+  switch (event.cls) {
+    case FaultClass::kZoneMassEviction: {
+      // Every allocation in one zone is revoked at once (a price spike
+      // clears the zone). Fall back to the busiest zone if the drawn
+      // one is empty.
+      if (allocations_.empty()) {
+        return false;
+      }
+      int zone = event.magnitude % config_.schedule.zones;
+      std::vector<AllocationId> victims;
+      for (const auto& [id, alloc] : allocations_) {
+        if (alloc.zone == zone) {
+          victims.push_back(id);
+        }
+      }
+      if (victims.empty()) {
+        std::map<int, int> per_zone;
+        for (const auto& [id, alloc] : allocations_) {
+          ++per_zone[alloc.zone];
+        }
+        zone = per_zone.begin()->first;
+        for (const auto& [z, n] : per_zone) {
+          if (n > per_zone[zone]) {
+            zone = z;
+          }
+        }
+        for (const auto& [id, alloc] : allocations_) {
+          if (alloc.zone == zone) {
+            victims.push_back(id);
+          }
+        }
+      }
+      std::vector<NodeId> all_nodes;
+      for (const AllocationId id : victims) {
+        const auto& alloc = allocations_.at(id);
+        SendEvictionNotice(id, alloc.nodes, /*warned=*/true);
+        all_nodes.insert(all_nodes.end(), alloc.nodes.begin(), alloc.nodes.end());
+      }
+      runtime_->Evict(all_nodes);  // Correlated: one simultaneous revocation.
+      ForgetNodes(all_nodes);
+      return true;
+    }
+    case FaultClass::kPreparingEviction: {
+      // A fresh allocation is granted, then revoked mid-preload: half
+      // immediately (guaranteed still preparing), half at the next
+      // boundary (preparing or just-incorporated — both must be safe).
+      const int count = event.magnitude + 1;  // >= 2, so both halves exist.
+      const int zone =
+          static_cast<int>(injector_.rng().UniformInt(0, config_.schedule.zones - 1));
+      const AllocationId id = AddAllocation(zone, count);
+      auto& alloc = allocations_.at(id);
+      const std::vector<NodeId> now(alloc.nodes.begin(),
+                                    alloc.nodes.begin() + count / 2);
+      SendEvictionNotice(id, now, /*warned=*/true);
+      runtime_->Evict(now);
+      ForgetNodes(now);
+      pending_preload_evictions_.push_back(id);
+      return true;
+    }
+    case FaultClass::kMidSyncFailure: {
+      // A missed warning must land between active->backup syncs so
+      // unsynced clocks are really at stake; defer until then.
+      if (!runtime_->roles().UsesBackups() ||
+          runtime_->clock() == runtime_->last_sync_clock()) {
+        return false;
+      }
+      std::vector<NodeId> ready = ReadyTransientIds();
+      if (ready.empty()) {
+        return false;
+      }
+      // Prefer ActivePS hosts: their loss is what forces the rollback.
+      std::stable_sort(ready.begin(), ready.end(), [this](NodeId a, NodeId b) {
+        const auto& actives = runtime_->roles().active_ps_nodes;
+        return actives.count(a) > actives.count(b);
+      });
+      const std::size_t count =
+          std::min<std::size_t>(ready.size(), static_cast<std::size_t>(event.magnitude));
+      std::vector<NodeId> victims(ready.begin(),
+                                  ready.begin() + static_cast<std::ptrdiff_t>(count));
+      SendEvictionNotice(kInvalidAllocation, victims, /*warned=*/false);
+      runtime_->Fail(victims);
+      ForgetNodes(victims);
+      return true;
+    }
+    case FaultClass::kReliableFailure: {
+      std::vector<NodeId> reliable;
+      for (const NodeInfo& node : runtime_->ReadyNodes()) {
+        if (node.reliable()) {
+          reliable.push_back(node.id);
+        }
+      }
+      if (reliable.size() < 2) {
+        return false;  // The reliable tier must never empty out.
+      }
+      const NodeId victim = reliable[static_cast<std::size_t>(
+          injector_.rng().UniformInt(0, static_cast<std::int64_t>(reliable.size()) - 1))];
+      runtime_->Fail({victim});
+      // The operator replaces the on-demand machine; it preloads and
+      // rejoins like any addition.
+      runtime_->AddNodes({{next_node_++, Tier::kReliable, 8, kInvalidAllocation}});
+      return true;
+    }
+    case FaultClass::kTransientWipeout: {
+      const std::vector<NodeId> all = AllTransientIds();
+      if (all.empty()) {
+        return false;
+      }
+      for (const auto& [id, alloc] : allocations_) {
+        SendEvictionNotice(id, alloc.nodes, /*warned=*/false);
+      }
+      // Half the wipeouts are warned (graceful stage fallback), half are
+      // simultaneous unwarned failures (rollback under total loss).
+      if (injector_.rng().Bernoulli(0.5)) {
+        runtime_->Evict(all);
+      } else {
+        runtime_->Fail(all);
+      }
+      allocations_.clear();
+      pending_preload_evictions_.clear();
+      return true;
+    }
+    case FaultClass::kControlPlaneChaos: {
+      control_channel_.SetFaultHook(injector_.MakeChannelFaultHook(event.magnitude));
+      return true;
+    }
+  }
+  return false;
+}
+
+ChaosRunResult ChaosHarness::Run() {
+  ChaosRunResult result;
+  for (Clock boundary = 0; boundary < config_.schedule.horizon; ++boundary) {
+    std::vector<FaultClass> applied;
+
+    // Revocations registered by a preparing-eviction event land now,
+    // while (typically) the nodes are still preloading.
+    if (!pending_preload_evictions_.empty()) {
+      const int lost_before = runtime_->lost_clocks_total();
+      const std::int64_t ctrl_before = runtime_->control_log().Total();
+      for (const AllocationId id : pending_preload_evictions_) {
+        auto it = allocations_.find(id);
+        if (it == allocations_.end() || it->second.nodes.empty()) {
+          continue;  // Already removed by an overlapping fault.
+        }
+        const std::vector<NodeId> nodes = it->second.nodes;
+        SendEvictionNotice(id, nodes, /*warned=*/true);
+        runtime_->Evict(nodes);
+        ForgetNodes(nodes);
+      }
+      pending_preload_evictions_.clear();
+      auto& stats = result.per_class[static_cast<std::size_t>(
+          FaultClass::kPreparingEviction)];
+      stats.lost_clocks += runtime_->lost_clocks_total() - lost_before;
+      stats.control_messages += runtime_->control_log().Total() - ctrl_before;
+      applied.push_back(FaultClass::kPreparingEviction);
+    }
+
+    std::vector<FaultEvent> due = std::move(deferred_);
+    deferred_.clear();
+    for (const FaultEvent& event : injector_.EventsAt(boundary)) {
+      due.push_back(event);
+    }
+    for (const FaultEvent& event : due) {
+      const int lost_before = runtime_->lost_clocks_total();
+      const std::int64_t ctrl_before = runtime_->control_log().Total();
+      if (!Apply(event)) {
+        deferred_.push_back(event);
+        continue;
+      }
+      auto& stats = result.per_class[static_cast<std::size_t>(event.cls)];
+      ++stats.events;
+      stats.lost_clocks += runtime_->lost_clocks_total() - lost_before;
+      stats.control_messages += runtime_->control_log().Total() - ctrl_before;
+      applied.push_back(event.cls);
+    }
+
+    // BidBrain's next decision point: replenish lost capacity.
+    const int transient_count = static_cast<int>(AllTransientIds().size());
+    if (transient_count < config_.min_transient) {
+      const int zone =
+          static_cast<int>(injector_.rng().UniformInt(0, config_.schedule.zones - 1));
+      AddAllocation(zone, config_.nodes_per_allocation);
+    }
+
+    const IterationReport report = runtime_->RunClock();
+    ++result.clocks_run;
+    if (!applied.empty()) {
+      // Forced-transfer stall of the recovery clock, split across the
+      // fault classes that caused it.
+      const SimDuration share = report.stall / static_cast<double>(applied.size());
+      for (const FaultClass cls : applied) {
+        result.per_class[static_cast<std::size_t>(cls)].stall_seconds += share;
+      }
+    }
+
+    if (config_.checkpoint_every > 0 &&
+        runtime_->clock() % config_.checkpoint_every == 0) {
+      runtime_->CheckpointReliable();
+    }
+
+    // The controller drains its inbox; delayed frames age one poll each.
+    for (int i = 0; i < 4; ++i) {
+      control_channel_.Poll();
+    }
+    auditor_.ObserveChannel(control_channel_, "controller");
+    auditor_.ObserveClock();
+  }
+
+  result.final_clock = runtime_->clock();
+  result.lost_clocks_total = runtime_->lost_clocks_total();
+  result.virtual_time = runtime_->total_time();
+  result.final_objective = runtime_->ComputeObjective();
+  result.violations = auditor_.violations();
+  result.control_sent = control_channel_.messages_sent();
+  result.control_delivered = control_channel_.messages_delivered();
+  result.control_dropped = control_channel_.messages_dropped();
+  result.control_pending = control_channel_.pending();
+  result.control_log_summary = runtime_->control_log().Summary();
+  return result;
+}
+
+}  // namespace proteus

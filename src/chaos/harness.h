@@ -1,0 +1,129 @@
+// Chaos soak harness: drives an AgileMLRuntime through a seeded
+// adversarial fault schedule, audits every clock boundary, and reports
+// recovery overhead per fault class.
+//
+// The harness plays the part of the market plus elasticity controller:
+// it groups transient nodes into zone-tagged allocations (the unit spot
+// revocation acts on), applies the FaultInjector's schedule against the
+// runtime, mirrors every grant/notice onto a control channel whose fault
+// hook may drop or delay frames, replenishes capacity after losses (as
+// BidBrain would at its next decision point), and checkpoints the
+// reliable tier periodically so stage-1 failures are survivable.
+//
+// Everything is deterministic in the seed: two runs with the same seed
+// and config produce bit-identical results (Digest() compares them).
+#ifndef SRC_CHAOS_HARNESS_H_
+#define SRC_CHAOS_HARNESS_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/agileml/runtime.h"
+#include "src/chaos/consistency_auditor.h"
+#include "src/chaos/fault_injector.h"
+#include "src/rpc/channel.h"
+
+namespace proteus {
+
+struct ChaosConfig {
+  AgileMLConfig agileml;
+  FaultScheduleConfig schedule;
+  int initial_reliable = 2;
+  int initial_transient_allocations = 2;
+  int nodes_per_allocation = 4;
+  // Replenish (as BidBrain would) when ready+preparing transient nodes
+  // drop below this.
+  int min_transient = 4;
+  // Checkpoint the reliable tier every this many clocks (also once at
+  // start-up, so a stage-1 reliable failure is always survivable).
+  int checkpoint_every = 5;
+  std::uint64_t seed = 1;
+};
+
+// Recovery overhead attributed to one fault class across a run.
+struct FaultClassStats {
+  int events = 0;             // Events of this class actually applied.
+  int lost_clocks = 0;        // Clocks rolled back by this class.
+  SimDuration stall_seconds = 0.0;  // Forced-transfer stalls it caused.
+  std::int64_t control_messages = 0;  // Controller notifications it drove.
+};
+
+struct ChaosRunResult {
+  Clock final_clock = 0;
+  int clocks_run = 0;  // RunClock() invocations (>= final_clock with rollbacks).
+  int lost_clocks_total = 0;
+  SimDuration virtual_time = 0.0;
+  double final_objective = 0.0;
+  std::array<FaultClassStats, kNumFaultClasses> per_class{};
+  std::vector<AuditViolation> violations;
+  // Control-channel accounting (the §5 BidBrain -> controller link).
+  std::uint64_t control_sent = 0;
+  std::uint64_t control_delivered = 0;
+  std::uint64_t control_dropped = 0;
+  std::uint64_t control_pending = 0;
+  std::string control_log_summary;
+
+  bool ok() const { return violations.empty(); }
+  // Order-sensitive fingerprint of every numeric field; equal digests
+  // across two runs with the same seed certify determinism.
+  std::uint64_t Digest() const;
+};
+
+class ChaosHarness {
+ public:
+  // The app must outlive the harness. Model state lives inside the
+  // harness's runtime, so one app can serve many sequential runs.
+  ChaosHarness(MLApp* app, ChaosConfig config);
+  ~ChaosHarness();
+
+  ChaosHarness(const ChaosHarness&) = delete;
+  ChaosHarness& operator=(const ChaosHarness&) = delete;
+
+  // Executes the full schedule; returns the run report.
+  ChaosRunResult Run();
+
+  const AgileMLRuntime& runtime() const { return *runtime_; }
+  const FaultInjector& injector() const { return injector_; }
+  const ConsistencyAuditor& auditor() const { return auditor_; }
+  const Channel& control_channel() const { return control_channel_; }
+
+ private:
+  struct ChaosAllocation {
+    int zone = 0;
+    std::vector<NodeId> nodes;
+  };
+
+  // Applies one fault event; returns false if preconditions are not met
+  // yet (the event is retried at the next clock boundary).
+  bool Apply(const FaultEvent& event);
+
+  AllocationId AddAllocation(int zone, int count);
+  // Removes the given nodes from allocation bookkeeping.
+  void ForgetNodes(const std::vector<NodeId>& nodes);
+  std::vector<NodeId> ReadyTransientIds() const;
+  std::vector<NodeId> AllTransientIds() const;  // Ready + preparing.
+  void SendEvictionNotice(AllocationId id, const std::vector<NodeId>& nodes,
+                          bool warned);
+
+  MLApp* app_;
+  ChaosConfig config_;
+  FaultInjector injector_;
+  std::unique_ptr<AgileMLRuntime> runtime_;
+  ConsistencyAuditor auditor_;
+  Channel control_channel_;
+
+  std::map<AllocationId, ChaosAllocation> allocations_;
+  AllocationId next_allocation_ = 0;
+  NodeId next_node_ = 0;
+  std::vector<FaultEvent> deferred_;
+  // Allocations added by a preparing-eviction event, to be revoked at
+  // the next clock boundary (mid-preload).
+  std::vector<AllocationId> pending_preload_evictions_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_CHAOS_HARNESS_H_

@@ -49,6 +49,15 @@ class LogMessage {
 #define PROTEUS_CHECK(cond)                                        \
   if (!(cond)) PROTEUS_LOG(Fatal) << "CHECK failed: " #cond << " "
 
+// Debug-only CHECK: compiled out (condition unevaluated) when NDEBUG is
+// defined. For invariants too expensive or too strict for release runs.
+#ifdef NDEBUG
+#define PROTEUS_DCHECK(cond) \
+  if (false) PROTEUS_LOG(Fatal) << "DCHECK failed: " #cond << " "
+#else
+#define PROTEUS_DCHECK(cond) PROTEUS_CHECK(cond)
+#endif
+
 #define PROTEUS_CHECK_GE(a, b) PROTEUS_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
 #define PROTEUS_CHECK_GT(a, b) PROTEUS_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
 #define PROTEUS_CHECK_LE(a, b) PROTEUS_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "

@@ -94,6 +94,23 @@ void ProteusRuntime::HandleEviction(TrackedAllocation& tracked, bool warned) {
   // controller" (§5).
   controller_channel_.Send(Message(EvictionNoticeMsg{
       tracked.id, tracked.nodes, warned ? kEvictionWarning : 0.0}));
+  // An allocation revoked while all of its nodes are still preloading
+  // (never incorporated) is neither an eviction nor a failure: no roles
+  // move, no clocks are lost, and the preload is simply abandoned.
+  bool any_incorporated = false;
+  for (const NodeId id : tracked.nodes) {
+    if (agileml_->IsReadyNode(id)) {
+      any_incorporated = true;
+      break;
+    }
+  }
+  if (!any_incorporated) {
+    agileml_->Evict(tracked.nodes);  // Discards the preparing nodes.
+    ++aborted_preloads_;
+    PROTEUS_LOG(Debug) << "allocation " << tracked.id
+                       << " revoked before incorporation; preload abandoned";
+    return;
+  }
   if (warned) {
     agileml_->Evict(tracked.nodes);
     ++evictions_;
@@ -145,6 +162,10 @@ void ProteusRuntime::Step() {
     next_decision_ = now_ + config_.decision_period;
   }
   const IterationReport report = agileml_->RunClock();
+  if (config_.checkpoint_every > 0 &&
+      agileml_->clock() % config_.checkpoint_every == 0) {
+    agileml_->CheckpointReliable();
+  }
   const SimTime clock_end = now_ + report.duration;
   ProcessMarketEventsUntil(clock_end);
   now_ = clock_end;
@@ -165,6 +186,7 @@ ProteusRunSummary ProteusRuntime::Train(int target_clock) {
   summary.evictions = evictions_;
   summary.failures = failures_;
   summary.acquisitions = acquisitions_;
+  summary.aborted_preloads = aborted_preloads_;
   summary.lost_clocks = agileml_->lost_clocks_total();
   summary.final_objective = agileml_->ComputeObjective();
   return summary;
@@ -180,6 +202,7 @@ ProteusStatus ProteusRuntime::Status() const {
   status.evictions = evictions_;
   status.failures = failures_;
   status.acquisitions = acquisitions_;
+  status.aborted_preloads = aborted_preloads_;
   status.lost_clocks = agileml_->lost_clocks_total();
   status.cost_so_far = ComputeTotalJobBill(market_, now_).cost;
   return status;

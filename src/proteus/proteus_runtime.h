@@ -44,6 +44,9 @@ struct ProteusConfig {
   // Fraction of evictions whose 2-minute warning is missed, turning the
   // eviction into an effective failure handled by rollback (§3.3).
   double effective_failure_fraction = 0.0;
+  // Checkpoint the reliable tier every this many clocks (0 = never).
+  // Insures against reliable-node failure; free in stage 3 (§3.3).
+  int checkpoint_every = 0;
   // Compute the training objective every this many clocks (0 = never).
   int objective_every = 0;
   std::uint64_t seed = 99;
@@ -57,6 +60,10 @@ struct ProteusStatus {
   int evictions = 0;
   int failures = 0;
   int acquisitions = 0;
+  // Allocations revoked before any of their nodes finished preloading;
+  // they never joined the computation, so they are not evictions or
+  // failures and cost no clocks.
+  int aborted_preloads = 0;
   int lost_clocks = 0;
   Money cost_so_far = 0.0;
 };
@@ -68,6 +75,7 @@ struct ProteusRunSummary {
   int evictions = 0;
   int failures = 0;
   int acquisitions = 0;
+  int aborted_preloads = 0;
   int lost_clocks = 0;
   double final_objective = 0.0;
   std::vector<double> objective_trace;  // When objective_every > 0.
@@ -93,6 +101,10 @@ class ProteusRuntime {
 
   ProteusStatus Status() const;
   const AgileMLRuntime& agileml() const { return *agileml_; }
+  // Mutable access for chaos/fault injection: lets a test or the chaos
+  // harness drive checkpoints, restores, and node failures that the
+  // market alone would not produce (e.g. reliable-tier failures).
+  AgileMLRuntime& mutable_agileml() { return *agileml_; }
   const SpotMarket& market() const { return market_; }
   SimTime now() const { return now_; }
   // §5 wiring: the message channels between components (Fig. 7).
@@ -100,6 +112,10 @@ class ProteusRuntime {
   const Channel& api_channel() const { return api_channel_; }
   // BidBrain -> elasticity controller (grants, eviction notices).
   const Channel& controller_channel() const { return controller_channel_; }
+  // Mutable channel access so chaos runs can install fault hooks
+  // (message drop/delay) on the §5 control links.
+  Channel& mutable_api_channel() { return api_channel_; }
+  Channel& mutable_controller_channel() { return controller_channel_; }
 
  private:
   struct TrackedAllocation {
@@ -136,6 +152,7 @@ class ProteusRuntime {
   int evictions_ = 0;
   int failures_ = 0;
   int acquisitions_ = 0;
+  int aborted_preloads_ = 0;
 };
 
 }  // namespace proteus

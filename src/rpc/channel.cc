@@ -1,26 +1,61 @@
 #include "src/rpc/channel.h"
 
+#include <algorithm>
+
 namespace proteus {
 
 void Channel::Send(const Message& message) {
-  std::vector<std::uint8_t> frame = EncodeMessage(message);
-  std::lock_guard<std::mutex> lock(mu_);
-  bytes_sent_ += frame.size();
-  ++messages_sent_;
-  queue_.push_back(std::move(frame));
+  ChannelFault fault;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (fault_hook_) {
+      fault = fault_hook_(message);
+    }
+    std::vector<std::uint8_t> frame = EncodeMessage(message);
+    bytes_sent_ += frame.size();
+    ++messages_sent_;
+    switch (fault.action) {
+      case ChannelFault::Action::kDrop:
+        ++messages_dropped_;
+        return;
+      case ChannelFault::Action::kDelay:
+        ++messages_delayed_;
+        queue_.push_back({std::move(frame), std::max(0, fault.delay_polls)});
+        return;
+      case ChannelFault::Action::kDeliver:
+        queue_.push_back({std::move(frame), 0});
+        return;
+    }
+  }
 }
 
 std::optional<Message> Channel::Poll() {
   std::vector<std::uint8_t> frame;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (queue_.empty()) {
+    // Age every delayed frame by one poll, then deliver the oldest
+    // deliverable one (delayed frames can be overtaken: reordering).
+    auto ready = queue_.end();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (it->delay_polls > 0) {
+        --it->delay_polls;
+      } else if (ready == queue_.end()) {
+        ready = it;
+      }
+    }
+    if (ready == queue_.end()) {
       return std::nullopt;
     }
-    frame = std::move(queue_.front());
-    queue_.pop_front();
+    frame = std::move(ready->frame);
+    queue_.erase(ready);
+    ++messages_delivered_;
   }
   return DecodeMessage(frame);
+}
+
+void Channel::SetFaultHook(ChannelFaultHook hook) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fault_hook_ = std::move(hook);
 }
 
 std::size_t Channel::pending() const {
@@ -36,6 +71,21 @@ std::uint64_t Channel::messages_sent() const {
 std::uint64_t Channel::bytes_sent() const {
   std::lock_guard<std::mutex> lock(mu_);
   return bytes_sent_;
+}
+
+std::uint64_t Channel::messages_delivered() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_delivered_;
+}
+
+std::uint64_t Channel::messages_dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_dropped_;
+}
+
+std::uint64_t Channel::messages_delayed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_delayed_;
 }
 
 }  // namespace proteus

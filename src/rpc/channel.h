@@ -1,11 +1,19 @@
 // In-process message channel standing in for the ZMQ pair sockets of §5.
 // Ordered, thread-safe, with byte/message counters so tests can verify
 // control-plane traffic volumes.
+//
+// For chaos testing the channel accepts a fault hook: every Send() is
+// routed through it, and the hook may deliver the frame normally, drop
+// it on the floor, or hold it back for a number of Poll() calls
+// (delayed frames can be overtaken, modeling reordering). The counters
+// always satisfy messages_sent == delivered + dropped + pending, which
+// the ConsistencyAuditor checks during chaos soaks.
 #ifndef SRC_RPC_CHANNEL_H_
 #define SRC_RPC_CHANNEL_H_
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <mutex>
 #include <optional>
 
@@ -13,23 +21,53 @@
 
 namespace proteus {
 
+// What the fault hook decided to do with one outgoing message.
+struct ChannelFault {
+  enum class Action {
+    kDeliver,  // Enqueue normally.
+    kDrop,     // Lose the frame; it never becomes pending.
+    kDelay,    // Enqueue but withhold for `delay_polls` Poll() calls.
+  };
+  Action action = Action::kDeliver;
+  int delay_polls = 0;
+};
+
+using ChannelFaultHook = std::function<ChannelFault(const Message&)>;
+
 class Channel {
  public:
-  // Frames and enqueues the message.
+  // Frames and enqueues the message (subject to the fault hook).
   void Send(const Message& message);
 
-  // Dequeues and decodes the next message (nullopt when empty).
+  // Dequeues and decodes the next deliverable message. Returns nullopt
+  // when the queue is empty or every pending frame is still delayed;
+  // each call ages delayed frames by one poll.
   std::optional<Message> Poll();
+
+  // Installs (or clears, with nullptr) the fault hook.
+  void SetFaultHook(ChannelFaultHook hook);
 
   std::size_t pending() const;
   std::uint64_t messages_sent() const;
   std::uint64_t bytes_sent() const;
+  std::uint64_t messages_delivered() const;
+  std::uint64_t messages_dropped() const;
+  std::uint64_t messages_delayed() const;
 
  private:
+  struct Entry {
+    std::vector<std::uint8_t> frame;
+    int delay_polls = 0;
+  };
+
   mutable std::mutex mu_;
-  std::deque<std::vector<std::uint8_t>> queue_;
+  std::deque<Entry> queue_;
+  ChannelFaultHook fault_hook_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t messages_dropped_ = 0;
+  std::uint64_t messages_delayed_ = 0;
 };
 
 }  // namespace proteus

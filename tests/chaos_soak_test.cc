@@ -1,0 +1,84 @@
+// Chaos soak (ctest label: "soak"): hundreds of seeded adversarial
+// schedules mixing all six fault classes must complete with zero
+// auditor violations, and same-seed runs must be bit-identical.
+//
+// Run alone with `ctest -L soak`; exclude with `ctest -LE soak`.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/chaos/harness.h"
+
+namespace proteus {
+namespace {
+
+class ChaosSoakTest : public ::testing::Test {
+ protected:
+  ChaosSoakTest() {
+    RatingsConfig rc;
+    rc.users = 300;
+    rc.items = 150;
+    rc.ratings = 10000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 4;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  ChaosConfig Config(std::uint64_t seed) const {
+    ChaosConfig config;
+    config.agileml.num_partitions = 8;
+    config.agileml.data_blocks = 64;
+    config.agileml.parallel_execution = false;
+    config.agileml.backup_sync_every = 3;
+    config.agileml.seed = seed;
+    config.schedule.horizon = 30;
+    config.schedule.events = 8;  // >= 6 guarantees all classes appear.
+    config.schedule.zones = 3;
+    config.seed = seed;
+    return config;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(ChaosSoakTest, TwoHundredSchedulesZeroViolations) {
+  constexpr int kSchedules = 200;
+  int per_class_applied[kNumFaultClasses] = {};
+  for (int s = 0; s < kSchedules; ++s) {
+    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(s);
+    ChaosHarness harness(app_.get(), Config(seed));
+    const ChaosRunResult result = harness.Run();
+    ASSERT_TRUE(result.ok()) << "seed " << seed << ": " << harness.auditor().Report();
+    ASSERT_EQ(result.clocks_run, 30) << "seed " << seed;
+    ASSERT_EQ(result.final_clock + result.lost_clocks_total, result.clocks_run)
+        << "seed " << seed << ": completed-clock conservation broken";
+    for (int c = 0; c < kNumFaultClasses; ++c) {
+      per_class_applied[c] += result.per_class[static_cast<std::size_t>(c)].events;
+    }
+  }
+  // The soak only counts as "mixing all six fault classes" if every
+  // class actually fired many times across the corpus.
+  for (int c = 0; c < kNumFaultClasses; ++c) {
+    EXPECT_GE(per_class_applied[c], kSchedules / 4)
+        << FaultClassName(static_cast<FaultClass>(c)) << " barely exercised";
+  }
+}
+
+TEST_F(ChaosSoakTest, SameSeedRunsAreBitIdentical) {
+  for (std::uint64_t seed : {7ULL, 1234ULL, 99991ULL}) {
+    ChaosHarness a(app_.get(), Config(seed));
+    ChaosHarness b(app_.get(), Config(seed));
+    const ChaosRunResult ra = a.Run();
+    const ChaosRunResult rb = b.Run();
+    ASSERT_EQ(ra.Digest(), rb.Digest()) << "seed " << seed;
+    ASSERT_EQ(ra.final_objective, rb.final_objective) << "seed " << seed;
+    ASSERT_EQ(ra.violations.size(), rb.violations.size()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace proteus

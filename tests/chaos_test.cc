@@ -1,0 +1,303 @@
+// Unit tests for the chaos layer: seeded fault schedules, the Channel
+// fault hook, the consistency auditor's detection power, and the chaos
+// harness's per-fault-class behavior.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/chaos/consistency_auditor.h"
+#include "src/chaos/fault_injector.h"
+#include "src/chaos/harness.h"
+
+namespace proteus {
+namespace {
+
+// --- FaultInjector ---
+
+TEST(FaultInjectorTest, SameSeedSameSchedule) {
+  FaultScheduleConfig config;
+  FaultInjector a(42, config);
+  FaultInjector b(42, config);
+  ASSERT_EQ(a.schedule().size(), b.schedule().size());
+  for (std::size_t i = 0; i < a.schedule().size(); ++i) {
+    EXPECT_EQ(a.schedule()[i].cls, b.schedule()[i].cls);
+    EXPECT_EQ(a.schedule()[i].at_clock, b.schedule()[i].at_clock);
+    EXPECT_EQ(a.schedule()[i].magnitude, b.schedule()[i].magnitude);
+  }
+}
+
+TEST(FaultInjectorTest, DifferentSeedsDiffer) {
+  FaultScheduleConfig config;
+  config.events = 12;
+  FaultInjector a(1, config);
+  FaultInjector b(2, config);
+  bool differs = false;
+  for (std::size_t i = 0; i < a.schedule().size(); ++i) {
+    if (a.schedule()[i].cls != b.schedule()[i].cls ||
+        a.schedule()[i].at_clock != b.schedule()[i].at_clock) {
+      differs = true;
+    }
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultInjectorTest, SixOrMoreEventsCoverAllClasses) {
+  FaultScheduleConfig config;
+  config.events = 6;
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultInjector injector(seed, config);
+    std::set<FaultClass> seen;
+    for (const FaultEvent& event : injector.schedule()) {
+      seen.insert(event.cls);
+    }
+    EXPECT_EQ(seen.size(), static_cast<std::size_t>(kNumFaultClasses))
+        << "seed " << seed << " missed a fault class";
+  }
+}
+
+TEST(FaultInjectorTest, EventsRespectHorizonMargins) {
+  FaultScheduleConfig config;
+  config.horizon = 30;
+  config.events = 40;
+  FaultInjector injector(7, config);
+  Clock prev = 0;
+  for (const FaultEvent& event : injector.schedule()) {
+    EXPECT_GE(event.at_clock, 1);           // Clock 0 is fault-free start-up.
+    EXPECT_LE(event.at_clock, 27);          // Last two clocks show recovery.
+    EXPECT_GE(event.at_clock, prev);        // Sorted by firing boundary.
+    prev = event.at_clock;
+  }
+  // EventsAt partitions the schedule.
+  std::size_t total = 0;
+  for (Clock c = 0; c < config.horizon; ++c) {
+    total += injector.EventsAt(c).size();
+  }
+  EXPECT_EQ(total, injector.schedule().size());
+}
+
+// --- Channel fault hook ---
+
+TEST(ChannelFaultTest, DropHookLosesMessagesAccountably) {
+  Channel channel;
+  channel.SetFaultHook(
+      [](const Message&) { return ChannelFault{ChannelFault::Action::kDrop, 0}; });
+  channel.Send(Message(ReadParamMsg{0, 1}));
+  channel.Send(Message(ReadParamMsg{0, 2}));
+  EXPECT_FALSE(channel.Poll().has_value());
+  EXPECT_EQ(channel.messages_sent(), 2u);
+  EXPECT_EQ(channel.messages_dropped(), 2u);
+  EXPECT_EQ(channel.messages_delivered(), 0u);
+  EXPECT_EQ(channel.pending(), 0u);
+  // Conservation: sent == delivered + dropped + pending.
+  EXPECT_EQ(channel.messages_sent(),
+            channel.messages_delivered() + channel.messages_dropped() + channel.pending());
+}
+
+TEST(ChannelFaultTest, DelayedFrameIsOvertaken) {
+  Channel channel;
+  int calls = 0;
+  channel.SetFaultHook([&calls](const Message&) {
+    // Delay only the first message; later ones flow normally.
+    ++calls;
+    if (calls == 1) {
+      return ChannelFault{ChannelFault::Action::kDelay, 1};
+    }
+    return ChannelFault{ChannelFault::Action::kDeliver, 0};
+  });
+  channel.Send(Message(ReadParamMsg{0, 111}));  // Held for 1 poll.
+  channel.Send(Message(ReadParamMsg{0, 222}));
+  // First poll: the delayed frame ages but cannot go; 222 overtakes it.
+  auto first = channel.Poll();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(std::get<ReadParamMsg>(*first).row, 222);
+  // The hold expired during the overtaking poll; 111 goes next.
+  auto second = channel.Poll();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(std::get<ReadParamMsg>(*second).row, 111);
+  EXPECT_EQ(channel.messages_delayed(), 1u);
+  EXPECT_EQ(channel.messages_delivered(), 2u);
+  EXPECT_EQ(channel.pending(), 0u);
+}
+
+TEST(ChannelFaultTest, ClearingHookRestoresNormalDelivery) {
+  Channel channel;
+  channel.SetFaultHook(
+      [](const Message&) { return ChannelFault{ChannelFault::Action::kDrop, 0}; });
+  channel.Send(Message(ReadParamMsg{0, 1}));
+  channel.SetFaultHook(nullptr);
+  channel.Send(Message(ReadParamMsg{0, 2}));
+  auto got = channel.Poll();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(std::get<ReadParamMsg>(*got).row, 2);
+}
+
+TEST(ChannelFaultTest, InjectorHookIsDeterministic) {
+  FaultScheduleConfig config;
+  FaultInjector a(9, config);
+  FaultInjector b(9, config);
+  ChannelFaultHook hook_a = a.MakeChannelFaultHook(400);
+  ChannelFaultHook hook_b = b.MakeChannelFaultHook(400);
+  const Message msg(ReadParamMsg{0, 0});
+  for (int i = 0; i < 200; ++i) {
+    const ChannelFault fa = hook_a(msg);
+    const ChannelFault fb = hook_b(msg);
+    EXPECT_EQ(static_cast<int>(fa.action), static_cast<int>(fb.action));
+    EXPECT_EQ(fa.delay_polls, fb.delay_polls);
+  }
+}
+
+// --- ConsistencyAuditor ---
+
+class AuditorTest : public ::testing::Test {
+ protected:
+  AuditorTest() {
+    RatingsConfig rc;
+    rc.users = 200;
+    rc.items = 100;
+    rc.ratings = 5000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 4;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  AgileMLConfig Config() const {
+    AgileMLConfig config;
+    config.num_partitions = 8;
+    config.data_blocks = 32;
+    config.parallel_execution = false;
+    return config;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(AuditorTest, CleanRunHasNoViolations) {
+  std::vector<NodeInfo> nodes;
+  for (NodeId id = 0; id < 2; ++id) {
+    nodes.push_back({id, Tier::kReliable, 8, kInvalidAllocation});
+  }
+  for (NodeId id = 2; id < 6; ++id) {
+    nodes.push_back({id, Tier::kTransient, 8, kInvalidAllocation});
+  }
+  AgileMLRuntime runtime(app_.get(), Config(), nodes);
+  ConsistencyAuditor auditor(&runtime);
+  for (int i = 0; i < 6; ++i) {
+    runtime.RunClock();
+    auditor.ObserveClock();
+  }
+  EXPECT_TRUE(auditor.ok()) << auditor.Report();
+  EXPECT_EQ(auditor.Report(), "no violations");
+}
+
+TEST_F(AuditorTest, DetectsMissingProgress) {
+  std::vector<NodeInfo> nodes;
+  nodes.push_back({0, Tier::kReliable, 8, kInvalidAllocation});
+  AgileMLRuntime runtime(app_.get(), Config(), nodes);
+  ConsistencyAuditor auditor(&runtime);
+  runtime.RunClock();
+  auditor.ObserveClock();
+  ASSERT_TRUE(auditor.ok());
+  // A second observation without an executed clock means the completed
+  // count failed to advance — the auditor must flag it.
+  auditor.ObserveClock();
+  ASSERT_FALSE(auditor.ok());
+  EXPECT_EQ(auditor.violations().back().invariant, "progress-accounting");
+}
+
+TEST_F(AuditorTest, ReportTruncatesLongViolationLists) {
+  std::vector<NodeInfo> nodes;
+  nodes.push_back({0, Tier::kReliable, 8, kInvalidAllocation});
+  AgileMLRuntime runtime(app_.get(), Config(), nodes);
+  ConsistencyAuditor auditor(&runtime);
+  runtime.RunClock();
+  auditor.ObserveClock();
+  for (int i = 0; i < 5; ++i) {
+    auditor.ObserveClock();  // Each adds a progress violation.
+  }
+  const std::string report = auditor.Report(/*max_items=*/2);
+  EXPECT_NE(report.find("violation(s):"), std::string::npos);
+  EXPECT_NE(report.find("and 3 more"), std::string::npos);
+}
+
+// --- ChaosHarness ---
+
+class HarnessTest : public ::testing::Test {
+ protected:
+  HarnessTest() {
+    RatingsConfig rc;
+    rc.users = 300;
+    rc.items = 150;
+    rc.ratings = 10000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 4;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  ChaosConfig Config(std::uint64_t seed) const {
+    ChaosConfig config;
+    config.agileml.num_partitions = 8;
+    config.agileml.data_blocks = 64;
+    config.agileml.parallel_execution = false;
+    config.agileml.backup_sync_every = 3;
+    config.agileml.seed = seed;
+    config.schedule.horizon = 30;
+    config.schedule.events = 8;
+    config.seed = seed;
+    return config;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(HarnessTest, FullScheduleRunsCleanly) {
+  ChaosHarness harness(app_.get(), Config(3));
+  const ChaosRunResult result = harness.Run();
+  EXPECT_TRUE(result.ok()) << harness.auditor().Report();
+  EXPECT_EQ(result.clocks_run, 30);
+  // Completed-clock conservation at the end of the run.
+  EXPECT_EQ(result.final_clock + result.lost_clocks_total, result.clocks_run);
+  int applied = 0;
+  for (const FaultClassStats& stats : result.per_class) {
+    applied += stats.events;
+  }
+  EXPECT_GE(applied, 4) << "most scheduled events should find their preconditions";
+  EXPECT_GT(result.virtual_time, 0.0);
+  EXPECT_GT(result.control_sent, 0u);
+}
+
+TEST_F(HarnessTest, SameSeedSameDigest) {
+  ChaosHarness a(app_.get(), Config(17));
+  ChaosHarness b(app_.get(), Config(17));
+  const ChaosRunResult ra = a.Run();
+  const ChaosRunResult rb = b.Run();
+  EXPECT_EQ(ra.Digest(), rb.Digest());
+  EXPECT_EQ(ra.final_objective, rb.final_objective);
+  EXPECT_EQ(ra.control_log_summary, rb.control_log_summary);
+}
+
+TEST_F(HarnessTest, DifferentSeedsDiverge) {
+  ChaosHarness a(app_.get(), Config(5));
+  ChaosHarness b(app_.get(), Config(6));
+  EXPECT_NE(a.Run().Digest(), b.Run().Digest());
+}
+
+TEST_F(HarnessTest, TrainingStillConvergesUnderChaos) {
+  ChaosConfig config = Config(11);
+  config.schedule.horizon = 40;
+  ChaosHarness harness(app_.get(), config);
+  const double before = harness.runtime().ComputeObjective();
+  const ChaosRunResult result = harness.Run();
+  EXPECT_TRUE(result.ok()) << harness.auditor().Report();
+  EXPECT_LT(result.final_objective, before)
+      << "the model must still converge through the fault schedule";
+}
+
+}  // namespace
+}  // namespace proteus

@@ -26,6 +26,28 @@ TEST(ControlPlaneLog, RecordsAndSummarizes) {
   EXPECT_EQ(log.Total(), 0);
 }
 
+TEST(ControlPlaneLog, SummaryGoldenFormat) {
+  // Chaos-run digests hash the exact Summary() string, so its format is
+  // load-bearing: enum order, "name=count" pairs, ", " separators, and
+  // zero-count entries omitted.
+  ControlPlaneLog log;
+  EXPECT_EQ(log.Summary(), "none");
+  log.Record(ControlMessage::kRollbackNotice, 8);
+  log.Record(ControlMessage::kDataAssignment, 3);
+  log.Record(ControlMessage::kEvictionSignal);
+  log.Record(ControlMessage::kStageSwitch, 2);
+  EXPECT_EQ(log.Summary(),
+            "data-assignment=3, eviction-signal=1, stage-switch=2, rollback-notice=8");
+  log.Record(ControlMessage::kPartitionOwnership, 4);
+  log.Record(ControlMessage::kEndOfLifeFlag, 5);
+  log.Record(ControlMessage::kReadySignal, 6);
+  EXPECT_EQ(log.Summary(),
+            "data-assignment=3, partition-ownership=4, eviction-signal=1, "
+            "end-of-life-flag=5, ready-signal=6, stage-switch=2, rollback-notice=8");
+  log.Reset();
+  EXPECT_EQ(log.Summary(), "none");
+}
+
 class ControlPlaneRuntimeTest : public ::testing::Test {
  protected:
   ControlPlaneRuntimeTest() {

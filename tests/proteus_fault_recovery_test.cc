@@ -1,0 +1,152 @@
+// Fault-recovery paths of the full §5 integration:
+//   - allocations revoked while every node is still preloading are
+//     abandoned without touching roles, clocks, or data ownership;
+//   - reliable-tier checkpoint/restore works under stage-3 operation
+//     with concurrent transient churn from the live market.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/chaos/consistency_auditor.h"
+#include "src/market/trace_gen.h"
+#include "src/proteus/proteus_runtime.h"
+
+namespace proteus {
+namespace {
+
+class ProteusFaultRecoveryTest : public ::testing::Test {
+ protected:
+  ProteusFaultRecoveryTest() : catalog_(InstanceTypeCatalog::Default()) {
+    SyntheticTraceConfig trace_config;
+    trace_config.spikes_per_day = 6.0;  // Lively market: evictions happen.
+    Rng rng(51);
+    traces_ =
+        TraceStore::GenerateSynthetic(catalog_, {"z0", "z1"}, 20 * kDay, trace_config, rng);
+    estimator_.Train(traces_, 0.0, 10 * kDay);
+
+    RatingsConfig rc;
+    rc.users = 800;
+    rc.items = 300;
+    rc.ratings = 40000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 16;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  ProteusConfig Config() const {
+    ProteusConfig config;
+    config.agileml.num_partitions = 16;
+    config.agileml.data_blocks = 128;
+    config.agileml.parallel_execution = false;
+    config.agileml.core_speed = 400.0;  // Minutes-long clocks: market churn.
+    config.bidbrain.max_spot_instances = 32;
+    config.bidbrain.allocation_quantum = 8;
+    config.on_demand_count = 2;
+    return config;
+  }
+
+  InstanceTypeCatalog catalog_;
+  TraceStore traces_;
+  EvictionEstimator estimator_;
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(ProteusFaultRecoveryTest, EvictionDuringPreloadAbandonsWithoutLoss) {
+  ProteusConfig config = Config();
+  // Storage so slow that spot nodes never finish preloading: every market
+  // eviction catches the whole allocation in the preparing state.
+  config.agileml.storage_bandwidth = 10.0;
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, config, 11 * kDay);
+  ConsistencyAuditor auditor(&runtime.agileml());
+  for (int i = 0; i < 40; ++i) {
+    runtime.Step();
+    auditor.ObserveClock();
+  }
+  EXPECT_TRUE(auditor.ok()) << auditor.Report();
+
+  const ProteusStatus status = runtime.Status();
+  EXPECT_GT(status.acquisitions, 0);
+  // The market revoked allocations, but none had incorporated a node, so
+  // they are aborted preloads — not evictions, not failures, no rollback.
+  EXPECT_GT(status.aborted_preloads, 0)
+      << "market produced no preload-window revocations in 40 clocks";
+  EXPECT_EQ(status.evictions, 0);
+  EXPECT_EQ(status.failures, 0);
+  EXPECT_EQ(status.lost_clocks, 0);
+  // Abandoned nodes fully leave the membership and bookkeeping.
+  for (const NodeInfo& node : runtime.agileml().nodes()) {
+    EXPECT_TRUE(runtime.agileml().IsReadyNode(node.id) ||
+                runtime.agileml().IsPreparingNode(node.id));
+  }
+  // Only the reliable tier ever computed; data ownership stayed whole.
+  EXPECT_TRUE(runtime.agileml().data().OwnershipIsComplete());
+  EXPECT_EQ(runtime.agileml().ReadyTierCounts().reliable, 2);
+}
+
+TEST_F(ProteusFaultRecoveryTest, CheckpointRestoreUnderStage3Churn) {
+  ProteusConfig config = Config();
+  config.checkpoint_every = 4;
+  config.agileml.backup_sync_every = 3;
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, config, 11 * kDay);
+  ConsistencyAuditor auditor(&runtime.agileml());
+
+  // Let the market scale the job up; 32 spot vs 2 on-demand crosses the
+  // 15:1 stage-3 threshold.
+  bool saw_stage3 = false;
+  while (runtime.agileml().clock() < 12) {
+    runtime.Step();
+    auditor.ObserveClock();
+    saw_stage3 = saw_stage3 || runtime.agileml().stage() == Stage::kStage3;
+  }
+  EXPECT_TRUE(saw_stage3) << "job never reached stage 3 at 16:1 capacity";
+  AgileMLRuntime& agileml = runtime.mutable_agileml();
+  ASSERT_TRUE(agileml.HasCheckpoint());
+
+  // Step until the auto-checkpoint trails the clock, so a restore has
+  // clocks to lose.
+  while (agileml.clock() <= agileml.checkpoint_clock()) {
+    runtime.Step();
+    auditor.ObserveClock();
+  }
+  const Clock before_clock = agileml.clock();
+  const int before_lost = agileml.lost_clocks_total();
+  const std::int64_t notices_before =
+      agileml.control_log().Count(ControlMessage::kRollbackNotice);
+  const int lost = agileml.RestoreFromCheckpoint();
+  EXPECT_EQ(lost, static_cast<int>(before_clock - agileml.checkpoint_clock()));
+  EXPECT_GE(lost, 1);
+  EXPECT_EQ(agileml.clock(), before_clock - lost);
+  EXPECT_EQ(agileml.lost_clocks_total(), before_lost + lost);
+  EXPECT_GT(agileml.control_log().Count(ControlMessage::kRollbackNotice), notices_before)
+      << "restore must tell workers to restart from the checkpointed clock";
+  // After a backup-stage restore the snapshot doubles as a full sync.
+  EXPECT_EQ(agileml.last_sync_clock(), agileml.clock());
+
+  // A reliable node dies while transients churn; stage 2/3 keeps the
+  // backups on the survivor and training continues.
+  std::vector<NodeId> reliable;
+  for (const NodeInfo& node : agileml.ReadyNodes()) {
+    if (node.reliable()) {
+      reliable.push_back(node.id);
+    }
+  }
+  ASSERT_GE(reliable.size(), 2u);
+  agileml.Fail({reliable.front()});
+  EXPECT_GE(agileml.ReadyTierCounts().reliable, 1);
+
+  const Clock target = agileml.clock() + 8;
+  while (runtime.agileml().clock() < target) {
+    runtime.Step();
+    auditor.ObserveClock();
+  }
+  EXPECT_TRUE(auditor.ok()) << auditor.Report();
+  EXPECT_GE(runtime.Status().lost_clocks, lost);
+}
+
+}  // namespace
+}  // namespace proteus
