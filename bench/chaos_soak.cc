@@ -6,10 +6,19 @@
 // match).
 //
 // Usage: chaos_soak [schedules=50] [base_seed=1]
+//                   [--trace_out=PATH] [--metrics_out=PATH]
+//
+// With --trace_out the run emits a Chrome trace_event JSON (Perfetto)
+// containing every fault-injection instant and the recovery spans that
+// follow, and the report gains a per-fault-class recovery-time
+// breakdown aggregated from those spans. Timestamps are the runtime's
+// virtual clock, so two runs with the same seed produce byte-identical
+// traces.
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "bench/support.h"
 #include "src/apps/datasets.h"
 #include "src/apps/mf.h"
 #include "src/chaos/harness.h"
@@ -53,6 +62,11 @@ int RunSoak(int schedules, std::uint64_t base_seed) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s);
     const ChaosConfig config = MakeConfig(seed);
     ChaosHarness harness(&app, config);
+    // Only the primary run records into the session; instrumenting the
+    // replay too would double every event in the trace.
+    if (bench::ObsSession* session = bench::CurrentObsSession()) {
+      session->Attach(harness);
+    }
     const ChaosRunResult result = harness.Run();
 
     ChaosHarness replay(&app, config);
@@ -96,6 +110,21 @@ int RunSoak(int schedules, std::uint64_t base_seed) {
               total_lost);
   std::printf("auditor violations:     %zu\n", total_violations);
   std::printf("determinism mismatches: %d\n", digest_mismatches);
+
+  // Recovery-time breakdown from the trace spans: each recovery clock
+  // following a fault carries one "recovery" span per contributing
+  // class, so summing span durations attributes the stall time.
+  if (bench::ObsSession* session = bench::CurrentObsSession()) {
+    const obs::Tracer* tracer = session->tracer();
+    if (tracer->SpanTotal("recovery") > 0.0) {
+      std::printf("\nrecovery-time breakdown (from trace spans):\n");
+      std::printf("%-22s %18s\n", "fault class", "recovery seconds");
+      for (int c = 0; c < kNumFaultClasses; ++c) {
+        const char* name = FaultClassName(static_cast<FaultClass>(c));
+        std::printf("%-22s %18.2f\n", name, tracer->SpanTotal("recovery", "class", name));
+      }
+    }
+  }
   return (total_violations == 0 && digest_mismatches == 0) ? 0 : 1;
 }
 
@@ -103,11 +132,14 @@ int RunSoak(int schedules, std::uint64_t base_seed) {
 }  // namespace proteus
 
 int main(int argc, char** argv) {
+  // Strips --trace_out= / --metrics_out= before positional parsing.
+  proteus::bench::ObsSession obs_session(argc, argv);
   const int schedules = argc > 1 ? std::atoi(argv[1]) : 50;
   const std::uint64_t base_seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
   if (schedules <= 0) {
-    std::fprintf(stderr, "usage: %s [schedules] [base_seed]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s [schedules] [base_seed] [--trace_out=PATH] "
+                         "[--metrics_out=PATH]\n", argv[0]);
     return 2;
   }
   return proteus::RunSoak(schedules, base_seed);

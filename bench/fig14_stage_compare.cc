@@ -18,6 +18,9 @@ std::vector<double> Series(const MfEnv& env, Stage stage, int iters) {
   AgileMLConfig config = ClusterAConfig(32);
   config.planner.forced_stage = stage;
   AgileMLRuntime runtime(&app, config, MakeCluster(8, 8));
+  if (ObsSession* session = CurrentObsSession()) {
+    session->Attach(runtime);
+  }
   std::vector<double> out;
   for (int i = 0; i < iters; ++i) {
     out.push_back(runtime.RunClock().duration);
@@ -55,7 +58,8 @@ void Main() {
 }  // namespace bench
 }  // namespace proteus
 
-int main() {
+int main(int argc, char** argv) {
+  proteus::bench::ObsSession obs_session(argc, argv);
   proteus::bench::Main();
   return 0;
 }

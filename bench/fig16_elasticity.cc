@@ -20,6 +20,9 @@ void Main() {
   MatrixFactorizationApp app(&env.data, env.mf);
   AgileMLConfig config = ClusterAConfig(32);
   AgileMLRuntime runtime(&app, config, MakeCluster(4, 0));
+  if (ObsSession* session = CurrentObsSession()) {
+    session->Attach(runtime);
+  }
 
   struct Sample {
     double duration;
@@ -81,7 +84,8 @@ void Main() {
 }  // namespace bench
 }  // namespace proteus
 
-int main() {
+int main(int argc, char** argv) {
+  proteus::bench::ObsSession obs_session(argc, argv);
   proteus::bench::Main();
   return 0;
 }

@@ -1,7 +1,77 @@
 #include "bench/support.h"
 
+#include <cstdio>
+#include <cstring>
+
 namespace proteus {
 namespace bench {
+
+namespace {
+
+// Pops `--name=value` style flags out of argv; returns the value of the
+// last occurrence (empty if absent).
+std::string TakeFlag(int& argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  std::string value;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      value = argv[i] + prefix.size();
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return value;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+ObsSession* g_session = nullptr;
+
+}  // namespace
+
+ObsSession* CurrentObsSession() { return g_session; }
+
+ObsSession::ObsSession(int& argc, char** argv)
+    : trace_path_(TakeFlag(argc, argv, "trace_out")),
+      metrics_path_(TakeFlag(argc, argv, "metrics_out")) {
+  g_session = this;
+}
+
+ObsSession::~ObsSession() {
+  Flush();
+  g_session = nullptr;
+}
+
+void ObsSession::Flush() {
+  if (flushed_) {
+    return;
+  }
+  flushed_ = true;
+  if (!trace_path_.empty()) {
+    if (tracer_.WriteJson(trace_path_)) {
+      std::fprintf(stderr, "trace: wrote %zu events to %s\n", tracer_.size(),
+                   trace_path_.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", trace_path_.c_str());
+    }
+  }
+  if (!metrics_path_.empty()) {
+    const obs::MetricsSnapshot snapshot = metrics_.Snapshot();
+    const bool ok = EndsWith(metrics_path_, ".csv") ? snapshot.WriteCsv(metrics_path_)
+                                                    : snapshot.WriteText(metrics_path_);
+    if (ok) {
+      std::fprintf(stderr, "metrics: wrote %zu series to %s\n", snapshot.points.size(),
+                   metrics_path_.c_str());
+    } else {
+      std::fprintf(stderr, "metrics: failed to write %s\n", metrics_path_.c_str());
+    }
+  }
+}
 
 MfEnv MakeMfEnv() {
   MfEnv env;
@@ -64,6 +134,9 @@ std::vector<NodeInfo> MakeCluster(int reliable, int transient) {
 }
 
 double MeasureTimePerIter(AgileMLRuntime& runtime, int warmup, int iters) {
+  if (ObsSession* session = CurrentObsSession()) {
+    session->Attach(runtime);
+  }
   runtime.RunClocks(warmup);
   double total = 0.0;
   for (int i = 0; i < iters; ++i) {

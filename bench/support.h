@@ -22,11 +22,60 @@
 #include "src/apps/mf.h"
 #include "src/apps/mlr.h"
 #include "src/bidbrain/eviction_estimator.h"
+#include "src/chaos/harness.h"
 #include "src/market/spot_market.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/proteus/job_simulator.h"
+#include "src/proteus/proteus_runtime.h"
 
 namespace proteus {
 namespace bench {
+
+// --- Observability session (--trace_out= / --metrics_out=) ---
+//
+// Every bench accepts two optional flags:
+//   --trace_out=PATH    Chrome trace_event JSON of the run, viewable in
+//                       Perfetto (ui.perfetto.dev) or chrome://tracing.
+//   --metrics_out=PATH  MetricsRegistry snapshot; a .csv suffix selects
+//                       CSV, anything else the text exposition format.
+// The session owns the Tracer and MetricsRegistry that instrumented
+// runtimes record into, strips the flags it recognizes from argc/argv
+// (positional-argument parsing stays untouched), and writes the
+// requested artifacts when it goes out of scope.
+class ObsSession {
+ public:
+  ObsSession(int& argc, char** argv);
+  ~ObsSession();
+
+  ObsSession(const ObsSession&) = delete;
+  ObsSession& operator=(const ObsSession&) = delete;
+
+  obs::Tracer* tracer() { return &tracer_; }
+  obs::MetricsRegistry* metrics() { return &metrics_; }
+  bool enabled() const { return !trace_path_.empty() || !metrics_path_.empty(); }
+
+  // Wires a runtime into this session's sinks.
+  void Attach(AgileMLRuntime& runtime) { runtime.SetObservability(&tracer_, &metrics_); }
+  void Attach(ProteusRuntime& runtime) { runtime.SetObservability(&tracer_, &metrics_); }
+  void Attach(ChaosHarness& harness) { harness.SetObservability(&tracer_, &metrics_); }
+
+  // Writes the requested artifacts now (idempotent; the destructor
+  // calls it too).
+  void Flush();
+
+ private:
+  std::string trace_path_;
+  std::string metrics_path_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry metrics_;
+  bool flushed_ = false;
+};
+
+// The bench's ambient session: set while an ObsSession is alive (one per
+// process), nullptr otherwise. Helpers that build runtimes internally
+// (e.g. MeasureTimePerIter) attach through this.
+ObsSession* CurrentObsSession();
 
 // --- AgileML-side environment (Figs. 11-16) ---
 

@@ -45,6 +45,9 @@ void Main() {
     config.on_demand_count = 3;
     ProteusRuntime runtime(&app, &env.catalog, &env.traces, &env.estimator, config,
                            env.eval_begin + kDay);
+    if (ObsSession* session = CurrentObsSession()) {
+      session->Attach(runtime);
+    }
     const ProteusRunSummary summary = runtime.Train(kClocks);
     proteus = {summary.runtime, summary.bill.cost, summary.final_objective,
                summary.evictions + summary.failures};
@@ -62,6 +65,9 @@ void Main() {
       nodes.push_back({id, Tier::kReliable, 4, kInvalidAllocation});
     }
     AgileMLRuntime runtime(&app, config, nodes);
+    if (ObsSession* session = CurrentObsSession()) {
+      session->Attach(runtime);
+    }
     const SimDuration time = runtime.RunClocks(kClocks);
     const Money price = env.catalog.Get("c4.xlarge").on_demand_price;
     od = {time, 32 * price * (time / kHour), runtime.ComputeObjective(), 0};
@@ -84,7 +90,8 @@ void Main() {
 }  // namespace bench
 }  // namespace proteus
 
-int main() {
+int main(int argc, char** argv) {
+  proteus::bench::ObsSession obs_session(argc, argv);
   proteus::bench::Main();
   return 0;
 }

@@ -51,7 +51,8 @@ void Main() {
 }  // namespace bench
 }  // namespace proteus
 
-int main() {
+int main(int argc, char** argv) {
+  proteus::bench::ObsSession obs_session(argc, argv);
   proteus::bench::Main();
   return 0;
 }

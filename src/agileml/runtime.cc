@@ -49,6 +49,29 @@ AgileMLRuntime::AgileMLRuntime(MLApp* app, AgileMLConfig config,
 
 AgileMLRuntime::~AgileMLRuntime() = default;
 
+void AgileMLRuntime::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    pull_bytes_counter_ = push_bytes_counter_ = backup_sync_bytes_counter_ = nullptr;
+    stage_transition_counter_ = rollback_clocks_counter_ = stall_seconds_counter_ = nullptr;
+    backup_lag_gauge_ = worker_nodes_gauge_ = nullptr;
+    clock_duration_hist_ = nullptr;
+    return;
+  }
+  pull_bytes_counter_ = metrics_->GetCounter("agileml.pull.bytes");
+  push_bytes_counter_ = metrics_->GetCounter("agileml.push.bytes");
+  backup_sync_bytes_counter_ = metrics_->GetCounter("agileml.backup_sync.bytes");
+  stage_transition_counter_ = metrics_->GetCounter("agileml.stage.transitions");
+  rollback_clocks_counter_ = metrics_->GetCounter("agileml.rollback.lost_clocks");
+  stall_seconds_counter_ = metrics_->GetCounter("agileml.stall.microseconds");
+  backup_lag_gauge_ = metrics_->GetGauge("agileml.backup_sync.lag_clocks");
+  worker_nodes_gauge_ = metrics_->GetGauge("agileml.workers");
+  clock_duration_hist_ = metrics_->GetHistogram(
+      "agileml.clock.duration_seconds",
+      {0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 60.0, 120.0, 300.0});
+}
+
 const NodeInfo& AgileMLRuntime::Node(NodeId id) const {
   for (const auto& node : nodes_) {
     if (node.id == id) {
@@ -103,6 +126,18 @@ void AgileMLRuntime::TransitionRoles(const std::set<NodeId>& leaving, bool force
   }
   if (roles_.stage != next.stage && !roles_.server.empty()) {
     control_log_.Record(ControlMessage::kStageSwitch);
+    if (stage_transition_counter_ != nullptr) {
+      stage_transition_counter_->Increment();
+    }
+    if (tracer_ != nullptr) {
+      // Zero-duration span: role moves are instantaneous in virtual time;
+      // their cost lands in the next clock's stall (recovery.stall span).
+      tracer_->SpanAt(total_time_, 0.0, "stage.transition", "agileml",
+                      {{"from", std::string(StageName(roles_.stage))},
+                       {"to", std::string(StageName(next.stage))},
+                       {"clock", static_cast<std::int64_t>(clock_)},
+                       {"forced", static_cast<std::int64_t>(forced ? 1 : 0)}});
+    }
   }
   if (had_backups && !will_have_backups) {
     // Stage 2/3 -> 1: end-of-life push — every serving node streams its
@@ -231,6 +266,11 @@ void AgileMLRuntime::AddNodes(const std::vector<NodeInfo>& new_nodes) {
                          static_cast<double>(current_workers + new_nodes.size());
     preparing_[node.id] = static_cast<std::uint64_t>(2.0 * share * config_.bytes_per_item);
   }
+  if (tracer_ != nullptr && !new_nodes.empty()) {
+    tracer_->InstantAt(total_time_, "nodes.add", "agileml",
+                       {{"count", static_cast<std::int64_t>(new_nodes.size())},
+                        {"clock", static_cast<std::int64_t>(clock_)}});
+  }
 }
 
 void AgileMLRuntime::IncorporateReady() {
@@ -270,6 +310,12 @@ void AgileMLRuntime::IncorporateReady() {
     queued_.push_back({kInvalidNode, move.to, bytes, TrafficClass::kBackground, false});
   }
   RebuildClockTable();
+  if (tracer_ != nullptr) {
+    tracer_->InstantAt(total_time_, "nodes.incorporate", "agileml",
+                       {{"count", static_cast<std::int64_t>(newly.size())},
+                        {"stage", std::string(StageName(roles_.stage))},
+                        {"clock", static_cast<std::int64_t>(clock_)}});
+  }
   PROTEUS_LOG(Debug) << "incorporated " << newly.size() << " nodes; stage "
                      << StageName(roles_.stage);
 }
@@ -292,6 +338,11 @@ void AgileMLRuntime::Evict(const std::vector<NodeId>& node_ids) {
   }
   if (leaving.empty()) {
     return;
+  }
+  if (tracer_ != nullptr) {
+    tracer_->InstantAt(total_time_, "nodes.evict", "agileml",
+                       {{"count", static_cast<std::int64_t>(leaving.size())},
+                        {"clock", static_cast<std::int64_t>(clock_)}});
   }
   TransitionRoles(leaving, /*forced=*/true);
   for (const NodeId id : leaving) {
@@ -336,6 +387,11 @@ int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
   if (dead.empty()) {
     return 0;
   }
+  if (tracer_ != nullptr) {
+    tracer_->InstantAt(total_time_, "nodes.fail", "agileml",
+                       {{"count", static_cast<std::int64_t>(dead.size())},
+                        {"clock", static_cast<std::int64_t>(clock_)}});
+  }
 
   int lost_clocks = 0;
   [[maybe_unused]] const std::int64_t rollback_notices_before =
@@ -350,6 +406,16 @@ int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
     if (lost_clocks > 0) {
       control_log_.Record(ControlMessage::kRollbackNotice,
                           static_cast<std::int64_t>(roles_.worker_nodes.size()));
+    }
+    if (rollback_clocks_counter_ != nullptr) {
+      rollback_clocks_counter_->Add(static_cast<std::uint64_t>(lost_clocks));
+    }
+    if (tracer_ != nullptr) {
+      tracer_->SpanAt(total_time_, 0.0, "rollback", "agileml",
+                      {{"kind", std::string("backup")},
+                       {"lost_clocks", static_cast<std::int64_t>(lost_clocks)},
+                       {"to_clock", static_cast<std::int64_t>(clock_)},
+                       {"failed_nodes", static_cast<std::int64_t>(dead.size())}});
     }
   } else if (lost_reliable_ps) {
     // A reliable ParamServ died in stage 1: only a checkpoint can save
@@ -416,6 +482,15 @@ int AgileMLRuntime::RestoreFromCheckpoint() {
     control_log_.Record(ControlMessage::kRollbackNotice,
                         static_cast<std::int64_t>(roles_.worker_nodes.size()));
   }
+  if (rollback_clocks_counter_ != nullptr) {
+    rollback_clocks_counter_->Add(static_cast<std::uint64_t>(lost));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->SpanAt(total_time_, 0.0, "rollback", "agileml",
+                    {{"kind", std::string("checkpoint")},
+                     {"lost_clocks", static_cast<std::int64_t>(lost)},
+                     {"to_clock", static_cast<std::int64_t>(clock_)}});
+  }
   return lost;
 }
 
@@ -454,21 +529,27 @@ SimDuration AgileMLRuntime::ChargeQueuedTransfers() {
 }
 
 void AgileMLRuntime::SyncAllToBackups(TrafficClass cls) {
+  std::uint64_t total_bytes = 0;
   for (PartitionId p = 0; p < config_.num_partitions; ++p) {
     const std::uint64_t bytes = model_.SyncPartitionToBackup(p);
     last_sync_bytes_[p] = bytes;
     if (bytes == 0) {
       continue;
     }
+    total_bytes += bytes;
     const NodeId src = roles_.server.at(p);
     const NodeId dst = roles_.backup.at(p);
     if (fabric_.HasNode(src) && fabric_.HasNode(dst)) {
       fabric_.RecordTransfer(src, dst, bytes, cls);
     }
   }
+  if (backup_sync_bytes_counter_ != nullptr) {
+    backup_sync_bytes_counter_->Add(total_bytes);
+  }
 }
 
 IterationReport AgileMLRuntime::RunClock() {
+  const SimDuration clock_start = total_time_;
   fabric_.BeginRound();
   const SimDuration stall = ChargeQueuedTransfers();
 
@@ -522,20 +603,30 @@ IterationReport AgileMLRuntime::RunClock() {
   // Reads: server egress -> worker ingress; updates: worker egress ->
   // server ingress. Distinct rows per clock thanks to the worker-side
   // cache (write-back coalescing).
+  std::uint64_t pull_bytes = 0;  // Server -> worker (parameter reads).
+  std::uint64_t push_bytes = 0;  // Worker -> server (update write-backs).
   for (const NodeId w : workers) {
     const AccessTracker& tracker = trackers[w];
     for (const RowKey key : tracker.reads()) {
       const int table = TableOfKey(key);
       const PartitionId p = model_.PartitionOf(table, RowOfKey(key));
-      fabric_.RecordTransfer(roles_.server.at(p), w, model_.RowBytes(table),
-                             TrafficClass::kForeground);
+      const std::uint64_t bytes = model_.RowBytes(table);
+      pull_bytes += bytes;
+      fabric_.RecordTransfer(roles_.server.at(p), w, bytes, TrafficClass::kForeground);
     }
     for (const RowKey key : tracker.updates()) {
       const int table = TableOfKey(key);
       const PartitionId p = model_.PartitionOf(table, RowOfKey(key));
-      fabric_.RecordTransfer(w, roles_.server.at(p), model_.RowBytes(table),
-                             TrafficClass::kForeground);
+      const std::uint64_t bytes = model_.RowBytes(table);
+      push_bytes += bytes;
+      fabric_.RecordTransfer(w, roles_.server.at(p), bytes, TrafficClass::kForeground);
     }
+  }
+  if (pull_bytes_counter_ != nullptr) {
+    pull_bytes_counter_->Add(pull_bytes);
+  }
+  if (push_bytes_counter_ != nullptr) {
+    push_bytes_counter_->Add(push_bytes);
   }
 
   // --- Active -> Backup streaming (stages 2/3) ---
@@ -590,6 +681,37 @@ IterationReport AgileMLRuntime::RunClock() {
   report.clock = clock_;
   total_time_ += report.duration;
   last_duration_ = report.duration;
+
+  if (clock_duration_hist_ != nullptr) {
+    clock_duration_hist_->Observe(report.duration);
+  }
+  if (stall_seconds_counter_ != nullptr && stall > 0.0) {
+    stall_seconds_counter_->Add(static_cast<std::uint64_t>(stall * 1e6));
+  }
+  if (backup_lag_gauge_ != nullptr) {
+    backup_lag_gauge_->Set(roles_.UsesBackups()
+                               ? static_cast<double>(clock_ - last_sync_clock_)
+                               : 0.0);
+  }
+  if (worker_nodes_gauge_ != nullptr) {
+    worker_nodes_gauge_->Set(static_cast<double>(report.worker_nodes));
+  }
+  if (tracer_ != nullptr) {
+    if (stall > 0.0) {
+      // Forced (eviction/failure-handling) transfers serialized ahead of
+      // this clock: the per-clock share of recovery time.
+      tracer_->SpanAt(clock_start, stall, "recovery.stall", "agileml",
+                      {{"clock", static_cast<std::int64_t>(clock_)}});
+    }
+    tracer_->SpanAt(clock_start, report.duration, "clock", "agileml",
+                    {{"clock", static_cast<std::int64_t>(clock_)},
+                     {"stage", std::string(StageName(report.stage))},
+                     {"workers", static_cast<std::int64_t>(report.worker_nodes)},
+                     {"bytes", static_cast<std::int64_t>(report.total_bytes)},
+                     {"pull_bytes", static_cast<std::int64_t>(pull_bytes)},
+                     {"push_bytes", static_cast<std::int64_t>(push_bytes)},
+                     {"stall", report.stall}});
+  }
 
   IncorporateReady();
   return report;

@@ -32,6 +32,8 @@
 #include "src/common/thread_pool.h"
 #include "src/common/types.h"
 #include "src/net/fabric.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/ps/clock_table.h"
 #include "src/ps/model.h"
 
@@ -105,6 +107,12 @@ class AgileMLRuntime {
 
   AgileMLRuntime(const AgileMLRuntime&) = delete;
   AgileMLRuntime& operator=(const AgileMLRuntime&) = delete;
+
+  // Attaches the runtime to an observability sink. Spans and instants
+  // land on the "agileml" track of `tracer`, timestamped in this
+  // runtime's virtual time; counters/gauges register in `metrics`.
+  // Either may be nullptr; call before RunClock for complete traces.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
   // Executes one clock of work and advances virtual time.
   IterationReport RunClock();
@@ -227,6 +235,21 @@ class AgileMLRuntime {
   SimDuration total_time_ = 0.0;
   SimDuration last_duration_ = 1.0;
   int lost_clocks_total_ = 0;
+
+  // Observability sinks (optional) and cached metric handles. All
+  // recording happens on the serial control path, never inside the
+  // worker thread pool.
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* pull_bytes_counter_ = nullptr;
+  obs::Counter* push_bytes_counter_ = nullptr;
+  obs::Counter* backup_sync_bytes_counter_ = nullptr;
+  obs::Counter* stage_transition_counter_ = nullptr;
+  obs::Counter* rollback_clocks_counter_ = nullptr;
+  obs::Counter* stall_seconds_counter_ = nullptr;
+  obs::Gauge* backup_lag_gauge_ = nullptr;
+  obs::Gauge* worker_nodes_gauge_ = nullptr;
+  obs::Histogram* clock_duration_hist_ = nullptr;
 
   std::unique_ptr<ThreadPool> pool_;
 };

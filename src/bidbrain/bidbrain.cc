@@ -16,6 +16,20 @@ BidBrain::BidBrain(const InstanceTypeCatalog* catalog, const TraceStore* prices,
   PROTEUS_CHECK(estimator_ != nullptr);
 }
 
+void BidBrain::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  decisions_counter_ = nullptr;
+  acquire_counter_ = nullptr;
+  terminate_counter_ = nullptr;
+  cost_per_work_gauge_ = nullptr;
+  if (metrics != nullptr) {
+    decisions_counter_ = metrics->GetCounter("bidbrain.decisions");
+    acquire_counter_ = metrics->GetCounter("bidbrain.actions", {{"kind", "acquire"}});
+    terminate_counter_ = metrics->GetCounter("bidbrain.actions", {{"kind", "terminate"}});
+    cost_per_work_gauge_ = metrics->GetGauge("bidbrain.cost_per_work");
+  }
+}
+
 AllocationPlan BidBrain::PlanFor(SimTime now, const LiveAllocation& alloc) const {
   AllocationPlan plan;
   plan.market = alloc.market;
@@ -79,12 +93,16 @@ std::vector<BidAction> BidBrain::Decide(SimTime now,
   }
 
   // --- Acquisition: best (market, delta) candidate, if it helps ---
+  std::optional<BidAction> chosen;        // Acquisition taken this decision.
+  std::optional<AllocationPlan> chosen_plan;
+  Money chosen_delta = 0.0;
   const int headroom = config_.max_spot_instances - spot_count;
   if (headroom > 0) {
     const int count = std::min(config_.allocation_quantum, headroom);
     double best_cpw = std::numeric_limits<double>::infinity();
     std::optional<BidAction> best;
     std::optional<AllocationPlan> best_plan;
+    Money best_delta = 0.0;
     for (const MarketKey& market : prices_->Keys()) {
       const InstanceType* type = catalog_->Find(market.instance_type);
       if (type == nullptr) {
@@ -109,11 +127,15 @@ std::vector<BidAction> BidBrain::Decide(SimTime now,
           best = BidAction{BidAction::Kind::kAcquire, market, count, price + delta,
                            kInvalidAllocation};
           best_plan = cand;
+          best_delta = delta;
         }
       }
     }
     if (best.has_value() && best_cpw < current_cpw * (1.0 - config_.improvement_margin)) {
       actions.push_back(*best);
+      chosen = best;
+      chosen_plan = best_plan;
+      chosen_delta = best_delta;
       // Renewal decisions below evaluate the footprint as it will be
       // after this acquisition (the terminate-vs-renew comparison should
       // not treat soon-to-be-replaced capacity as irreplaceable).
@@ -155,6 +177,39 @@ std::vector<BidAction> BidBrain::Decide(SimTime now,
       actions.push_back(
           {BidAction::Kind::kTerminate, alloc.market, alloc.count, alloc.bid, alloc.id});
     }
+  }
+
+  int terminations = 0;
+  for (const auto& action : actions) {
+    if (action.kind == BidAction::Kind::kTerminate) {
+      ++terminations;
+    }
+  }
+  if (decisions_counter_ != nullptr) {
+    decisions_counter_->Increment();
+  }
+  if (acquire_counter_ != nullptr && chosen.has_value()) {
+    acquire_counter_->Increment();
+  }
+  if (terminate_counter_ != nullptr && terminations > 0) {
+    terminate_counter_->Add(static_cast<std::uint64_t>(terminations));
+  }
+  if (cost_per_work_gauge_ != nullptr) {
+    cost_per_work_gauge_->Set(current_cpw);
+  }
+  if (tracer_ != nullptr) {
+    obs::TraceArgs args = {{"E_A", current_cpw},
+                           {"spot_instances", static_cast<std::int64_t>(spot_count)},
+                           {"terminations", static_cast<std::int64_t>(terminations)}};
+    if (chosen.has_value()) {
+      args.emplace_back("market",
+                        chosen->market.zone + "/" + chosen->market.instance_type);
+      args.emplace_back("bid", chosen->bid);
+      args.emplace_back("delta", chosen_delta);
+      args.emplace_back("beta", chosen_plan->beta);
+      args.emplace_back("count", static_cast<std::int64_t>(chosen->count));
+    }
+    tracer_->InstantAt(now, "decision", "bidbrain", args);
   }
   return actions;
 }

@@ -21,6 +21,8 @@
 #include "src/bidbrain/eviction_estimator.h"
 #include "src/market/instance_type.h"
 #include "src/market/trace_store.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace proteus {
 
@@ -70,6 +72,12 @@ class BidBrain {
   BidBrain(const InstanceTypeCatalog* catalog, const TraceStore* prices,
            const EvictionModel* estimator, BidBrainConfig config);
 
+  // Attaches BidBrain to an observability sink: every Decide() records a
+  // "decision" instant on the "bidbrain" track (timestamped with the
+  // caller's market time) carrying E_A, the chosen bid delta, and the
+  // candidate's eviction probability beta. Either pointer may be null.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   // Evaluates the footprint at `now` and returns the actions to take.
   std::vector<BidAction> Decide(SimTime now, const std::vector<LiveAllocation>& live) const;
 
@@ -87,6 +95,14 @@ class BidBrain {
   const TraceStore* prices_;
   const EvictionModel* estimator_;
   BidBrainConfig config_;
+
+  // Observability sinks; Decide() is logically const, so recording into
+  // external sinks does not touch BidBrain state.
+  obs::Tracer* tracer_ = nullptr;
+  obs::Counter* decisions_counter_ = nullptr;
+  obs::Counter* acquire_counter_ = nullptr;
+  obs::Counter* terminate_counter_ = nullptr;
+  obs::Gauge* cost_per_work_gauge_ = nullptr;
 };
 
 }  // namespace proteus

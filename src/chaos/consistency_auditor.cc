@@ -13,8 +13,22 @@ ConsistencyAuditor::ConsistencyAuditor(const AgileMLRuntime* runtime)
   PROTEUS_CHECK(runtime_ != nullptr);
 }
 
+void ConsistencyAuditor::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+}
+
 void ConsistencyAuditor::Add(const std::string& invariant, const std::string& detail) {
   violations_.push_back({invariant, detail, runtime_->clock()});
+  if (metrics_ != nullptr) {
+    metrics_->GetCounter("chaos.audit.violations", {{"invariant", invariant}})->Increment();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->InstantAt(runtime_->total_time(), "audit.violation", "chaos",
+                       {{"invariant", invariant},
+                        {"detail", detail},
+                        {"clock", static_cast<std::int64_t>(runtime_->clock())}});
+  }
 }
 
 void ConsistencyAuditor::ObserveClock() {

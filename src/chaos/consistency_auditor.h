@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "src/agileml/runtime.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rpc/channel.h"
 
 namespace proteus {
@@ -44,6 +46,12 @@ struct AuditViolation {
 class ConsistencyAuditor {
  public:
   explicit ConsistencyAuditor(const AgileMLRuntime* runtime);
+
+  // Every recorded violation additionally bumps a
+  // chaos.audit.violations{invariant=...} counter and drops an
+  // "audit.violation" instant on the "chaos" track at the runtime's
+  // current virtual time. Either pointer may be nullptr.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
   // Call exactly once after every RunClock(). Elasticity operations
   // (Evict/Fail/AddNodes/checkpoint/restore) may happen freely between
@@ -70,6 +78,8 @@ class ConsistencyAuditor {
   void CheckMembership();
 
   const AgileMLRuntime* runtime_;
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
   std::vector<AuditViolation> violations_;
   bool has_prev_ = false;
   Clock prev_clock_ = 0;

@@ -93,6 +93,21 @@ ChaosHarness::ChaosHarness(MLApp* app, ChaosConfig config)
 
 ChaosHarness::~ChaosHarness() = default;
 
+void ChaosHarness::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  fault_counters_ = {};
+  if (metrics != nullptr) {
+    for (int i = 0; i < kNumFaultClasses; ++i) {
+      const FaultClass cls = static_cast<FaultClass>(i);
+      fault_counters_[static_cast<std::size_t>(i)] =
+          metrics->GetCounter("chaos.faults", {{"class", FaultClassName(cls)}});
+    }
+  }
+  runtime_->SetObservability(tracer, metrics);
+  control_channel_.SetObservability(metrics, "controller");
+  auditor_.SetObservability(tracer, metrics);
+}
+
 std::vector<NodeId> ChaosHarness::ReadyTransientIds() const {
   std::vector<NodeId> out;
   for (const NodeInfo& node : runtime_->ReadyNodes()) {
@@ -304,6 +319,11 @@ ChaosRunResult ChaosHarness::Run() {
       stats.lost_clocks += runtime_->lost_clocks_total() - lost_before;
       stats.control_messages += runtime_->control_log().Total() - ctrl_before;
       applied.push_back(FaultClass::kPreparingEviction);
+      if (tracer_ != nullptr) {
+        tracer_->InstantAt(runtime_->total_time(), "fault.preparing_eviction", "chaos",
+                           {{"phase", "revoke"},
+                            {"boundary", static_cast<std::int64_t>(boundary)}});
+      }
     }
 
     std::vector<FaultEvent> due = std::move(deferred_);
@@ -323,6 +343,18 @@ ChaosRunResult ChaosHarness::Run() {
       stats.lost_clocks += runtime_->lost_clocks_total() - lost_before;
       stats.control_messages += runtime_->control_log().Total() - ctrl_before;
       applied.push_back(event.cls);
+      if (obs::Counter* c = fault_counters_[static_cast<std::size_t>(event.cls)]) {
+        c->Increment();
+      }
+      if (tracer_ != nullptr) {
+        tracer_->InstantAt(
+            runtime_->total_time(),
+            std::string("fault.") + FaultClassName(event.cls), "chaos",
+            {{"magnitude", static_cast<std::int64_t>(event.magnitude)},
+             {"boundary", static_cast<std::int64_t>(boundary)},
+             {"lost_clocks",
+              static_cast<std::int64_t>(runtime_->lost_clocks_total() - lost_before)}});
+      }
     }
 
     // BidBrain's next decision point: replenish lost capacity.
@@ -339,8 +371,17 @@ ChaosRunResult ChaosHarness::Run() {
       // Forced-transfer stall of the recovery clock, split across the
       // fault classes that caused it.
       const SimDuration share = report.stall / static_cast<double>(applied.size());
+      const SimDuration clock_start = runtime_->total_time() - report.duration;
       for (const FaultClass cls : applied) {
         result.per_class[static_cast<std::size_t>(cls)].stall_seconds += share;
+        if (tracer_ != nullptr) {
+          // One recovery span per contributing fault class; chaos_soak
+          // aggregates these into the per-class recovery breakdown.
+          tracer_->SpanAt(clock_start, share, "recovery", "chaos",
+                          {{"class", FaultClassName(cls)},
+                           {"stall_share", share},
+                           {"clock", static_cast<std::int64_t>(report.clock)}});
+        }
       }
     }
 

@@ -24,6 +24,8 @@
 #include "src/agileml/runtime.h"
 #include "src/chaos/consistency_auditor.h"
 #include "src/chaos/fault_injector.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/rpc/channel.h"
 
 namespace proteus {
@@ -82,6 +84,14 @@ class ChaosHarness {
   ChaosHarness(const ChaosHarness&) = delete;
   ChaosHarness& operator=(const ChaosHarness&) = delete;
 
+  // Attaches the whole chaos stack to an observability sink: every
+  // applied fault drops a "fault.<class>" instant on the "chaos" track,
+  // the recovery clock that follows gets a "recovery" span carrying its
+  // fault class and stall share, the auditor reports violations, and the
+  // call forwards to the runtime and the control channel. Timestamps are
+  // the runtime's virtual time, so same-seed traces are bit-identical.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   // Executes the full schedule; returns the run report.
   ChaosRunResult Run();
 
@@ -122,6 +132,10 @@ class ChaosHarness {
   // Allocations added by a preparing-eviction event, to be revoked at
   // the next clock boundary (mid-preload).
   std::vector<AllocationId> pending_preload_evictions_;
+
+  // Observability sinks (optional) and per-class fault counters.
+  obs::Tracer* tracer_ = nullptr;
+  std::array<obs::Counter*, kNumFaultClasses> fault_counters_{};
 };
 
 }  // namespace proteus

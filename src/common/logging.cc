@@ -1,12 +1,23 @@
 #include "src/common/logging.h"
 
 #include <atomic>
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace proteus {
 
 namespace {
-std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+
+// The PROTEUS_LOG_LEVEL environment variable is consulted exactly once,
+// at the first logging call (or Set/GetLogLevel), so tests can set it
+// before any logging happens; later SetLogLevel calls override it.
+std::atomic<int>& MinLevel() {
+  static std::atomic<int> level{static_cast<int>(
+      ParseLogLevel(std::getenv("PROTEUS_LOG_LEVEL")).value_or(LogLevel::kInfo))};
+  return level;
+}
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -25,9 +36,25 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_min_level.store(static_cast<int>(level)); }
+void SetLogLevel(LogLevel level) { MinLevel().store(static_cast<int>(level)); }
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_min_level.load()); }
+LogLevel GetLogLevel() { return static_cast<LogLevel>(MinLevel().load()); }
+
+std::optional<LogLevel> ParseLogLevel(const char* value) {
+  if (value == nullptr || *value == '\0') {
+    return std::nullopt;
+  }
+  std::string lower;
+  for (const char* p = value; *p != '\0'; ++p) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(*p))));
+  }
+  if (lower == "debug" || lower == "0") return LogLevel::kDebug;
+  if (lower == "info" || lower == "1") return LogLevel::kInfo;
+  if (lower == "warning" || lower == "warn" || lower == "2") return LogLevel::kWarning;
+  if (lower == "error" || lower == "3") return LogLevel::kError;
+  if (lower == "fatal" || lower == "4") return LogLevel::kFatal;
+  return std::nullopt;
+}
 
 namespace log_internal {
 
@@ -43,7 +70,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(leve
 }
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >= g_min_level.load() || level_ == LogLevel::kFatal) {
+  if (static_cast<int>(level_) >= MinLevel().load() || level_ == LogLevel::kFatal) {
     stream_ << "\n";
     std::fputs(stream_.str().c_str(), stderr);
     std::fflush(stderr);

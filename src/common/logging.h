@@ -4,6 +4,7 @@
 #define SRC_COMMON_LOGGING_H_
 
 #include <cstdlib>
+#include <optional>
 #include <sstream>
 #include <string>
 
@@ -17,9 +18,17 @@ enum class LogLevel : int {
   kFatal = 4,
 };
 
-// Process-wide minimum level; messages below it are discarded.
+// Process-wide minimum level; messages below it are discarded. The
+// initial level comes from the PROTEUS_LOG_LEVEL environment variable,
+// read once at first use (see ParseLogLevel for accepted spellings;
+// unset or unparsable falls back to kInfo). SetLogLevel overrides it.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Parses a level name ("debug", "info", "warning"/"warn", "error",
+// "fatal"; case-insensitive) or a numeric value 0-4. Returns nullopt
+// for anything else (including nullptr).
+std::optional<LogLevel> ParseLogLevel(const char* value);
 
 namespace log_internal {
 

@@ -43,19 +43,25 @@ double SampleStats::Variance() const {
 double SampleStats::StdDev() const { return std::sqrt(Variance()); }
 
 double SampleStats::Min() const {
-  PROTEUS_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   return *std::min_element(samples_.begin(), samples_.end());
 }
 
 double SampleStats::Max() const {
-  PROTEUS_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   return *std::max_element(samples_.begin(), samples_.end());
 }
 
 double SampleStats::Median() const { return Percentile(50.0); }
 
 double SampleStats::Percentile(double p) const {
-  PROTEUS_CHECK(!samples_.empty());
+  if (samples_.empty()) {
+    return 0.0;
+  }
   PROTEUS_CHECK_GE(p, 0.0);
   PROTEUS_CHECK_LE(p, 100.0);
   EnsureSorted();

@@ -19,13 +19,16 @@ class SampleStats {
   bool empty() const { return samples_.empty(); }
 
   double Sum() const;
-  double Mean() const;
-  double Variance() const;  // Population variance.
+  double Mean() const;      // CHECK-fails on an empty sample set.
+  double Variance() const;  // Population variance; CHECK-fails when empty.
   double StdDev() const;
+  // Order statistics return 0.0 on an empty sample set (benches can
+  // print a row for a scheme that completed no jobs without aborting).
   double Min() const;
   double Max() const;
   double Median() const;
   // p in [0, 100]; linear interpolation between order statistics.
+  // Returns 0.0 when empty.
   double Percentile(double p) const;
 
   const std::vector<double>& samples() const { return samples_; }

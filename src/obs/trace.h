@@ -1,0 +1,101 @@
+// Sim-clock event tracing with Chrome trace_event JSON export.
+//
+// The Tracer records spans (named intervals) and instant events on named
+// tracks ("agileml", "proteus", "bidbrain", "chaos", ...). Timestamps
+// are seconds on whatever clock the caller supplies: components that
+// live in simulated time pass their virtual timestamps explicitly
+// (SpanAt / InstantAt), so a trace of a same-seed run is bit-identical
+// across executions; callers without a timebase use Instant(), which
+// reads the tracer's clock — a bound sim clock (e.g. an EventQueue) or,
+// by default, the wall clock since tracer construction.
+//
+// ToChromeJson() emits the Trace Event Format understood by Perfetto
+// (ui.perfetto.dev) and chrome://tracing: spans as complete events
+// (ph "X"), instants as ph "i", plus thread_name metadata naming each
+// track. Event args are typed (string / int / double) and formatted
+// deterministically.
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace proteus {
+namespace obs {
+
+using TraceValue = std::variant<std::string, std::int64_t, double>;
+using TraceArgs = std::vector<std::pair<std::string, TraceValue>>;
+
+struct TraceEvent {
+  enum class Phase { kSpan, kInstant };
+  Phase phase = Phase::kInstant;
+  std::string name;
+  std::string track;
+  double ts = 0.0;   // Seconds.
+  double dur = 0.0;  // Seconds; spans only.
+  TraceArgs args;
+};
+
+class Tracer {
+ public:
+  // Returns "now" in seconds. Null => wall clock (monotonic, zeroed at
+  // tracer construction).
+  using ClockFn = std::function<double()>;
+
+  explicit Tracer(ClockFn clock = nullptr);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // Rebinds the timebase, e.g. to an EventQueue: SetClock([&q] { return q.now(); }).
+  void SetClock(ClockFn clock);
+
+  // Current time on the bound clock, in seconds.
+  double Now() const;
+
+  // Explicit-timestamp recording (simulated-time components).
+  void SpanAt(double ts, double dur, std::string name, std::string track,
+              TraceArgs args = {});
+  void InstantAt(double ts, std::string name, std::string track, TraceArgs args = {});
+
+  // Clock-sampled instant (wall time unless a sim clock is bound).
+  void Instant(std::string name, std::string track, TraceArgs args = {});
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+  void Clear();
+
+  // Chrome trace_event JSON ("traceEvents" array form). Deterministic:
+  // identical event sequences render byte-identically.
+  std::string ToChromeJson() const;
+  // Returns false (and logs) on I/O failure.
+  bool WriteJson(const std::string& path) const;
+
+  // Sum of span durations, filtered by name (and optionally one arg
+  // key/value); the chaos soak uses this for per-fault-class recovery
+  // breakdowns.
+  double SpanTotal(const std::string& name, const std::string& arg_key = "",
+                   const std::string& arg_value = "") const;
+
+ private:
+  void Record(TraceEvent event);
+
+  mutable std::mutex mu_;
+  ClockFn clock_;
+  double wall_epoch_ = 0.0;  // Used by the wall-clock fallback.
+  std::vector<TraceEvent> events_;
+  // Track name -> tid, in order of first use.
+  std::map<std::string, int> track_ids_;
+  std::vector<std::string> track_order_;
+};
+
+}  // namespace obs
+}  // namespace proteus
+
+#endif  // SRC_OBS_TRACE_H_

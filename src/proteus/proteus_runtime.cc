@@ -1,6 +1,8 @@
 #include "src/proteus/proteus_runtime.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 #include "src/common/logging.h"
 
@@ -40,6 +42,60 @@ ProteusRuntime::ProteusRuntime(MLApp* app, const InstanceTypeCatalog* catalog,
 
 ProteusRuntime::~ProteusRuntime() = default;
 
+void ProteusRuntime::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
+  tracer_ = tracer;
+  metrics_ = metrics;
+  total_cost_gauge_ = nullptr;
+  acquisitions_counter_ = nullptr;
+  evictions_counter_ = nullptr;
+  failures_counter_ = nullptr;
+  aborted_counter_ = nullptr;
+  if (metrics != nullptr) {
+    total_cost_gauge_ = metrics->GetGauge("proteus.cost.dollars");
+    acquisitions_counter_ = metrics->GetCounter("proteus.allocations", {{"event", "acquired"}});
+    evictions_counter_ = metrics->GetCounter("proteus.allocations", {{"event", "evicted"}});
+    failures_counter_ = metrics->GetCounter("proteus.allocations", {{"event", "failed"}});
+    aborted_counter_ = metrics->GetCounter("proteus.allocations", {{"event", "aborted"}});
+  }
+  agileml_->SetObservability(tracer, metrics);
+  bidbrain_.SetObservability(tracer, metrics);
+  api_channel_.SetObservability(metrics, "api");
+  controller_channel_.SetObservability(metrics, "controller");
+  UpdateCostGauges();
+}
+
+void ProteusRuntime::RecordAllocEvent(const char* event, const TrackedAllocation& tracked,
+                                      obs::TraceArgs extra) {
+  if (tracer_ == nullptr) {
+    return;
+  }
+  const Allocation& alloc = market_.Get(tracked.id);
+  obs::TraceArgs args = {{"alloc", static_cast<std::int64_t>(tracked.id)},
+                         {"market", alloc.market.zone + "/" + alloc.market.instance_type},
+                         {"count", static_cast<std::int64_t>(alloc.count)}};
+  for (auto& kv : extra) {
+    args.push_back(std::move(kv));
+  }
+  tracer_->InstantAt(now_, std::string("alloc.") + event, "proteus", std::move(args));
+}
+
+void ProteusRuntime::UpdateCostGauges() {
+  if (metrics_ == nullptr) {
+    return;
+  }
+  if (total_cost_gauge_ != nullptr) {
+    total_cost_gauge_->Set(ComputeTotalJobBill(market_, now_).cost);
+  }
+  // Per-allocation accumulated cost (the reliable tier is one gauge
+  // too). Ended allocations keep their final bill; ids restart at 0
+  // every run, so the label cardinality stays bounded.
+  for (const Allocation& alloc : market_.allocations()) {
+    obs::Gauge* g =
+        metrics_->GetGauge("proteus.alloc.cost", {{"alloc", std::to_string(alloc.id)}});
+    g->Set(ComputeJobBill(market_, alloc.id, now_).cost);
+  }
+}
+
 std::vector<LiveAllocation> ProteusRuntime::LiveView() const {
   std::vector<LiveAllocation> view;
   const Allocation& od = market_.Get(on_demand_allocation_);
@@ -76,13 +132,20 @@ void ProteusRuntime::RunDecisionPoint() {
       controller_channel_.Send(
           Message(AllocationGrantMsg{*id, tracked.nodes, type.vcpus}));
       agileml_->AddNodes(nodes);  // Background preload, then join (§3.3).
-      live_[*id] = std::move(tracked);
+      const AllocationId alloc_id = *id;
+      live_[alloc_id] = std::move(tracked);
       ++acquisitions_;
+      if (acquisitions_counter_ != nullptr) {
+        acquisitions_counter_->Increment();
+      }
+      RecordAllocEvent("bid", live_[alloc_id], {{"bid", action.bid}});
     } else {
       auto it = live_.find(action.target);
       if (it != live_.end() && !it->second.terminating) {
         it->second.terminating = true;
         it->second.terminate_at = market_.Get(action.target).HourEnd(now_) - 1.0;
+        RecordAllocEvent("terminate.scheduled", it->second,
+                         {{"at", it->second.terminate_at}});
       }
     }
   }
@@ -107,6 +170,10 @@ void ProteusRuntime::HandleEviction(TrackedAllocation& tracked, bool warned) {
   if (!any_incorporated) {
     agileml_->Evict(tracked.nodes);  // Discards the preparing nodes.
     ++aborted_preloads_;
+    if (aborted_counter_ != nullptr) {
+      aborted_counter_->Increment();
+    }
+    RecordAllocEvent("aborted", tracked);
     PROTEUS_LOG(Debug) << "allocation " << tracked.id
                        << " revoked before incorporation; preload abandoned";
     return;
@@ -114,9 +181,17 @@ void ProteusRuntime::HandleEviction(TrackedAllocation& tracked, bool warned) {
   if (warned) {
     agileml_->Evict(tracked.nodes);
     ++evictions_;
+    if (evictions_counter_ != nullptr) {
+      evictions_counter_->Increment();
+    }
+    RecordAllocEvent("evicted", tracked);
   } else {
     const int lost = agileml_->Fail(tracked.nodes);
     ++failures_;
+    if (failures_counter_ != nullptr) {
+      failures_counter_->Increment();
+    }
+    RecordAllocEvent("failed", tracked, {{"lost_clocks", static_cast<std::int64_t>(lost)}});
     PROTEUS_LOG(Debug) << "effective failure: lost " << lost << " clocks";
   }
 }
@@ -133,6 +208,7 @@ void ProteusRuntime::ProcessMarketEventsUntil(SimTime until) {
       // Planned termination just before the billing hour renews.
       market_.Terminate(tracked.id, std::max(now_, tracked.terminate_at));
       agileml_->Evict(tracked.nodes);
+      RecordAllocEvent("terminated", tracked);
       erase = true;
     } else if (alloc.running() && alloc.eviction_time.has_value()) {
       const SimTime warning = std::max(alloc.start, *alloc.eviction_time - kEvictionWarning);
@@ -169,6 +245,21 @@ void ProteusRuntime::Step() {
   const SimTime clock_end = now_ + report.duration;
   ProcessMarketEventsUntil(clock_end);
   now_ = clock_end;
+  // Preloads that completed during this clock turn the allocation active.
+  for (auto& [id, tracked] : live_) {
+    if (tracked.active) {
+      continue;
+    }
+    for (const NodeId node : tracked.nodes) {
+      if (agileml_->IsReadyNode(node)) {
+        tracked.active = true;
+        RecordAllocEvent("active", tracked,
+                         {{"clock", static_cast<std::int64_t>(agileml_->clock())}});
+        break;
+      }
+    }
+  }
+  UpdateCostGauges();
 }
 
 ProteusRunSummary ProteusRuntime::Train(int target_clock) {

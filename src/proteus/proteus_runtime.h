@@ -26,6 +26,8 @@
 #include "src/agileml/runtime.h"
 #include "src/bidbrain/bidbrain.h"
 #include "src/market/spot_market.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/proteus/accounting.h"
 #include "src/rpc/channel.h"
 
@@ -90,6 +92,14 @@ class ProteusRuntime {
   ProteusRuntime(const ProteusRuntime&) = delete;
   ProteusRuntime& operator=(const ProteusRuntime&) = delete;
 
+  // Attaches the whole §5 stack to an observability sink: allocation
+  // lifecycle instants (bid -> preload -> active -> evicted/failed/
+  // aborted/terminated) land on the "proteus" track at market time, the
+  // accumulated job cost is exported as gauges (total plus one per
+  // allocation), and the call is forwarded to the embedded AgileML
+  // runtime, BidBrain, and both control channels. Either may be nullptr.
+  void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
   // Runs one training clock, advancing market time and processing all
   // market events (decisions, warnings, evictions, renewals) that fall
   // inside it.
@@ -123,6 +133,7 @@ class ProteusRuntime {
     std::vector<NodeId> nodes;
     bool warned = false;       // Eviction warning already handled.
     bool terminating = false;  // Renewal decision said terminate.
+    bool active = false;       // At least one node has been incorporated.
     SimTime terminate_at = 0.0;
   };
 
@@ -131,6 +142,11 @@ class ProteusRuntime {
   // Handles warnings/evictions/terminations due at or before `until`.
   void ProcessMarketEventsUntil(SimTime until);
   void HandleEviction(TrackedAllocation& tracked, bool warned);
+  // Emits one "alloc.<event>" lifecycle instant on the "proteus" track.
+  void RecordAllocEvent(const char* event, const TrackedAllocation& tracked,
+                        obs::TraceArgs extra = {});
+  // Refreshes proteus.cost.dollars and the per-allocation cost gauges.
+  void UpdateCostGauges();
 
   MLApp* app_;
   const InstanceTypeCatalog* catalog_;
@@ -153,6 +169,17 @@ class ProteusRuntime {
   int failures_ = 0;
   int acquisitions_ = 0;
   int aborted_preloads_ = 0;
+
+  // Observability sinks (optional) and cached handles. Per-allocation
+  // cost gauges are registered lazily as allocations appear; allocation
+  // ids restart at 0 every run, so cardinality stays bounded.
+  obs::Tracer* tracer_ = nullptr;
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Gauge* total_cost_gauge_ = nullptr;
+  obs::Counter* acquisitions_counter_ = nullptr;
+  obs::Counter* evictions_counter_ = nullptr;
+  obs::Counter* failures_counter_ = nullptr;
+  obs::Counter* aborted_counter_ = nullptr;
 };
 
 }  // namespace proteus

@@ -11,19 +11,32 @@ void Channel::Send(const Message& message) {
     if (fault_hook_) {
       fault = fault_hook_(message);
     }
+    const MessageType type = TypeOf(message);
     std::vector<std::uint8_t> frame = EncodeMessage(message);
     bytes_sent_ += frame.size();
     ++messages_sent_;
+    if (obs::Counter* c = sent_counters_.For(type)) {
+      c->Increment();
+    }
+    if (obs::Counter* c = bytes_counters_.For(type)) {
+      c->Add(frame.size());
+    }
     switch (fault.action) {
       case ChannelFault::Action::kDrop:
         ++messages_dropped_;
+        if (obs::Counter* c = dropped_counters_.For(type)) {
+          c->Increment();
+        }
         return;
       case ChannelFault::Action::kDelay:
         ++messages_delayed_;
-        queue_.push_back({std::move(frame), std::max(0, fault.delay_polls)});
+        if (obs::Counter* c = delayed_counters_.For(type)) {
+          c->Increment();
+        }
+        queue_.push_back({std::move(frame), type, std::max(0, fault.delay_polls)});
         return;
       case ChannelFault::Action::kDeliver:
-        queue_.push_back({std::move(frame), 0});
+        queue_.push_back({std::move(frame), type, 0});
         return;
     }
   }
@@ -47,10 +60,40 @@ std::optional<Message> Channel::Poll() {
       return std::nullopt;
     }
     frame = std::move(ready->frame);
+    const MessageType type = ready->type;
     queue_.erase(ready);
     ++messages_delivered_;
+    if (obs::Counter* c = delivered_counters_.For(type)) {
+      c->Increment();
+    }
   }
   return DecodeMessage(frame);
+}
+
+void Channel::SetObservability(obs::MetricsRegistry* metrics, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sent_counters_ = {};
+  bytes_counters_ = {};
+  delivered_counters_ = {};
+  dropped_counters_ = {};
+  delayed_counters_ = {};
+  if (metrics == nullptr) {
+    return;
+  }
+  constexpr MessageType kAllTypes[] = {
+      MessageType::kAppCharacteristics, MessageType::kAllocationRequest,
+      MessageType::kAllocationGrant,    MessageType::kEvictionNotice,
+      MessageType::kReadParam,          MessageType::kParamValue,
+      MessageType::kUpdateParam,        MessageType::kWorkerReady};
+  for (const MessageType type : kAllTypes) {
+    const obs::Labels labels = {{"channel", name}, {"type", MessageTypeName(type)}};
+    const auto idx = static_cast<std::size_t>(type);
+    sent_counters_.by_type[idx] = metrics->GetCounter("rpc.messages.sent", labels);
+    bytes_counters_.by_type[idx] = metrics->GetCounter("rpc.bytes.sent", labels);
+    delivered_counters_.by_type[idx] = metrics->GetCounter("rpc.messages.delivered", labels);
+    dropped_counters_.by_type[idx] = metrics->GetCounter("rpc.messages.dropped", labels);
+    delayed_counters_.by_type[idx] = metrics->GetCounter("rpc.messages.delayed", labels);
+  }
 }
 
 void Channel::SetFaultHook(ChannelFaultHook hook) {

@@ -11,12 +11,15 @@
 #ifndef SRC_RPC_CHANNEL_H_
 #define SRC_RPC_CHANNEL_H_
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <optional>
+#include <string>
 
+#include "src/obs/metrics.h"
 #include "src/rpc/messages.h"
 
 namespace proteus {
@@ -47,6 +50,11 @@ class Channel {
   // Installs (or clears, with nullptr) the fault hook.
   void SetFaultHook(ChannelFaultHook hook);
 
+  // Registers per-message-type counters (rpc.messages.sent / .delivered /
+  // .dropped / .delayed and rpc.bytes.sent) labeled with this channel's
+  // name in `metrics`. Pass nullptr to detach.
+  void SetObservability(obs::MetricsRegistry* metrics, const std::string& name);
+
   std::size_t pending() const;
   std::uint64_t messages_sent() const;
   std::uint64_t bytes_sent() const;
@@ -57,12 +65,27 @@ class Channel {
  private:
   struct Entry {
     std::vector<std::uint8_t> frame;
+    MessageType type = MessageType::kAppCharacteristics;
     int delay_polls = 0;
+  };
+
+  // Cached counter handles for one outcome, indexed by message type tag.
+  struct TypeCounters {
+    std::array<obs::Counter*, 16> by_type{};
+    obs::Counter* For(MessageType type) {
+      const auto idx = static_cast<std::size_t>(type);
+      return idx < by_type.size() ? by_type[idx] : nullptr;
+    }
   };
 
   mutable std::mutex mu_;
   std::deque<Entry> queue_;
   ChannelFaultHook fault_hook_;
+  TypeCounters sent_counters_;
+  TypeCounters bytes_counters_;
+  TypeCounters delivered_counters_;
+  TypeCounters dropped_counters_;
+  TypeCounters delayed_counters_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;

@@ -146,6 +146,28 @@ MessageType TypeOf(const Message& message) {
   return std::visit(Visitor{}, message);
 }
 
+const char* MessageTypeName(MessageType type) {
+  switch (type) {
+    case MessageType::kAppCharacteristics:
+      return "app_characteristics";
+    case MessageType::kAllocationRequest:
+      return "allocation_request";
+    case MessageType::kAllocationGrant:
+      return "allocation_grant";
+    case MessageType::kEvictionNotice:
+      return "eviction_notice";
+    case MessageType::kReadParam:
+      return "read_param";
+    case MessageType::kParamValue:
+      return "param_value";
+    case MessageType::kUpdateParam:
+      return "update_param";
+    case MessageType::kWorkerReady:
+      return "worker_ready";
+  }
+  return "unknown";
+}
+
 std::vector<std::uint8_t> EncodeMessage(const Message& message) {
   WireWriter w;
   w.U8(static_cast<std::uint8_t>(TypeOf(message)));

@@ -103,6 +103,10 @@ std::optional<Message> DecodeMessage(std::span<const std::uint8_t> frame);
 
 MessageType TypeOf(const Message& message);
 
+// Stable lowercase name for metric labels and trace args, e.g.
+// "eviction_notice".
+const char* MessageTypeName(MessageType type);
+
 }  // namespace proteus
 
 #endif  // SRC_RPC_MESSAGES_H_

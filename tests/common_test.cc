@@ -5,6 +5,7 @@
 #include <set>
 
 #include "src/common/csv.h"
+#include "src/common/logging.h"
 #include "src/common/rng.h"
 #include "src/common/stats.h"
 #include "src/common/table.h"
@@ -116,6 +117,32 @@ TEST(SampleStats, SingleSample) {
   s.Add(42.0);
   EXPECT_DOUBLE_EQ(s.Percentile(37.0), 42.0);
   EXPECT_DOUBLE_EQ(s.Median(), 42.0);
+}
+
+TEST(SampleStats, EmptyOrderStatisticsReturnZero) {
+  // Regression: benches print rows for schemes that completed no jobs;
+  // the order statistics must return 0.0 rather than abort.
+  const SampleStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+  EXPECT_EQ(s.Median(), 0.0);
+  EXPECT_EQ(s.Percentile(0.0), 0.0);
+  EXPECT_EQ(s.Percentile(99.0), 0.0);
+}
+
+TEST(Logging, ParseLogLevel) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("DEBUG"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("Info"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("error"), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("fatal"), LogLevel::kFatal);
+  EXPECT_EQ(ParseLogLevel("2"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel(nullptr), std::nullopt);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
 }
 
 TEST(RunningStats, MatchesSampleStats) {
