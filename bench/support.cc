@@ -3,13 +3,11 @@
 #include <cstdio>
 #include <cstring>
 
+#include "src/common/logging.h"
+
 namespace proteus {
 namespace bench {
 
-namespace {
-
-// Pops `--name=value` style flags out of argv; returns the value of the
-// last occurrence (empty if absent).
 std::string TakeFlag(int& argc, char** argv, const char* name) {
   const std::string prefix = std::string("--") + name + "=";
   std::string value;
@@ -24,6 +22,23 @@ std::string TakeFlag(int& argc, char** argv, const char* name) {
   argc = out;
   return value;
 }
+
+bool TakeSwitch(int& argc, char** argv, const char* name) {
+  const std::string flag = std::string("--") + name;
+  bool present = false;
+  int out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (flag == argv[i]) {
+      present = true;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  argc = out;
+  return present;
+}
+
+namespace {
 
 bool EndsWith(const std::string& s, const std::string& suffix) {
   return s.size() >= suffix.size() &&
@@ -157,6 +172,32 @@ MarketEnv MakeMarketEnv(std::uint64_t seed) {
   env.estimator.Train(env.traces, 0.0, 45 * kDay);
   env.eval_begin = 45 * kDay;
   env.eval_end = 90 * kDay;
+  return env;
+}
+
+MarketEnv MakeMarketEnvFromCsv(const std::string& path) {
+  MarketEnv env;
+  env.catalog = InstanceTypeCatalog::Default();
+  env.traces = TraceStore::ReadFile(path);
+  PROTEUS_CHECK(!env.traces.empty()) << "no traces in " << path;
+  SimTime begin = 0.0;
+  SimTime end = 0.0;
+  bool first = true;
+  for (const MarketKey& key : env.traces.Keys()) {
+    const PriceSeries& series = env.traces.Get(key);
+    if (first || series.start_time() < begin) {
+      begin = series.start_time();
+    }
+    if (first || series.end_time() > end) {
+      end = series.end_time();
+    }
+    first = false;
+  }
+  PROTEUS_CHECK_GT(end, begin) << "degenerate trace horizon in " << path;
+  const SimTime mid = begin + (end - begin) / 2;
+  env.estimator.Train(env.traces, begin, mid);
+  env.eval_begin = mid;
+  env.eval_end = end;
   return env;
 }
 

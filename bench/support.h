@@ -32,6 +32,14 @@
 namespace proteus {
 namespace bench {
 
+// Pops `--name=value` style flags out of argv; returns the value of the
+// last occurrence (empty if absent). Positional arguments keep their
+// relative order.
+std::string TakeFlag(int& argc, char** argv, const char* name);
+
+// Pops a bare `--name` switch out of argv; returns whether it was present.
+bool TakeSwitch(int& argc, char** argv, const char* name);
+
 // --- Observability session (--trace_out= / --metrics_out=) ---
 //
 // Every bench accepts two optional flags:
@@ -118,6 +126,13 @@ struct MarketEnv {
 // trained on the first 45 days, evaluation on the rest — mirroring the
 // paper's train (Mar-Jun) / evaluate (Jun-Aug) split.
 MarketEnv MakeMarketEnv(std::uint64_t seed = 2016);
+
+// MarketEnv from a stored trace CSV (columns zone,type,time_sec,price,
+// see TraceStore::ReadFile). Mirrors MakeMarketEnv's split: the
+// estimator trains on the first half of the recorded horizon and the
+// evaluation span is the second half. CHECK-fails on a missing/empty
+// file.
+MarketEnv MakeMarketEnvFromCsv(const std::string& path);
 
 // Scheme config shared by the cost benches (Cluster-A-sized jobs).
 SchemeConfig PaperSchemeConfig();

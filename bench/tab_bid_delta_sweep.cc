@@ -2,10 +2,15 @@
 // choice. The paper reports that always bidding just above the market
 // price (chasing free compute) increases runtime 3-4x and raises cost,
 // while BidBrain's beta-aware bidding finds the happy medium.
+//
+// A thin front-end over the Policy Lab: each strategy is a BidBrain
+// restricted to one delta, registered with the BacktestEngine and
+// replayed over the same sampled start times.
 #include <cstdio>
+#include <memory>
 
 #include "bench/support.h"
-#include "src/common/stats.h"
+#include "src/backtest/backtest_engine.h"
 #include "src/common/table.h"
 
 namespace proteus {
@@ -15,11 +20,7 @@ namespace {
 void Main() {
   std::printf("=== Bid-delta sweep: fixed deltas vs BidBrain's adaptive choice ===\n");
   const MarketEnv env = MakeMarketEnv();
-  const JobSimulator sim(&env.catalog, &env.traces, &env.estimator);
   const SimDuration duration = 4 * kHour;
-  const JobSpec job =
-      JobSpec::ForReferenceDuration(env.catalog, "c4.2xlarge", 64, duration, 0.95);
-  const std::vector<SimTime> starts = SampleStartTimes(env, 120, duration * 8, /*seed=*/95);
 
   struct Variant {
     const char* label;
@@ -33,30 +34,36 @@ void Main() {
       {"BidBrain (adaptive over full grid)", BidBrainConfig{}.bid_deltas},
   };
 
+  backtest::BacktestEngine engine(&env.catalog, &env.traces, &env.estimator);
+  if (ObsSession* obs = CurrentObsSession()) {
+    engine.SetObservability(obs->tracer(), obs->metrics());
+  }
+  for (const Variant& variant : variants) {
+    BidBrainConfig config = PaperSchemeConfig().bidbrain;
+    config.bid_deltas = variant.deltas;
+    engine.RegisterPolicy(
+        [&env, config] {
+          return std::make_unique<BidBrain>(&env.catalog, &env.traces, &env.estimator, config);
+        },
+        variant.label);
+  }
+
+  backtest::BacktestConfig config;
+  config.explicit_starts = SampleStartTimes(env, 120, duration * 8, /*seed=*/95);
+  config.window_duration = duration;
+  config.reference_types = {"c4.2xlarge"};
+  config.reference_count = 64;
+  config.reference_phi = 0.95;
+  config.scheme = PaperSchemeConfig();
+  const backtest::BacktestReport report = engine.Run(config);
+
   TextTable table({"strategy", "avg cost ($)", "avg runtime (h)", "avg evictions",
                    "free share"});
-  for (const Variant& variant : variants) {
-    SchemeConfig config = PaperSchemeConfig();
-    config.bidbrain.bid_deltas = variant.deltas;
-    SampleStats cost;
-    SampleStats runtime;
-    SampleStats evictions;
-    SampleStats free_share;
-    for (const SimTime start : starts) {
-      const JobResult result = sim.Run(SchemeKind::kProteus, job, config, start);
-      if (!result.completed) {
-        continue;
-      }
-      cost.Add(result.bill.cost);
-      runtime.Add(result.runtime);
-      evictions.Add(result.evictions);
-      const double total = result.bill.TotalHours();
-      free_share.Add(total > 0 ? result.bill.free_hours / total : 0.0);
-    }
-    table.AddRow({variant.label, TextTable::Cell(cost.Mean(), 2),
-                  TextTable::Cell(runtime.Mean() / kHour, 2),
-                  TextTable::Cell(evictions.Mean(), 1),
-                  TextTable::Cell(100.0 * free_share.Mean(), 0) + "%"});
+  for (const backtest::BacktestPolicyAggregate& agg : report.aggregates) {
+    table.AddRow({agg.policy, TextTable::Cell(agg.mean_cost, 2),
+                  TextTable::Cell(agg.mean_runtime / kHour, 2),
+                  TextTable::Cell(agg.mean_evictions, 1),
+                  TextTable::Cell(100.0 * agg.mean_free_fraction, 0) + "%"});
   }
   table.PrintAndMaybeExport("tab_bid_delta_sweep");
   std::printf(

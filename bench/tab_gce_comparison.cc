@@ -5,7 +5,7 @@
 #include <cstdio>
 
 #include "bench/support.h"
-#include "src/common/stats.h"
+#include "src/backtest/backtest_engine.h"
 #include "src/common/table.h"
 #include "src/market/preemptible.h"
 
@@ -71,24 +71,28 @@ GceOutcome RunGceJob(const InstanceTypeCatalog& catalog, const PreemptibleConfig
 void Main() {
   std::printf("=== EC2 spot (Proteus) vs GCE preemptible: 2-hour job ===\n");
   const MarketEnv env = MakeMarketEnv();
-  const JobSimulator sim(&env.catalog, &env.traces, &env.estimator);
-  const SchemeConfig scheme_config = PaperSchemeConfig();
   const SimDuration duration = 2 * kHour;
   const JobSpec job =
       JobSpec::ForReferenceDuration(env.catalog, "c4.2xlarge", 64, duration, 0.95);
 
-  // EC2: on-demand baseline and Proteus, averaged over trace starts.
-  SampleStats od_cost;
-  SampleStats pr_cost;
-  SampleStats pr_runtime;
-  SampleStats pr_evictions;
-  for (const SimTime start : SampleStartTimes(env, 120, duration * 8, 94)) {
-    od_cost.Add(sim.Run(SchemeKind::kOnDemandOnly, job, scheme_config, start).bill.cost);
-    const JobResult pr = sim.Run(SchemeKind::kProteus, job, scheme_config, start);
-    pr_cost.Add(pr.bill.cost);
-    pr_runtime.Add(pr.runtime);
-    pr_evictions.Add(pr.evictions);
+  // EC2: on-demand baseline and Proteus, replayed over sampled trace
+  // starts through the Policy Lab engine.
+  backtest::BacktestEngine engine(&env.catalog, &env.traces, &env.estimator);
+  if (ObsSession* obs = CurrentObsSession()) {
+    engine.SetObservability(obs->tracer(), obs->metrics());
   }
+  backtest::BacktestConfig config;
+  config.explicit_starts = SampleStartTimes(env, 120, duration * 8, 94);
+  config.window_duration = duration;
+  config.reference_types = {"c4.2xlarge"};
+  config.reference_count = 64;
+  config.reference_phi = 0.95;
+  config.scheme = PaperSchemeConfig();
+  engine.RegisterPolicySpec("on_demand", config.scheme);
+  engine.RegisterPolicySpec("bidbrain", config.scheme);
+  const backtest::BacktestReport report = engine.Run(config);
+  const backtest::BacktestPolicyAggregate& od = *report.Find("on_demand");
+  const backtest::BacktestPolicyAggregate& pr = *report.Find("bidbrain");
 
   // GCE: 64 preemptible c4.2xlarge-equivalents, averaged over seeds.
   const AppProfile app = AgileMLProfile();
@@ -107,14 +111,14 @@ void Main() {
 
   TextTable table({"platform / scheme", "avg cost ($)", "% of on-demand", "avg runtime (h)",
                    "avg revocations"});
-  table.AddRow({"EC2 on-demand (64 machines)", TextTable::Cell(od_cost.Mean(), 2), "100%",
+  table.AddRow({"EC2 on-demand (64 machines)", TextTable::Cell(od.mean_cost, 2), "100%",
                 TextTable::Cell(2.0, 2), "0"});
-  table.AddRow({"EC2 spot + Proteus", TextTable::Cell(pr_cost.Mean(), 2),
-                TextTable::Cell(100.0 * pr_cost.Mean() / od_cost.Mean(), 0) + "%",
-                TextTable::Cell(pr_runtime.Mean() / kHour, 2),
-                TextTable::Cell(pr_evictions.Mean(), 1)});
+  table.AddRow({"EC2 spot + Proteus", TextTable::Cell(pr.mean_cost, 2),
+                TextTable::Cell(100.0 * pr.mean_cost / od.mean_cost, 0) + "%",
+                TextTable::Cell(pr.mean_runtime / kHour, 2),
+                TextTable::Cell(pr.mean_evictions, 1)});
   table.AddRow({"GCE preemptible (flat -70%)", TextTable::Cell(gce_sum.cost / kSeeds, 2),
-                TextTable::Cell(100.0 * (gce_sum.cost / kSeeds) / od_cost.Mean(), 0) + "%",
+                TextTable::Cell(100.0 * (gce_sum.cost / kSeeds) / od.mean_cost, 0) + "%",
                 TextTable::Cell(gce_sum.runtime / kSeeds / kHour, 2),
                 TextTable::Cell(static_cast<double>(gce_sum.revocations) / kSeeds, 1)});
   table.PrintAndMaybeExport("tab_gce_comparison");

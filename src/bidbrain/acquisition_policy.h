@@ -1,0 +1,79 @@
+// AcquisitionPolicy: the resource-acquisition seam extracted from
+// BidBrain (§4).
+//
+// A policy maps (market time, current live footprint) to a list of
+// acquisition / termination actions. BidBrain is the paper's instance;
+// the Policy Lab (src/backtest) implements baseline policies behind the
+// same interface and replays all of them over historical price traces
+// (DESIGN.md §9). Drivers that speak this interface — JobSimulator's
+// policy-driven run path and the backtest engine — are agnostic to what
+// sits behind it.
+//
+// Contract:
+//  - Decide() must be a pure function of (now, live) and the policy's
+//    construction-time inputs: the backtest engine runs one policy
+//    instance per cell, possibly concurrently with other instances, and
+//    depends on same-inputs => same-actions for byte-identical replays.
+//    Policies that need randomness must own a seeded Rng behind mutable
+//    state keyed off construction parameters, never global state.
+//  - Decide() may assume `live` reflects every action the driver
+//    accepted so far; it must not assume every requested acquisition was
+//    granted (the market declines bids below the current price).
+//  - OnDemandDoesWork() selects the driver's footprint semantics: true
+//    means on-demand instances are the worker fleet (the all-on-demand
+//    reference scheme); false means on-demand is the reliable serving
+//    tier modeled with W = 0 (Fig. 6) and spot instances do the work.
+#ifndef SRC_BIDBRAIN_ACQUISITION_POLICY_H_
+#define SRC_BIDBRAIN_ACQUISITION_POLICY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/market/trace_store.h"
+
+namespace proteus {
+
+// The driver's view of one live allocation, passed to Decide().
+struct LiveAllocation {
+  AllocationId id = kInvalidAllocation;
+  MarketKey market;
+  int count = 0;
+  Money bid = 0.0;
+  bool on_demand = false;
+  SimTime start = 0.0;
+};
+
+struct BidAction {
+  enum class Kind {
+    kAcquire,    // Request `count` instances in `market` at `bid`.
+    kTerminate,  // Terminate allocation `target` before its next hour.
+  };
+  Kind kind = Kind::kAcquire;
+  MarketKey market;
+  int count = 0;
+  Money bid = 0.0;
+  AllocationId target = kInvalidAllocation;
+};
+
+class AcquisitionPolicy {
+ public:
+  virtual ~AcquisitionPolicy() = default;
+
+  // Stable identifier used in backtest reports and CSV output. Must not
+  // contain commas or newlines (it becomes a CSV field and a metric
+  // label).
+  virtual std::string name() const = 0;
+
+  // Evaluates the footprint at `now` and returns the actions to take.
+  virtual std::vector<BidAction> Decide(SimTime now,
+                                        const std::vector<LiveAllocation>& live) const = 0;
+
+  // Whether the driver should treat on-demand instances as workers (see
+  // the header comment). Defaults to the AgileML serving-tier semantics.
+  virtual bool OnDemandDoesWork() const { return false; }
+};
+
+}  // namespace proteus
+
+#endif  // SRC_BIDBRAIN_ACQUISITION_POLICY_H_

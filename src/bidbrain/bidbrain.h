@@ -14,8 +14,10 @@
 #define SRC_BIDBRAIN_BIDBRAIN_H_
 
 #include <optional>
+#include <string>
 #include <vector>
 
+#include "src/bidbrain/acquisition_policy.h"
 #include "src/bidbrain/app_profile.h"
 #include "src/bidbrain/cost_model.h"
 #include "src/bidbrain/eviction_estimator.h"
@@ -45,29 +47,9 @@ struct BidBrainConfig {
   WorkUnits on_demand_work_per_hour = 0.0;
 };
 
-// The simulator's view of one live allocation, passed to Decide().
-struct LiveAllocation {
-  AllocationId id = kInvalidAllocation;
-  MarketKey market;
-  int count = 0;
-  Money bid = 0.0;
-  bool on_demand = false;
-  SimTime start = 0.0;
-};
-
-struct BidAction {
-  enum class Kind {
-    kAcquire,    // Request `count` instances in `market` at `bid`.
-    kTerminate,  // Terminate allocation `target` before its next hour.
-  };
-  Kind kind = Kind::kAcquire;
-  MarketKey market;
-  int count = 0;
-  Money bid = 0.0;
-  AllocationId target = kInvalidAllocation;
-};
-
-class BidBrain {
+// LiveAllocation and BidAction moved to acquisition_policy.h; BidBrain
+// is the paper's AcquisitionPolicy instance.
+class BidBrain : public AcquisitionPolicy {
  public:
   BidBrain(const InstanceTypeCatalog* catalog, const TraceStore* prices,
            const EvictionModel* estimator, BidBrainConfig config);
@@ -78,8 +60,11 @@ class BidBrain {
   // candidate's eviction probability beta. Either pointer may be null.
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  std::string name() const override { return "bidbrain"; }
+
   // Evaluates the footprint at `now` and returns the actions to take.
-  std::vector<BidAction> Decide(SimTime now, const std::vector<LiveAllocation>& live) const;
+  std::vector<BidAction> Decide(SimTime now,
+                                const std::vector<LiveAllocation>& live) const override;
 
   // Expected cost-per-work of the given live footprint (diagnostics).
   double FootprintCostPerWork(SimTime now, const std::vector<LiveAllocation>& live) const;

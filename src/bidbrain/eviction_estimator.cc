@@ -9,6 +9,21 @@
 
 namespace proteus {
 
+namespace {
+
+// Fallback when a market has no usable history: assume worst-case
+// volatility at tiny deltas, tapering with the delta (pessimistic
+// prior). Silently returning beta = 0 here would make an unmeasured
+// market look perfectly reliable and pull every bid toward it.
+EvictionStats PessimisticPrior(Money bid_delta) {
+  EvictionStats prior;
+  prior.beta = std::clamp(0.05 / std::max(bid_delta, 0.001), 0.0, 0.9);
+  prior.median_time_to_eviction = kHour / 2;
+  return prior;
+}
+
+}  // namespace
+
 std::vector<Money> EvictionEstimator::DefaultDeltaGrid() {
   return {0.0001, 0.001, 0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4};
 }
@@ -24,6 +39,12 @@ void EvictionEstimator::Train(const TraceStore& history, SimTime train_begin, Si
 
   for (const MarketKey& key : history.Keys()) {
     const PriceSeries& series = history.Get(key);
+    if (series.empty()) {
+      // No price points at all: leave the market out of stats_ so
+      // Estimate serves the pessimistic prior instead of replaying an
+      // empty history (PriceAt on an empty series is a CHECK failure).
+      continue;
+    }
     std::vector<EvictionStats> per_delta;
     per_delta.reserve(delta_grid_.size());
     for (const Money delta : delta_grid_) {
@@ -54,12 +75,7 @@ void EvictionEstimator::Train(const TraceStore& history, SimTime train_begin, Si
 EvictionStats EvictionEstimator::Estimate(const MarketKey& market, Money bid_delta) const {
   auto it = stats_.find(market);
   if (it == stats_.end()) {
-    // Unknown market: assume worst-case volatility at tiny deltas,
-    // tapering with the delta (pessimistic prior).
-    EvictionStats prior;
-    prior.beta = std::clamp(0.05 / std::max(bid_delta, 0.001), 0.0, 0.9);
-    prior.median_time_to_eviction = kHour / 2;
-    return prior;
+    return PessimisticPrior(bid_delta);
   }
   // Closest grid point by |delta| distance in log space (grid is
   // geometric-ish).
@@ -73,7 +89,15 @@ EvictionStats EvictionEstimator::Estimate(const MarketKey& market, Money bid_del
       best = i;
     }
   }
-  return it->second[best];
+  const EvictionStats& stats = it->second[best];
+  if (stats.samples == 0) {
+    // The training window was too short to complete a single billing
+    // hour, so beta was never measured. The stored 0.0 would read as
+    // "never evicted" — the most optimistic possible claim from the
+    // least possible evidence — so serve the prior instead.
+    return PessimisticPrior(bid_delta);
+  }
+  return stats;
 }
 
 }  // namespace proteus

@@ -54,7 +54,10 @@ class EvictionEstimator : public EvictionModel {
   bool trained() const { return !stats_.empty(); }
 
   // Stats for an arbitrary delta: returns the trained grid point with the
-  // closest delta (conservative step-wise lookup).
+  // closest delta (conservative step-wise lookup). Markets with no usable
+  // history — never trained, an empty price series, or a training window
+  // too short to complete one billing hour — get a pessimistic prior
+  // rather than a silently optimistic beta of zero.
   EvictionStats Estimate(const MarketKey& market, Money bid_delta) const override;
 
   const std::vector<Money>& delta_grid() const { return delta_grid_; }

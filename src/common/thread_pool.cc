@@ -1,5 +1,7 @@
 #include "src/common/thread_pool.h"
 
+#include <exception>
+
 #include "src/common/logging.h"
 
 namespace proteus {
@@ -41,8 +43,23 @@ void ThreadPool::ParallelFor(std::size_t n, const std::function<void(std::size_t
   for (std::size_t i = 0; i < n; ++i) {
     futures.push_back(Submit([&fn, i] { fn(i); }));
   }
+  // Drain every future before surfacing any failure. Rethrowing on the
+  // first bad future would unwind while later tasks still hold a
+  // reference to `fn` (and whatever the caller captured in it), leaving
+  // them to run against destroyed state. The first exception wins;
+  // later ones are swallowed after their tasks finish.
+  std::exception_ptr first_error;
   for (auto& f : futures) {
-    f.get();  // Propagates exceptions from tasks.
+    try {
+      f.get();
+    } catch (...) {
+      if (first_error == nullptr) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error != nullptr) {
+    std::rethrow_exception(first_error);
   }
 }
 

@@ -25,7 +25,9 @@ class ThreadPool {
   // Enqueues a task; returns a future for completion/err propagation.
   std::future<void> Submit(std::function<void()> task);
 
-  // Runs fn(i) for i in [0, n) across the pool and waits for all.
+  // Runs fn(i) for i in [0, n) across the pool and waits for all. When
+  // tasks throw, every task still runs to completion before the first
+  // exception (in index order) is rethrown here; the pool stays usable.
   void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   std::size_t size() const { return threads_.size(); }

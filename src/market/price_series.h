@@ -1,5 +1,13 @@
 // A spot price history for one (availability zone, instance type) pair:
 // a right-continuous step function of time.
+//
+// Boundary semantics (every query clamps to the recorded span; none
+// extrapolates): queries before start_time() read the first recorded
+// price, and the last recorded price persists indefinitely past
+// end_time() — a backtest window may overhang the end of a trace and
+// sees a frozen market there rather than an error. All queries
+// CHECK-fail on an empty series. tests/price_series_test.cc pins these
+// down.
 #ifndef SRC_MARKET_PRICE_SERIES_H_
 #define SRC_MARKET_PRICE_SERIES_H_
 
@@ -30,7 +38,8 @@ class PriceSeries {
   SimTime end_time() const;  // Time of the last change point.
 
   // Price in effect at time t (the step value). t before the first point
-  // returns the first price.
+  // returns the first price; t past the last point returns the last
+  // price (see the boundary-semantics note above).
   Money PriceAt(SimTime t) const;
 
   // Earliest time in (from, horizon] at which the price strictly exceeds
@@ -38,11 +47,15 @@ class PriceSeries {
   // price already exceeds the bid at `from`, returns `from`.
   std::optional<SimTime> FirstTimeAbove(Money bid, SimTime from, SimTime horizon) const;
 
-  // Minimum / maximum price over [from, to].
+  // Minimum / maximum price over [from, to]. Change points outside the
+  // recorded span don't exist, so a range hanging past end_time() only
+  // sees the final price.
   Money MinPrice(SimTime from, SimTime to) const;
   Money MaxPrice(SimTime from, SimTime to) const;
 
-  // Time-weighted average price over [from, to].
+  // Time-weighted average price over [from, to]. Requires to > from;
+  // the stretch past the last change point is weighted at the final
+  // price.
   Money AveragePrice(SimTime from, SimTime to) const;
 
   const std::vector<PricePoint>& points() const { return points_; }

@@ -12,6 +12,27 @@ namespace proteus {
 namespace {
 constexpr WorkUnits kWorkEpsilon = 1e-6;
 constexpr SimDuration kInstant = 1.0;  // Minimum event spacing.
+
+// Terminates whatever is still running (accounting pro-rates the final
+// hour) and fills the total and per-allocation bills.
+void FinalizeBill(SpotMarket& market, SimTime job_end, JobResult& result) {
+  for (const Allocation& alloc : market.allocations()) {
+    if (alloc.running()) {
+      market.Terminate(alloc.id, job_end);
+    }
+  }
+  result.bill = ComputeTotalJobBill(market, job_end);
+  result.allocation_bills.reserve(market.allocations().size());
+  for (const Allocation& alloc : market.allocations()) {
+    AllocationBillDetail detail;
+    detail.id = alloc.id;
+    detail.on_demand = alloc.kind == AllocationKind::kOnDemand;
+    detail.evicted = alloc.state == AllocationState::kEvicted && alloc.end <= job_end;
+    detail.count = alloc.count;
+    detail.bill = ComputeJobBill(market, alloc.id, job_end);
+    result.allocation_bills.push_back(std::move(detail));
+  }
+}
 }  // namespace
 
 const char* SchemeName(SchemeKind scheme) {
@@ -50,19 +71,22 @@ JobSimulator::JobSimulator(const InstanceTypeCatalog* catalog, const TraceStore*
 
 JobResult JobSimulator::Run(SchemeKind scheme, const JobSpec& job, const SchemeConfig& config,
                             SimTime start) const {
+  if (scheme == SchemeKind::kProteus) {
+    // The paper's scheme is BidBrain behind the AcquisitionPolicy seam.
+    const BidBrain bidbrain(catalog_, traces_, estimator_, config.bidbrain);
+    return Run(bidbrain, job, config, start);
+  }
+
   SpotMarket market(*catalog_, *traces_);
   const std::vector<MarketKey> markets = traces_->Keys();
   PROTEUS_CHECK(!markets.empty());
 
-  const bool uses_agileml =
-      scheme == SchemeKind::kStandardAgileML || scheme == SchemeKind::kProteus;
+  const bool uses_agileml = scheme == SchemeKind::kStandardAgileML;
   const bool uses_checkpointing = scheme == SchemeKind::kStandardCheckpoint ||
                                   scheme == SchemeKind::kFlintDiversified;
   const AppProfile& profile =
       uses_checkpointing ? config.checkpoint_profile : config.agileml_profile;
   const double rate_factor = uses_checkpointing ? (1.0 - config.checkpoint_overhead) : 1.0;
-
-  BidBrain bidbrain(catalog_, traces_, estimator_, config.bidbrain);
 
   JobResult result;
   SimTime t = start;
@@ -74,8 +98,6 @@ JobResult JobSimulator::Run(SchemeKind scheme, const JobSpec& job, const SchemeC
   SimTime next_checkpoint = std::numeric_limits<SimTime>::infinity();
   SimDuration checkpoint_interval = kHour;
   std::vector<AllocationId> live;
-  std::set<AllocationId> scheduled_termination;
-  std::vector<std::pair<SimTime, AllocationId>> terminations;  // Sorted by time.
 
   // Picks the market with the lowest price per vCPU right now.
   auto cheapest_market = [&](SimTime now) -> MarketKey {
@@ -210,9 +232,6 @@ JobResult JobSimulator::Run(SchemeKind scheme, const JobSpec& job, const SchemeC
         next = std::min(next, std::max(*ev, t + kInstant));
       }
     }
-    for (const auto& [when, unused] : terminations) {
-      next = std::min(next, std::max(when, t + kInstant));
-    }
     next = std::min(next, std::max(next_checkpoint, t + kInstant));
     if (paused_until > t) {
       next = std::min(next, paused_until);
@@ -254,20 +273,6 @@ JobResult JobSimulator::Run(SchemeKind scheme, const JobSpec& job, const SchemeC
       next_decision = t;  // React immediately (§5).
     }
 
-    // Scheduled (BidBrain) terminations.
-    for (auto it = terminations.begin(); it != terminations.end();) {
-      if (it->first <= t) {
-        const AllocationId id = it->second;
-        if (market.Get(id).running()) {
-          market.Terminate(id, t);
-          live.erase(std::remove(live.begin(), live.end(), id), live.end());
-        }
-        it = terminations.erase(it);
-      } else {
-        ++it;
-      }
-    }
-
     // Checkpoint tick (MTTF-based interval, Young's formula; the 17%
     // throughput overhead is already folded into rate_factor).
     if (t >= next_checkpoint) {
@@ -286,26 +291,6 @@ JobResult JobSimulator::Run(SchemeKind scheme, const JobSpec& job, const SchemeC
         if (paused_until <= t) {
           diversified_topup(t);
         }
-      } else if (scheme == SchemeKind::kProteus) {
-        std::vector<LiveAllocation> view;
-        for (const AllocationId id : live) {
-          const Allocation& alloc = market.Get(id);
-          view.push_back({alloc.id, alloc.market, alloc.count, alloc.bid,
-                          alloc.kind == AllocationKind::kOnDemand, alloc.start});
-        }
-        for (const BidAction& action : bidbrain.Decide(t, view)) {
-          if (action.kind == BidAction::Kind::kAcquire) {
-            const auto id = market.RequestSpot(action.market, action.count, action.bid, t);
-            if (id.has_value()) {
-              live.push_back(*id);
-              ++result.acquisitions;
-              paused_until = std::max(paused_until, t + profile.sigma);
-            }
-          } else if (scheduled_termination.insert(action.target).second) {
-            const Allocation& alloc = market.Get(action.target);
-            terminations.emplace_back(alloc.HourEnd(t) - 1.0, action.target);
-          }
-        }
       }
       next_decision = t + config.decision_period;
     }
@@ -316,12 +301,151 @@ JobResult JobSimulator::Run(SchemeKind scheme, const JobSpec& job, const SchemeC
   result.work_done = done;
   // Job over: release everything still running (accounting pro-rates the
   // final hour; the market itself would bill the full hour).
-  for (const AllocationId id : live) {
-    if (market.Get(id).running()) {
-      market.Terminate(id, t);
+  FinalizeBill(market, t, result);
+  return result;
+}
+
+JobResult JobSimulator::Run(const AcquisitionPolicy& policy, const JobSpec& job,
+                            const SchemeConfig& config, SimTime start) const {
+  SpotMarket market(*catalog_, *traces_);
+  const std::vector<MarketKey> markets = traces_->Keys();
+  PROTEUS_CHECK(!markets.empty());
+
+  // Policy runs never checkpoint: elasticity (AgileML profile) handles
+  // evictions, exactly as the kProteus scheme does.
+  const AppProfile& profile = config.agileml_profile;
+  const bool on_demand_workers = policy.OnDemandDoesWork();
+
+  JobResult result;
+  SimTime t = start;
+  const SimTime hard_end = start + config.max_runtime;
+  WorkUnits done = 0.0;
+  SimTime paused_until = start;
+  SimTime next_decision = start;
+  std::vector<AllocationId> live;
+  std::set<AllocationId> scheduled_termination;
+  std::vector<std::pair<SimTime, AllocationId>> terminations;  // Sorted by time.
+
+  // Work rate in WorkUnits per second (see the scheme loop above: the
+  // worker fleet is spot unless the policy claims on-demand semantics).
+  auto work_rate = [&]() {
+    double vcpus = 0.0;
+    for (const AllocationId id : live) {
+      const Allocation& alloc = market.Get(id);
+      const bool counts = on_demand_workers ? alloc.kind == AllocationKind::kOnDemand
+                                            : alloc.kind == AllocationKind::kSpot;
+      if (counts) {
+        vcpus += alloc.count * catalog_->Get(alloc.market.instance_type).vcpus;
+      }
+    }
+    return vcpus * profile.phi / kHour;
+  };
+
+  // --- Initial footprint ---
+  const std::string& zone0 = markets.front().zone;
+  if (on_demand_workers) {
+    live.push_back(market.RequestOnDemand({zone0, job.reference_type}, job.reference_count, t));
+  } else {
+    live.push_back(
+        market.RequestOnDemand({zone0, config.on_demand_type}, config.on_demand_count, t));
+  }
+
+  // --- Event loop ---
+  while (done + kWorkEpsilon < job.total_work && t < hard_end) {
+    const double rate = work_rate();
+    SimTime next = hard_end;
+    next = std::min(next, next_decision);
+    for (const AllocationId id : live) {
+      const auto& ev = market.Get(id).eviction_time;
+      if (ev.has_value()) {
+        next = std::min(next, std::max(*ev, t + kInstant));
+      }
+    }
+    for (const auto& [when, unused] : terminations) {
+      next = std::min(next, std::max(when, t + kInstant));
+    }
+    if (paused_until > t) {
+      next = std::min(next, paused_until);
+    } else if (rate > 0.0) {
+      next = std::min(next, t + (job.total_work - done) / rate);
+    }
+    next = std::max(next, t + kInstant);
+
+    // Accrue work over [max(t, paused_until), next).
+    const SimTime active_from = std::max(t, paused_until);
+    if (next > active_from) {
+      done += rate * (next - active_from);
+    }
+    t = next;
+    if (done + kWorkEpsilon >= job.total_work) {
+      break;
+    }
+
+    // Process evictions due now (correlated within an allocation).
+    std::vector<AllocationId> evicted_now;
+    for (const AllocationId id : live) {
+      const auto& ev = market.Get(id).eviction_time;
+      if (ev.has_value() && *ev <= t && market.Get(id).running()) {
+        evicted_now.push_back(id);
+      }
+    }
+    for (const AllocationId id : evicted_now) {
+      market.MarkEvicted(id);
+      live.erase(std::remove(live.begin(), live.end(), id), live.end());
+      ++result.evictions;
+    }
+    if (!evicted_now.empty()) {
+      paused_until = std::max(paused_until, t + profile.lambda);
+      next_decision = t;  // React immediately (§5).
+    }
+
+    // Scheduled (policy-requested) terminations.
+    for (auto it = terminations.begin(); it != terminations.end();) {
+      if (it->first <= t) {
+        const AllocationId id = it->second;
+        if (market.Get(id).running()) {
+          market.Terminate(id, t);
+          live.erase(std::remove(live.begin(), live.end(), id), live.end());
+        }
+        it = terminations.erase(it);
+      } else {
+        ++it;
+      }
+    }
+
+    // Decision point: the policy seam.
+    if (t >= next_decision) {
+      std::vector<LiveAllocation> view;
+      for (const AllocationId id : live) {
+        const Allocation& alloc = market.Get(id);
+        view.push_back({alloc.id, alloc.market, alloc.count, alloc.bid,
+                        alloc.kind == AllocationKind::kOnDemand, alloc.start});
+      }
+      for (const BidAction& action : policy.Decide(t, view)) {
+        if (action.kind == BidAction::Kind::kAcquire) {
+          if (action.count <= 0) {
+            continue;  // Defensive against misbehaving custom policies.
+          }
+          const auto id = market.RequestSpot(action.market, action.count, action.bid, t);
+          if (id.has_value()) {
+            live.push_back(*id);
+            ++result.acquisitions;
+            paused_until = std::max(paused_until, t + profile.sigma);
+          }
+        } else if (action.target != kInvalidAllocation &&
+                   scheduled_termination.insert(action.target).second) {
+          const Allocation& alloc = market.Get(action.target);
+          terminations.emplace_back(alloc.HourEnd(t) - 1.0, action.target);
+        }
+      }
+      next_decision = t + config.decision_period;
     }
   }
-  result.bill = ComputeTotalJobBill(market, t);
+
+  result.completed = done + kWorkEpsilon >= job.total_work;
+  result.runtime = t - start;
+  result.work_done = done;
+  FinalizeBill(market, t, result);
   return result;
 }
 

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "src/bidbrain/acquisition_policy.h"
 #include "src/bidbrain/bidbrain.h"
 #include "src/bidbrain/eviction_estimator.h"
 #include "src/common/types.h"
@@ -76,6 +77,17 @@ struct SchemeConfig {
   SimDuration max_runtime = 10 * kDay;
 };
 
+// Per-allocation slice of the final bill, for accounting audits (the
+// backtest property tests check that the job bill is exactly the sum of
+// these and that free compute only comes from evicted allocations).
+struct AllocationBillDetail {
+  AllocationId id = kInvalidAllocation;
+  bool on_demand = false;
+  bool evicted = false;  // Evicted before the job ended.
+  int count = 0;
+  JobBill bill;
+};
+
 struct JobResult {
   bool completed = false;
   SimDuration runtime = 0.0;
@@ -83,6 +95,9 @@ struct JobResult {
   int evictions = 0;         // Allocation-level eviction events.
   int acquisitions = 0;      // Spot allocation requests granted.
   WorkUnits work_done = 0.0;
+  // One entry per allocation the run ever held; bill is the sum of the
+  // entries' bills.
+  std::vector<AllocationBillDetail> allocation_bills;
   // Cost of the same job on the reference on-demand cluster, for
   // normalization (computed by the caller or via RunScheme on
   // kOnDemandOnly).
@@ -94,8 +109,21 @@ class JobSimulator {
                const EvictionModel* estimator);
 
   // Runs one scheme over the traces starting at `start`. Each call uses
-  // a fresh SpotMarket so billing is isolated per run.
+  // a fresh SpotMarket so billing is isolated per run. kProteus routes
+  // through the policy-driven path below with a BidBrain policy, so the
+  // two entry points agree bit-for-bit on the paper's scheme.
   JobResult Run(SchemeKind scheme, const JobSpec& job, const SchemeConfig& config,
+                SimTime start) const;
+
+  // Policy-driven run (the Policy Lab seam, DESIGN.md §9): the same
+  // event loop as kProteus, but every acquisition/termination decision
+  // is delegated to `policy`. When policy.OnDemandDoesWork() the initial
+  // footprint is the reference on-demand cluster and on-demand machines
+  // produce the work; otherwise it is the reliable serving tier
+  // (config.on_demand_count x config.on_demand_type, W = 0) and spot
+  // instances produce the work. Deterministic: same (traces, policy,
+  // job, config, start) always yields the same JobResult.
+  JobResult Run(const AcquisitionPolicy& policy, const JobSpec& job, const SchemeConfig& config,
                 SimTime start) const;
 
  private:

@@ -1,0 +1,148 @@
+#include "src/bidbrain/acquisition_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/backtest/policies.h"
+#include "src/bidbrain/bidbrain.h"
+
+namespace proteus {
+namespace {
+
+using backtest::FixedDeltaSpotPolicy;
+using backtest::KnownPolicySpecs;
+using backtest::MakePolicyFactory;
+using backtest::OnDemandOnlyPolicy;
+using backtest::OracleNextPricePolicy;
+using backtest::PolicyEnv;
+using backtest::PolicyFactory;
+
+class PolicyTest : public ::testing::Test {
+ protected:
+  PolicyTest() {
+    catalog_ = InstanceTypeCatalog::Default();
+    // Two hand-built markets on the same 8-vCPU type: "calm" stays cheap
+    // then spikes late; "cheaper_now" is cheapest at t=0 but jumps at
+    // t=600 and stays high.
+    traces_.Put(calm_, PriceSeries({{0.0, 0.15}, {3000.0, 0.80}, {4000.0, 0.15}}));
+    traces_.Put(cheap_now_, PriceSeries({{0.0, 0.10}, {600.0, 1.50}}));
+  }
+
+  LiveAllocation Spot(int count, const MarketKey& market) const {
+    LiveAllocation alloc;
+    alloc.id = 1;
+    alloc.market = market;
+    alloc.count = count;
+    alloc.on_demand = false;
+    return alloc;
+  }
+
+  InstanceTypeCatalog catalog_;
+  TraceStore traces_;
+  const MarketKey calm_{"calm", "c4.2xlarge"};
+  const MarketKey cheap_now_{"cheaper_now", "c4.2xlarge"};
+};
+
+TEST_F(PolicyTest, OnDemandOnlyNeverActs) {
+  const OnDemandOnlyPolicy policy;
+  EXPECT_EQ(policy.name(), "on_demand");
+  EXPECT_TRUE(policy.OnDemandDoesWork());
+  EXPECT_TRUE(policy.Decide(0.0, {}).empty());
+  EXPECT_TRUE(policy.Decide(1e6, {Spot(4, calm_)}).empty());
+}
+
+TEST_F(PolicyTest, FixedDeltaTopsUpOnCheapestMarket) {
+  const FixedDeltaSpotPolicy policy(&catalog_, &traces_, 0.01, /*target_vcpus=*/64);
+  const std::vector<BidAction> actions = policy.Decide(0.0, {});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].kind, BidAction::Kind::kAcquire);
+  EXPECT_EQ(actions[0].market, cheap_now_);  // 0.10 beats 0.15 per vCPU.
+  EXPECT_EQ(actions[0].count, 8);            // 64 vCPUs / 8 per instance.
+  EXPECT_DOUBLE_EQ(actions[0].bid, 0.10 + 0.01);
+}
+
+TEST_F(PolicyTest, FixedDeltaIdleAtTarget) {
+  const FixedDeltaSpotPolicy policy(&catalog_, &traces_, 0.01, 64);
+  EXPECT_TRUE(policy.Decide(0.0, {Spot(8, calm_)}).empty());
+}
+
+TEST_F(PolicyTest, FixedDeltaCountsOnlySpotTowardTarget) {
+  const FixedDeltaSpotPolicy policy(&catalog_, &traces_, 0.01, 64);
+  LiveAllocation od = Spot(8, calm_);
+  od.on_demand = true;
+  // The reliable tier doesn't count: still a full 64-vCPU deficit.
+  const std::vector<BidAction> actions = policy.Decide(0.0, {od});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].count, 8);
+}
+
+TEST_F(PolicyTest, OracleAvoidsMarketThatIsAboutToSpike) {
+  // At t=0 "cheaper_now" has the lower current price, but over the next
+  // hours it averages far above "calm". Hindsight picks calm.
+  const OracleNextPricePolicy policy(&catalog_, &traces_, 64, /*lookahead=*/2 * kHour);
+  const std::vector<BidAction> actions = policy.Decide(0.0, {});
+  ASSERT_EQ(actions.size(), 1u);
+  EXPECT_EQ(actions[0].market, calm_);
+  // Bids the lookahead maximum, so it cannot be evicted inside the
+  // horizon (eviction requires price > bid, strictly).
+  EXPECT_DOUBLE_EQ(actions[0].bid, 0.80);
+}
+
+TEST_F(PolicyTest, DecideIsPure) {
+  const FixedDeltaSpotPolicy policy(&catalog_, &traces_, 0.05, 64);
+  const auto a = policy.Decide(100.0, {});
+  const auto b = policy.Decide(100.0, {});
+  ASSERT_EQ(a.size(), b.size());
+  EXPECT_EQ(a[0].market, b[0].market);
+  EXPECT_DOUBLE_EQ(a[0].bid, b[0].bid);
+  EXPECT_EQ(a[0].count, b[0].count);
+}
+
+TEST_F(PolicyTest, BidBrainImplementsThePolicySeam) {
+  EvictionEstimator estimator;
+  estimator.Train(traces_, 0.0, 2 * kHour, kMinute);
+  const BidBrain brain(&catalog_, &traces_, &estimator, BidBrainConfig{});
+  const AcquisitionPolicy& policy = brain;
+  EXPECT_EQ(policy.name(), "bidbrain");
+  EXPECT_FALSE(policy.OnDemandDoesWork());
+}
+
+TEST_F(PolicyTest, FactorySpecsRoundTrip) {
+  EvictionEstimator estimator;
+  estimator.Train(traces_, 0.0, 2 * kHour, kMinute);
+  const PolicyEnv env{&catalog_, &traces_, &estimator};
+  const SchemeConfig scheme;
+
+  struct Case {
+    const char* spec;
+    const char* name;
+  };
+  const Case cases[] = {
+      {"bidbrain", "bidbrain"},
+      {"on_demand", "on_demand"},
+      {"fixed_delta:0.01", "fixed_delta_0.0100"},
+      {"oracle", "oracle"},
+      {"oracle:4", "oracle"},
+  };
+  for (const Case& c : cases) {
+    std::string error;
+    const PolicyFactory factory = MakePolicyFactory(c.spec, env, scheme, &error);
+    ASSERT_NE(factory, nullptr) << c.spec << ": " << error;
+    EXPECT_EQ(factory()->name(), c.name);
+  }
+}
+
+TEST_F(PolicyTest, FactoryRejectsBadSpecs) {
+  EvictionEstimator estimator;
+  const PolicyEnv env{&catalog_, &traces_, &estimator};
+  const SchemeConfig scheme;
+  for (const char* spec : {"nope", "fixed_delta:", "fixed_delta:abc", "fixed_delta:-1",
+                           "oracle:", "oracle:-2"}) {
+    std::string error;
+    EXPECT_EQ(MakePolicyFactory(spec, env, scheme, &error), nullptr) << spec;
+    EXPECT_FALSE(error.empty()) << spec;
+  }
+  EXPECT_FALSE(KnownPolicySpecs().empty());
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,76 @@
+// Golden determinism: the backtest engine's per-cell CSV must be
+// byte-identical for the same seed regardless of how many worker
+// threads run the cells, and across repeated runs.
+#include <gtest/gtest.h>
+
+#include "src/backtest/backtest_engine.h"
+#include "src/market/trace_gen.h"
+
+namespace proteus {
+namespace {
+
+using backtest::BacktestConfig;
+using backtest::BacktestEngine;
+using backtest::BacktestReport;
+
+class BacktestGoldenTest : public ::testing::Test {
+ protected:
+  BacktestGoldenTest() {
+    catalog_ = InstanceTypeCatalog::Default();
+    SyntheticTraceConfig config;
+    config.spikes_per_day = 4.0;
+    Rng rng(17);
+    traces_ = TraceStore::GenerateSynthetic(catalog_, {"z0", "z1"}, 8 * kDay, config, rng);
+    estimator_.Train(traces_, 0.0, 4 * kDay);
+  }
+
+  std::string RunCsv(int threads) const {
+    BacktestEngine engine(&catalog_, &traces_, &estimator_);
+    BacktestConfig config;
+    config.eval_begin = 4 * kDay;
+    config.eval_end = 8 * kDay;
+    config.windows = 4;
+    config.window_duration = kHour;
+    config.start_jitter = kHour;
+    config.reference_count = 8;
+    config.scheme.standard_target_vcpus = 64;
+    config.scheme.bidbrain.max_spot_instances = 24;
+    config.threads = threads;
+    config.seed = 99;
+    EXPECT_TRUE(engine.RegisterPolicySpec("on_demand", config.scheme));
+    EXPECT_TRUE(engine.RegisterPolicySpec("fixed_delta:0.01", config.scheme));
+    EXPECT_TRUE(engine.RegisterPolicySpec("bidbrain", config.scheme));
+    EXPECT_TRUE(engine.RegisterPolicySpec("oracle", config.scheme));
+    const BacktestReport report = engine.Run(config);
+    EXPECT_EQ(report.threads_used, threads);
+    return report.ToCsv();
+  }
+
+  InstanceTypeCatalog catalog_;
+  TraceStore traces_;
+  EvictionEstimator estimator_;
+};
+
+TEST_F(BacktestGoldenTest, CsvIsByteIdenticalAcrossThreadCounts) {
+  const std::string one = RunCsv(1);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, RunCsv(2));
+  EXPECT_EQ(one, RunCsv(4));
+  EXPECT_EQ(one, RunCsv(8));
+}
+
+TEST_F(BacktestGoldenTest, CsvIsStableAcrossRepeatedRuns) {
+  EXPECT_EQ(RunCsv(3), RunCsv(3));
+}
+
+TEST_F(BacktestGoldenTest, CsvHasOneRowPerCellPlusHeader) {
+  const std::string csv = RunCsv(2);
+  std::size_t lines = 0;
+  for (const char c : csv) {
+    lines += c == '\n' ? 1 : 0;
+  }
+  EXPECT_EQ(lines, 1u + 4u * 4u);  // Header + 4 policies x 4 windows.
+}
+
+}  // namespace
+}  // namespace proteus

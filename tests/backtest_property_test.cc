@@ -1,0 +1,120 @@
+// Property tests for the Policy Lab's accounting invariants: whatever
+// the acquisition policy does, the job bill must be exactly the sum of
+// the per-allocation bills, and free compute can only come from evicted
+// allocations (and never exceeds the hours those allocations ran).
+#include <gtest/gtest.h>
+
+#include "src/backtest/policies.h"
+#include "src/market/trace_gen.h"
+#include "src/proteus/job_simulator.h"
+
+namespace proteus {
+namespace {
+
+using backtest::MakePolicyFactory;
+using backtest::PolicyEnv;
+using backtest::PolicyFactory;
+
+class BacktestPropertyTest : public ::testing::Test {
+ protected:
+  BacktestPropertyTest() {
+    catalog_ = InstanceTypeCatalog::Default();
+    SyntheticTraceConfig config;
+    config.spikes_per_day = 6.0;  // Busy markets: plenty of evictions.
+    Rng rng(33);
+    traces_ = TraceStore::GenerateSynthetic(catalog_, {"z0", "z1"}, 12 * kDay, config, rng);
+    estimator_.Train(traces_, 0.0, 6 * kDay);
+    scheme_.standard_target_vcpus = 64;
+    scheme_.bidbrain.max_spot_instances = 24;
+  }
+
+  void CheckInvariants(const JobResult& result) {
+    ASSERT_FALSE(result.allocation_bills.empty());
+    // Total bill == sum of per-allocation bills, exactly: both sides are
+    // accumulated in the same allocation order with the same operations.
+    JobBill sum;
+    for (const AllocationBillDetail& detail : result.allocation_bills) {
+      sum.Accumulate(detail.bill);
+      EXPECT_GE(detail.bill.cost, 0.0);
+      EXPECT_GE(detail.bill.free_hours, 0.0);
+      EXPECT_GE(detail.bill.on_demand_hours, 0.0);
+      EXPECT_GE(detail.bill.spot_paid_hours, 0.0);
+      if (!detail.evicted) {
+        // Free compute exists only as an eviction refund.
+        EXPECT_EQ(detail.bill.free_hours, 0.0);
+      }
+      EXPECT_LE(detail.bill.free_hours, detail.bill.TotalHours());
+      if (detail.on_demand) {
+        EXPECT_EQ(detail.bill.spot_paid_hours, 0.0);
+        EXPECT_EQ(detail.bill.free_hours, 0.0);
+      } else {
+        EXPECT_EQ(detail.bill.on_demand_hours, 0.0);
+      }
+    }
+    EXPECT_EQ(result.bill.cost, sum.cost);
+    EXPECT_EQ(result.bill.on_demand_hours, sum.on_demand_hours);
+    EXPECT_EQ(result.bill.spot_paid_hours, sum.spot_paid_hours);
+    EXPECT_EQ(result.bill.free_hours, sum.free_hours);
+    // Evicted-allocation hours bound the refunded hours.
+    double evicted_hours = 0.0;
+    for (const AllocationBillDetail& detail : result.allocation_bills) {
+      if (detail.evicted) {
+        evicted_hours += detail.bill.TotalHours();
+      }
+    }
+    EXPECT_LE(result.bill.free_hours, evicted_hours + 1e-9);
+  }
+
+  InstanceTypeCatalog catalog_;
+  TraceStore traces_;
+  EvictionEstimator estimator_;
+  SchemeConfig scheme_;
+};
+
+TEST_F(BacktestPropertyTest, InvariantsHoldForEveryPolicyAndStart) {
+  const PolicyEnv env{&catalog_, &traces_, &estimator_};
+  const JobSimulator sim(&catalog_, &traces_, &estimator_);
+  const JobSpec job =
+      JobSpec::ForReferenceDuration(catalog_, "c4.2xlarge", 8, 2 * kHour, 0.95);
+
+  int evicted_allocations = 0;
+  for (const char* spec : {"on_demand", "fixed_delta:0.001", "fixed_delta:0.1", "bidbrain",
+                           "oracle:2"}) {
+    std::string error;
+    const PolicyFactory factory = MakePolicyFactory(spec, env, scheme_, &error);
+    ASSERT_NE(factory, nullptr) << error;
+    for (int w = 0; w < 6; ++w) {
+      const SimTime start = 6 * kDay + w * 20 * kHour;
+      const JobResult result = sim.Run(*factory(), job, scheme_, start);
+      SCOPED_TRACE(std::string(spec) + " @ window " + std::to_string(w));
+      CheckInvariants(result);
+      for (const AllocationBillDetail& detail : result.allocation_bills) {
+        evicted_allocations += detail.evicted ? 1 : 0;
+      }
+    }
+  }
+  // The sweep must actually exercise the refund path, or the free-hours
+  // invariants above are vacuous.
+  EXPECT_GT(evicted_allocations, 0);
+}
+
+TEST_F(BacktestPropertyTest, EvictionCountMatchesEvictedAllocations) {
+  const PolicyEnv env{&catalog_, &traces_, &estimator_};
+  const JobSimulator sim(&catalog_, &traces_, &estimator_);
+  const JobSpec job =
+      JobSpec::ForReferenceDuration(catalog_, "c4.2xlarge", 8, 2 * kHour, 0.95);
+  std::string error;
+  const PolicyFactory factory = MakePolicyFactory("fixed_delta:0.001", env, scheme_, &error);
+  ASSERT_NE(factory, nullptr) << error;
+  for (int w = 0; w < 6; ++w) {
+    const JobResult result = sim.Run(*factory(), job, scheme_, 6 * kDay + w * 20 * kHour);
+    int evicted = 0;
+    for (const AllocationBillDetail& detail : result.allocation_bills) {
+      evicted += detail.evicted ? 1 : 0;
+    }
+    EXPECT_EQ(result.evictions, evicted);
+  }
+}
+
+}  // namespace
+}  // namespace proteus

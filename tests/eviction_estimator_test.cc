@@ -52,6 +52,32 @@ TEST_F(EvictionEstimatorTest, UnknownMarketGetsPessimisticPrior) {
   EXPECT_EQ(stats.samples, 0);
 }
 
+TEST_F(EvictionEstimatorTest, ShortTrainingWindowIsNotSilentlyOptimistic) {
+  // A training window shorter than one billing hour completes zero
+  // samples for every grid point. The regression here: Estimate used to
+  // report the stored beta = 0 ("never evicted") for such markets,
+  // which is the most optimistic claim from the least evidence; it must
+  // fall back to the pessimistic prior instead.
+  EvictionEstimator est;
+  est.Train(traces_, 0.0, 30 * kMinute);
+  EXPECT_TRUE(est.trained());
+  const EvictionStats stats = est.Estimate(key_, 0.001);
+  EXPECT_EQ(stats.samples, 0);
+  EXPECT_GT(stats.beta, 0.0);
+  // And the prior still tapers with the delta.
+  EXPECT_GE(stats.beta, est.Estimate(key_, 0.4).beta);
+}
+
+TEST_F(EvictionEstimatorTest, EmptySeriesFallsBackToPrior) {
+  TraceStore store;
+  store.Put({"z0", "c4.xlarge"}, PriceSeries());
+  EvictionEstimator est;
+  est.Train(store, 0.0, 30 * kDay);
+  const EvictionStats stats = est.Estimate({"z0", "c4.xlarge"}, 0.001);
+  EXPECT_EQ(stats.samples, 0);
+  EXPECT_GT(stats.beta, 0.0);
+}
+
 TEST_F(EvictionEstimatorTest, SpikyMarketHasHigherBetaThanCalm) {
   const InstanceTypeCatalog catalog = InstanceTypeCatalog::Default();
   SyntheticTraceConfig calm;

@@ -1,0 +1,85 @@
+#include "src/common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <string>
+
+namespace proteus {
+namespace {
+
+TEST(ThreadPool, ParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& hit : hits) {
+    EXPECT_EQ(hit.load(), 1);
+  }
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptions) {
+  ThreadPool pool(2);
+  auto future = pool.Submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(future.get(), std::runtime_error);
+}
+
+// Regression: ParallelFor used to rethrow on the first failed future
+// while later tasks — which hold a reference to `fn` and the caller's
+// captures — were still queued or running, so the unwind could destroy
+// state out from under them and lose tasks. Now every task must run to
+// completion before the exception surfaces, and the pool stays usable.
+TEST(ThreadPool, ThrowingTaskNeitherWedgesPoolNorLosesTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(200,
+                                [&](std::size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i == 3) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  EXPECT_EQ(ran.load(), 200);
+
+  std::atomic<int> again{0};
+  pool.ParallelFor(50, [&](std::size_t) { again.fetch_add(1); });
+  EXPECT_EQ(again.load(), 50);
+}
+
+TEST(ThreadPool, FirstExceptionInIndexOrderWins) {
+  ThreadPool pool(4);
+  try {
+    pool.ParallelFor(64, [&](std::size_t i) {
+      if (i == 7 || i == 41) {
+        throw std::runtime_error(std::to_string(i));
+      }
+    });
+    FAIL() << "expected a rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_EQ(std::string(e.what()), "7");
+  }
+}
+
+TEST(ThreadPool, StressRepeatedParallelForWithFailures) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> ran{0};
+    const bool fails = round % 2 == 0;
+    try {
+      pool.ParallelFor(64, [&](std::size_t i) {
+        ran.fetch_add(1);
+        if (fails && i % 17 == 0) {
+          throw std::runtime_error("flaky");
+        }
+      });
+      EXPECT_FALSE(fails);
+    } catch (const std::runtime_error&) {
+      EXPECT_TRUE(fails);
+    }
+    ASSERT_EQ(ran.load(), 64) << "round " << round << " lost tasks";
+  }
+}
+
+}  // namespace
+}  // namespace proteus
