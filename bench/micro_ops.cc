@@ -6,6 +6,8 @@
 #include "bench/support.h"
 #include "src/bidbrain/cost_model.h"
 #include "src/ps/model.h"
+#include "src/rpc/messages.h"
+#include "src/rpc/serializer.h"
 
 namespace proteus {
 namespace {
@@ -55,6 +57,63 @@ void BM_BackupSync(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BackupSync);
+
+// --- The PS hot path end to end: apply a clock's worth of updates and
+// serialize the resulting push traffic. Legacy = per-row ApplyDelta +
+// per-row UpdateParamMsg frames (one allocation per row). Sharded =
+// batched ApplyUpdates + one coalesced delta batch per shard (single
+// allocation each). Arg(0) is ModelOptions::shards; the shards=1 run of
+// BM_ApplySerializeSharded measures batching alone, shards=4 adds lock
+// striping and coalesced framing — the tentpole's >= 2x claim.
+constexpr int kHotRows = 4096;
+constexpr int kHotCols = 64;
+
+ModelStore MakeHotStore(int shards) {
+  ModelOptions options;
+  options.shards = shards;
+  return ModelStore({{0, 10000, kHotCols, 0.0F, 0.1F}}, 32, 7, options);
+}
+
+void BM_ApplySerializeLegacy(benchmark::State& state) {
+  ModelStore store = MakeHotStore(1);
+  const std::vector<float> delta(kHotCols, 0.5F);
+  for (auto _ : state) {
+    std::uint64_t bytes = 0;
+    for (std::int64_t r = 0; r < kHotRows; ++r) {
+      store.ApplyDelta(0, r, delta);
+      UpdateParamMsg msg;
+      msg.table = 0;
+      msg.row = r;
+      msg.delta = delta;
+      bytes += EncodeMessage(msg).size();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kHotRows);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kHotRows * kHotCols * 4);
+}
+BENCHMARK(BM_ApplySerializeLegacy);
+
+void BM_ApplySerializeSharded(benchmark::State& state) {
+  const int shards = static_cast<int>(state.range(0));
+  ModelStore store = MakeHotStore(shards);
+  const std::vector<float> delta(kHotCols, 0.5F);
+  std::vector<RowDelta> batch;
+  std::vector<DeltaRow> wire;
+  batch.reserve(kHotRows);
+  wire.reserve(kHotRows);
+  for (std::int64_t r = 0; r < kHotRows; ++r) {
+    batch.push_back({0, r, std::span<const float>(delta)});
+    wire.push_back({MakeRowKey(0, r), std::span<const float>(delta)});
+  }
+  for (auto _ : state) {
+    store.ApplyUpdates(batch);
+    benchmark::DoNotOptimize(EncodeDeltaBatch(wire).size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * kHotRows);
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * kHotRows * kHotCols * 4);
+}
+BENCHMARK(BM_ApplySerializeSharded)->Arg(1)->Arg(4)->Arg(8);
 
 void BM_FabricRecordTransfer(benchmark::State& state) {
   Fabric fabric(1.25e8);

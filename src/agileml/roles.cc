@@ -29,6 +29,16 @@ std::vector<PartitionId> RoleAssignment::PartitionsServedBy(NodeId node) const {
   return out;
 }
 
+std::vector<NodeId> RoleAssignment::ServerByPartition(int num_partitions) const {
+  std::vector<NodeId> out(static_cast<std::size_t>(num_partitions), kInvalidNode);
+  for (const auto& [part, owner] : server) {
+    if (part >= 0 && part < num_partitions) {
+      out[static_cast<std::size_t>(part)] = owner;
+    }
+  }
+  return out;
+}
+
 Stage RolePlanner::PickStage(const TierCounts& counts) const {
   if (config_.forced_stage.has_value()) {
     return *config_.forced_stage;

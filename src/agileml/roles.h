@@ -37,6 +37,9 @@ struct RoleAssignment {
 
   bool UsesBackups() const { return stage != Stage::kStage1; }
   std::vector<PartitionId> PartitionsServedBy(NodeId node) const;
+  // Dense partition -> server lookup for hot-path accounting (index p,
+  // kInvalidNode where unassigned). O(1) per query vs the map's O(log n).
+  std::vector<NodeId> ServerByPartition(int num_partitions) const;
 };
 
 struct RolePlannerConfig {

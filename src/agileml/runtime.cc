@@ -5,6 +5,7 @@
 #include <thread>
 
 #include "src/common/logging.h"
+#include "src/rpc/serializer.h"
 
 namespace proteus {
 
@@ -18,7 +19,7 @@ AgileMLRuntime::AgileMLRuntime(MLApp* app, AgileMLConfig config,
                                const std::vector<NodeInfo>& initial_nodes)
     : app_(app),
       config_(config),
-      model_(app->DefineModel().tables, config.num_partitions, config.seed),
+      model_(app->DefineModel().tables, config.num_partitions, config.seed, config.model),
       fabric_(config.nic_bandwidth),
       data_(app->NumItems(), config.data_blocks),
       planner_(config.planner),
@@ -52,15 +53,18 @@ AgileMLRuntime::~AgileMLRuntime() = default;
 void AgileMLRuntime::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics) {
   tracer_ = tracer;
   metrics_ = metrics;
+  model_.SetObservability(metrics);
   if (metrics_ == nullptr) {
     pull_bytes_counter_ = push_bytes_counter_ = backup_sync_bytes_counter_ = nullptr;
     stage_transition_counter_ = rollback_clocks_counter_ = stall_seconds_counter_ = nullptr;
+    push_coalesced_saved_counter_ = nullptr;
     backup_lag_gauge_ = worker_nodes_gauge_ = nullptr;
     clock_duration_hist_ = nullptr;
     return;
   }
   pull_bytes_counter_ = metrics_->GetCounter("agileml.pull.bytes");
   push_bytes_counter_ = metrics_->GetCounter("agileml.push.bytes");
+  push_coalesced_saved_counter_ = metrics_->GetCounter("agileml.push.coalesced_saved_bytes");
   backup_sync_bytes_counter_ = metrics_->GetCounter("agileml.backup_sync.bytes");
   stage_transition_counter_ = metrics_->GetCounter("agileml.stage.transitions");
   rollback_clocks_counter_ = metrics_->GetCounter("agileml.rollback.lost_clocks");
@@ -147,7 +151,7 @@ void AgileMLRuntime::TransitionRoles(const std::set<NodeId>& leaving, bool force
     for (PartitionId p = 0; p < config_.num_partitions; ++p) {
       // Flush both the unsynced dirty rows and the in-flight tail of the
       // asynchronous background stream.
-      const std::uint64_t bytes = model_.SyncPartitionToBackup(p) + last_sync_bytes_[p];
+      const std::uint64_t bytes = model_.SyncPartitionToBackup(p, clock_) + last_sync_bytes_[p];
       const NodeId src = roles_.server.at(p);
       const NodeId dst = roles_.backup.at(p);
       queued_.push_back({leaving.count(src) > 0 ? kInvalidNode : src, dst, bytes, cls, forced});
@@ -447,7 +451,14 @@ int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
 }
 
 void AgileMLRuntime::CheckpointReliable() {
-  checkpoint_ = Checkpoint{model_.SerializeCheckpoint(), clock_};
+  // Shard-granular snapshot: each stripe serializes independently, so a
+  // future partial restore touches only the stripes it needs.
+  std::vector<std::vector<std::uint8_t>> blobs;
+  blobs.reserve(static_cast<std::size_t>(model_.shards()));
+  for (int s = 0; s < model_.shards(); ++s) {
+    blobs.push_back(model_.SerializeShardCheckpoint(s));
+  }
+  checkpoint_ = Checkpoint{std::move(blobs), clock_};
   // Charge the checkpoint write: each reliable node holding solution
   // state streams its share to durable storage in the background. In
   // stage 3 reliable nodes have no foreground role, so this is free —
@@ -464,7 +475,10 @@ void AgileMLRuntime::CheckpointReliable() {
 
 int AgileMLRuntime::RestoreFromCheckpoint() {
   PROTEUS_CHECK(checkpoint_.has_value());
-  model_.RestoreCheckpoint(checkpoint_->blob);
+  PROTEUS_CHECK_EQ(static_cast<int>(checkpoint_->shard_blobs.size()), model_.shards());
+  for (int s = 0; s < model_.shards(); ++s) {
+    model_.RestoreShardCheckpoint(s, checkpoint_->shard_blobs[static_cast<std::size_t>(s)]);
+  }
   const int lost = static_cast<int>(clock_ - checkpoint_->clock);
   clock_ = checkpoint_->clock;
   if (roles_.UsesBackups()) {
@@ -491,6 +505,10 @@ int AgileMLRuntime::RestoreFromCheckpoint() {
                      {"lost_clocks", static_cast<std::int64_t>(lost)},
                      {"to_clock", static_cast<std::int64_t>(clock_)}});
   }
+  // Worker clocks must follow the runtime clock backwards, or the next
+  // RunClock would violate ClockTable's monotonic-advance invariant.
+  // (Fail() rebuilds again after membership settles; that is idempotent.)
+  RebuildClockTable();
   return lost;
 }
 
@@ -531,7 +549,9 @@ SimDuration AgileMLRuntime::ChargeQueuedTransfers() {
 void AgileMLRuntime::SyncAllToBackups(TrafficClass cls) {
   std::uint64_t total_bytes = 0;
   for (PartitionId p = 0; p < config_.num_partitions; ++p) {
-    const std::uint64_t bytes = model_.SyncPartitionToBackup(p);
+    // The stream captures state as of the clock that just finished
+    // (clock_ + 1 when called from RunClock's end-of-clock hook).
+    const std::uint64_t bytes = model_.SyncPartitionToBackup(p, clock_ + 1);
     last_sync_bytes_[p] = bytes;
     if (bytes == 0) {
       continue;
@@ -605,6 +625,8 @@ IterationReport AgileMLRuntime::RunClock() {
   // cache (write-back coalescing).
   std::uint64_t pull_bytes = 0;  // Server -> worker (parameter reads).
   std::uint64_t push_bytes = 0;  // Worker -> server (update write-backs).
+  std::uint64_t push_saved_bytes = 0;  // Legacy framing minus coalesced.
+  const std::vector<NodeId> server_of = roles_.ServerByPartition(config_.num_partitions);
   for (const NodeId w : workers) {
     const AccessTracker& tracker = trackers[w];
     for (const RowKey key : tracker.reads()) {
@@ -612,14 +634,45 @@ IterationReport AgileMLRuntime::RunClock() {
       const PartitionId p = model_.PartitionOf(table, RowOfKey(key));
       const std::uint64_t bytes = model_.RowBytes(table);
       pull_bytes += bytes;
-      fabric_.RecordTransfer(roles_.server.at(p), w, bytes, TrafficClass::kForeground);
+      fabric_.RecordTransfer(server_of[static_cast<std::size_t>(p)], w, bytes,
+                             TrafficClass::kForeground);
     }
-    for (const RowKey key : tracker.updates()) {
-      const int table = TableOfKey(key);
-      const PartitionId p = model_.PartitionOf(table, RowOfKey(key));
-      const std::uint64_t bytes = model_.RowBytes(table);
-      push_bytes += bytes;
-      fabric_.RecordTransfer(w, roles_.server.at(p), bytes, TrafficClass::kForeground);
+    if (model_.shards() > 1) {
+      // Sharded fast path: the worker cache drains as one coalesced delta
+      // batch per destination server (varint row-ids, single frame)
+      // instead of per-row UpdateParamMsg framing.
+      std::map<NodeId, std::vector<RowKey>> batch_keys;
+      std::uint64_t legacy_bytes = 0;
+      for (const RowKey key : tracker.updates()) {
+        const int table = TableOfKey(key);
+        const PartitionId p = model_.PartitionOf(table, RowOfKey(key));
+        batch_keys[server_of[static_cast<std::size_t>(p)]].push_back(key);
+        legacy_bytes += model_.RowBytes(table);
+      }
+      std::vector<std::uint32_t> cols;
+      std::uint64_t coalesced_bytes = 0;
+      for (auto& [server, keys] : batch_keys) {
+        std::sort(keys.begin(), keys.end());
+        cols.clear();
+        cols.reserve(keys.size());
+        for (const RowKey key : keys) {
+          cols.push_back(static_cast<std::uint32_t>(model_.table(TableOfKey(key)).cols));
+        }
+        const std::uint64_t bytes = DeltaBatchEncodedBytes(keys, cols);
+        coalesced_bytes += bytes;
+        fabric_.RecordTransfer(w, server, bytes, TrafficClass::kForeground);
+      }
+      push_bytes += coalesced_bytes;
+      push_saved_bytes += legacy_bytes - std::min(legacy_bytes, coalesced_bytes);
+    } else {
+      for (const RowKey key : tracker.updates()) {
+        const int table = TableOfKey(key);
+        const PartitionId p = model_.PartitionOf(table, RowOfKey(key));
+        const std::uint64_t bytes = model_.RowBytes(table);
+        push_bytes += bytes;
+        fabric_.RecordTransfer(w, server_of[static_cast<std::size_t>(p)], bytes,
+                               TrafficClass::kForeground);
+      }
     }
   }
   if (pull_bytes_counter_ != nullptr) {
@@ -627,6 +680,9 @@ IterationReport AgileMLRuntime::RunClock() {
   }
   if (push_bytes_counter_ != nullptr) {
     push_bytes_counter_->Add(push_bytes);
+  }
+  if (push_coalesced_saved_counter_ != nullptr) {
+    push_coalesced_saved_counter_->Add(push_saved_bytes);
   }
 
   // --- Active -> Backup streaming (stages 2/3) ---
@@ -696,6 +752,7 @@ IterationReport AgileMLRuntime::RunClock() {
   if (worker_nodes_gauge_ != nullptr) {
     worker_nodes_gauge_->Set(static_cast<double>(report.worker_nodes));
   }
+  model_.UpdateShardGauges();
   if (tracer_ != nullptr) {
     if (stall > 0.0) {
       // Forced (eviction/failure-handling) transfers serialized ahead of

@@ -75,6 +75,11 @@ struct AgileMLConfig {
   int minibatches_per_pass = 1;
   // Wire size of one input item (for load-time modeling).
   double bytes_per_item = 64.0;
+  // Parameter-store engine selection (ModelOptions::shards picks the
+  // legacy per-partition path or the lock-striped arena fast path; the
+  // fast path also switches worker->server push and active->backup sync
+  // accounting to coalesced delta batches).
+  ModelOptions model;
   RolePlannerConfig planner;
   std::uint64_t seed = 1;
   // Run per-node work on a thread pool (true) or sequentially (for
@@ -179,7 +184,9 @@ class AgileMLRuntime {
   };
 
   struct Checkpoint {
-    std::vector<std::uint8_t> blob;
+    // One canonical blob per model shard, enabling shard-granular
+    // restore (and, in ProteusRuntime, shard-granular durable writes).
+    std::vector<std::vector<std::uint8_t>> shard_blobs;
     Clock clock = 0;
   };
 
@@ -243,6 +250,9 @@ class AgileMLRuntime {
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* pull_bytes_counter_ = nullptr;
   obs::Counter* push_bytes_counter_ = nullptr;
+  // Bytes saved by coalescing pushes into delta batches (legacy per-row
+  // framing minus actual coalesced bytes; only advances when shards > 1).
+  obs::Counter* push_coalesced_saved_counter_ = nullptr;
   obs::Counter* backup_sync_bytes_counter_ = nullptr;
   obs::Counter* stage_transition_counter_ = nullptr;
   obs::Counter* rollback_clocks_counter_ = nullptr;

@@ -68,6 +68,10 @@ struct ProteusStatus {
   int aborted_preloads = 0;
   int lost_clocks = 0;
   Money cost_so_far = 0.0;
+  // Parameter-store shape: stripe count and max/mean live-row skew
+  // (1.0 = balanced; see ModelStore::ShardImbalance).
+  int model_shards = 1;
+  double shard_imbalance = 1.0;
 };
 
 struct ProteusRunSummary {
@@ -81,6 +85,8 @@ struct ProteusRunSummary {
   int lost_clocks = 0;
   double final_objective = 0.0;
   std::vector<double> objective_trace;  // When objective_every > 0.
+  int model_shards = 1;
+  double shard_imbalance = 1.0;  // At end of run.
 };
 
 class ProteusRuntime {

@@ -35,6 +35,14 @@ class ClockTable {
   // barrier iff worker_clock - MinClock() <= staleness.
   bool CanAdvance(NodeId node) const;
 
+  // The full (node -> clock) map, for differential comparison and digests.
+  const std::map<NodeId, Clock>& clocks() const { return clocks_; }
+
+  // Order-insensitive-stable digest of (staleness, membership, clocks):
+  // equal tables produce equal digests. For cheap cross-run equality
+  // assertions in tests.
+  std::uint64_t Digest() const;
+
  private:
   int staleness_;
   std::map<NodeId, Clock> clocks_;

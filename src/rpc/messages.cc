@@ -52,6 +52,12 @@ void EncodeBody(WireWriter& w, const WorkerReadyMsg& m) {
   w.I64(m.items_loaded);
 }
 
+void EncodeBody(WireWriter& w, const ShardDeltaMsg& m) {
+  w.I32(m.shard);
+  w.I64(m.clock);
+  w.Blob(m.payload);
+}
+
 template <typename T>
 std::optional<Message> Finish(WireReader& r, T&& value) {
   if (r.failed() || !r.AtEnd()) {
@@ -118,6 +124,13 @@ std::optional<Message> DecodeBody(MessageType type, WireReader& r) {
       m.items_loaded = r.I64().value_or(0);
       return Finish(r, std::move(m));
     }
+    case MessageType::kShardDelta: {
+      ShardDeltaMsg m;
+      m.shard = r.I32().value_or(0);
+      m.clock = r.I64().value_or(0);
+      m.payload = r.Blob().value_or(std::vector<std::uint8_t>{});
+      return Finish(r, std::move(m));
+    }
   }
   return std::nullopt;
 }
@@ -142,6 +155,7 @@ MessageType TypeOf(const Message& message) {
     MessageType operator()(const ParamValueMsg&) const { return MessageType::kParamValue; }
     MessageType operator()(const UpdateParamMsg&) const { return MessageType::kUpdateParam; }
     MessageType operator()(const WorkerReadyMsg&) const { return MessageType::kWorkerReady; }
+    MessageType operator()(const ShardDeltaMsg&) const { return MessageType::kShardDelta; }
   };
   return std::visit(Visitor{}, message);
 }
@@ -164,6 +178,8 @@ const char* MessageTypeName(MessageType type) {
       return "update_param";
     case MessageType::kWorkerReady:
       return "worker_ready";
+    case MessageType::kShardDelta:
+      return "shard_delta";
   }
   return "unknown";
 }
@@ -179,7 +195,7 @@ std::optional<Message> DecodeMessage(std::span<const std::uint8_t> frame) {
   WireReader r(frame);
   const auto tag = r.U8();
   if (!tag.has_value() || *tag < 1 ||
-      *tag > static_cast<std::uint8_t>(MessageType::kWorkerReady)) {
+      *tag > static_cast<std::uint8_t>(MessageType::kShardDelta)) {
     return std::nullopt;
   }
   return DecodeBody(static_cast<MessageType>(*tag), r);

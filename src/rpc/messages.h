@@ -30,6 +30,7 @@ enum class MessageType : std::uint8_t {
   kParamValue = 6,
   kUpdateParam = 7,
   kWorkerReady = 8,
+  kShardDelta = 9,
 };
 
 // AgileML -> BidBrain at start-up (§5: "a ZMQ message that specifies
@@ -90,10 +91,20 @@ struct WorkerReadyMsg {
   std::int64_t items_loaded = 0;
 };
 
+// Coalesced per-shard delta buffer (worker cache -> ActivePS push, or
+// ActivePS -> BackupPS background sync). `payload` is a pre-encoded
+// delta batch (see EncodeDeltaBatch in serializer.h) embedded as an
+// opaque blob, so framing never re-walks the rows.
+struct ShardDeltaMsg {
+  std::int32_t shard = 0;
+  std::int64_t clock = 0;
+  std::vector<std::uint8_t> payload;
+};
+
 using Message =
     std::variant<AppCharacteristicsMsg, AllocationRequestMsg, AllocationGrantMsg,
                  EvictionNoticeMsg, ReadParamMsg, ParamValueMsg, UpdateParamMsg,
-                 WorkerReadyMsg>;
+                 WorkerReadyMsg, ShardDeltaMsg>;
 
 // Frames (type tag + payload) any message.
 std::vector<std::uint8_t> EncodeMessage(const Message& message);

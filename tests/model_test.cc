@@ -164,5 +164,99 @@ TEST(ModelStore, PartitionBytesCountsMaterializedRows) {
   EXPECT_EQ(m.PartitionBytes(0), m.RowBytes(0) + m.RowBytes(1));
 }
 
+// --- Lock-striped fast-path invariants (ModelOptions::shards >= 2) ---
+// Full cross-engine differentials live in tests/ps_differential_test.cc;
+// these pin the fast path's own contracts.
+
+ModelStore Striped(int shards, int num_partitions = 8) {
+  ModelOptions options;
+  options.shards = shards;
+  return ModelStore(TwoTables(), num_partitions, 7, options);
+}
+
+TEST(ModelStore, ShardsClampToPartitionCount) {
+  ModelStore m = Striped(/*shards=*/64, /*num_partitions=*/4);
+  EXPECT_EQ(m.shards(), 4);
+  for (PartitionId p = 0; p < 4; ++p) {
+    EXPECT_EQ(m.ShardOfPartition(p), p % m.shards());
+  }
+}
+
+TEST(ModelStore, StripedDirtyBytesUseCoalescedAccounting) {
+  ModelStore m = Striped(4);
+  m.EnableBackups();
+  const std::vector<float> delta(4, 1.0F);
+  m.ApplyDelta(0, 0, delta);
+  const PartitionId p = m.PartitionOf(0, 0);
+  // One dirty row: exactly the bytes of its coalesced payload, which is
+  // far below the legacy per-row framing.
+  EXPECT_EQ(m.DirtyBytes(p), m.EncodeDirtyRows(p).size());
+  EXPECT_LT(m.DirtyBytes(p), m.RowBytes(0));
+  EXPECT_EQ(m.SyncPartitionToBackup(p), m.EncodeDirtyRows(p).size());
+  EXPECT_EQ(m.DirtyBytes(p), 0u);
+}
+
+TEST(ModelStore, StripedCheckpointMatchesLegacy) {
+  ModelStore legacy(TwoTables(), 8, 7);
+  ModelStore striped = Striped(4);
+  const std::vector<float> d0(4, 0.5F);
+  const std::vector<float> d1(8, -0.5F);
+  for (std::int64_t r = 0; r < 100; ++r) {
+    legacy.ApplyDelta(0, r, d0);
+    striped.ApplyDelta(0, r, d0);
+  }
+  for (std::int64_t r = 0; r < 50; ++r) {
+    legacy.ApplyDelta(1, r, d1);
+    striped.ApplyDelta(1, r, d1);
+  }
+  EXPECT_EQ(striped.SerializeCheckpoint(), legacy.SerializeCheckpoint());
+}
+
+TEST(ModelStore, StripedRestoreInvalidatesBackup) {
+  ModelStore m = Striped(4);
+  m.EnableBackups();
+  ASSERT_TRUE(m.backups_enabled());
+  m.RestoreCheckpoint(m.SerializeCheckpoint());
+  EXPECT_FALSE(m.backups_enabled());  // Caller must re-EnableBackups().
+}
+
+TEST(ModelStore, ShardStateReflectsRowPlacement) {
+  ModelStore m = Striped(4);
+  const std::vector<float> delta(4, 1.0F);
+  // Table 0 rows land round-robin over partitions; partition p lives in
+  // shard p % 4. Touch rows of one known partition only.
+  std::int64_t row = -1;
+  for (std::int64_t r = 0; r < 100; ++r) {
+    if (m.PartitionOf(0, r) == 2) {
+      row = r;
+      break;
+    }
+  }
+  ASSERT_GE(row, 0);
+  m.ApplyDelta(0, row, delta);
+  EXPECT_EQ(m.ShardStateOf(2).live_rows, 1u);
+  EXPECT_EQ(m.ShardStateOf(3).live_rows, 0u);
+  EXPECT_EQ(m.MaterializedRows(), 1u);
+  // One populated shard out of four: imbalance is max/mean = 4.
+  EXPECT_DOUBLE_EQ(m.ShardImbalance(), 4.0);
+}
+
+TEST(ModelStore, StripedRollbackRetiresArenaSlots) {
+  ModelStore m = Striped(4);
+  m.EnableBackups();
+  const std::vector<float> delta(4, 2.0F);
+  m.ApplyDelta(0, 7, delta);  // Materialized after the backup snapshot.
+  ASSERT_EQ(m.MaterializedRows(), 1u);
+  m.RollbackAllToBackup();
+  EXPECT_EQ(m.MaterializedRows(), 0u);  // Slot retired, row dropped.
+  std::vector<float> v;
+  m.ReadRow(0, 7, v);  // Lazy re-init must give the pristine value.
+  ModelStore clean(TwoTables(), 8, 7);
+  std::vector<float> fresh;
+  clean.ReadRow(0, 7, fresh);
+  EXPECT_EQ(v, fresh);
+  EXPECT_EQ(m.MaterializedRows(), 1u);  // Re-materialized cleanly.
+}
+
 }  // namespace
 }  // namespace proteus

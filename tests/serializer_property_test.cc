@@ -1,0 +1,267 @@
+// Property battery for the coalesced delta-batch wire format (the
+// sharded PS hot-path payload, src/rpc/serializer.h). Invariants under
+// test, over seeded random batches and adversarial edge cases:
+//   - encode -> decode is lossless (keys ascending, payloads exact);
+//   - duplicate keys coalesce by input-order summation (deterministic
+//     float arithmetic: same result the ModelStore would compute);
+//   - encoded.size() == DeltaBatchEncodedBytes(...) exactly — the byte
+//     accounting the runtime charges to the fabric never drifts from
+//     the real frame;
+//   - EVERY truncated prefix of a valid frame decodes to nullopt (clean
+//     error, no UB — this is what the sanitizer jobs exercise);
+//   - corrupt version bytes and hostile lengths are rejected.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <random>
+#include <vector>
+
+#include "src/rpc/messages.h"
+#include "src/rpc/serializer.h"
+
+namespace proteus {
+namespace {
+
+struct RawBatch {
+  // Parallel arrays: one entry per input row (duplicates allowed).
+  std::vector<std::uint64_t> keys;
+  std::vector<std::vector<float>> payloads;
+
+  std::vector<DeltaRow> Rows() const {
+    std::vector<DeltaRow> rows;
+    rows.reserve(keys.size());
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      rows.push_back({keys[i], std::span<const float>(payloads[i])});
+    }
+    return rows;
+  }
+};
+
+// Reference coalescing: sum duplicates in input order, emit key-sorted.
+// Independent re-implementation of what EncodeDeltaBatch must do.
+void ExpectedRows(const RawBatch& batch, std::vector<std::uint64_t>& keys,
+                  std::vector<std::vector<float>>& values) {
+  std::map<std::uint64_t, std::vector<float>> sums;
+  for (std::size_t i = 0; i < batch.keys.size(); ++i) {
+    auto [it, fresh] = sums.try_emplace(batch.keys[i], batch.payloads[i]);
+    if (!fresh) {
+      ASSERT_EQ(it->second.size(), batch.payloads[i].size());
+      for (std::size_t c = 0; c < it->second.size(); ++c) {
+        it->second[c] += batch.payloads[i][c];
+      }
+    }
+  }
+  keys.clear();
+  values.clear();
+  for (auto& [k, v] : sums) {
+    keys.push_back(k);
+    values.push_back(std::move(v));
+  }
+}
+
+void ExpectRoundTrip(const RawBatch& batch) {
+  std::vector<std::uint64_t> want_keys;
+  std::vector<std::vector<float>> want_values;
+  ExpectedRows(batch, want_keys, want_values);
+
+  const std::vector<std::uint8_t> encoded = EncodeDeltaBatch(batch.Rows());
+
+  // Exact size accounting against the post-coalescing row set.
+  std::vector<std::uint32_t> want_cols;
+  want_cols.reserve(want_values.size());
+  for (const auto& v : want_values) {
+    want_cols.push_back(static_cast<std::uint32_t>(v.size()));
+  }
+  EXPECT_EQ(encoded.size(), DeltaBatchEncodedBytes(want_keys, want_cols));
+
+  const std::optional<DecodedDeltaBatch> decoded = DecodeDeltaBatch(encoded);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->rows(), want_keys.size());
+  ASSERT_EQ(decoded->offsets.size(), want_keys.size() + 1);
+  for (std::size_t i = 0; i < want_keys.size(); ++i) {
+    EXPECT_EQ(decoded->keys[i], want_keys[i]);
+    const std::span<const float> row = decoded->row(i);
+    ASSERT_EQ(row.size(), want_values[i].size());
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      // Bitwise equality: encoding is raw f32s and coalescing must sum
+      // in input order, so there is no tolerance to grant.
+      EXPECT_EQ(row[c], want_values[i][c]) << "row " << i << " col " << c;
+    }
+  }
+}
+
+TEST(SerializerPropertyTest, EmptyBatch) {
+  ExpectRoundTrip({});
+  const std::vector<std::uint8_t> encoded = EncodeDeltaBatch({});
+  EXPECT_EQ(encoded.size(), DeltaBatchEncodedBytes({}, {}));
+  EXPECT_EQ(encoded.size(), 2u);  // Version byte + zero count.
+}
+
+TEST(SerializerPropertyTest, SingleRow) {
+  RawBatch batch;
+  batch.keys = {12345};
+  batch.payloads = {{1.5F, -2.25F, 0.0F}};
+  ExpectRoundTrip(batch);
+}
+
+TEST(SerializerPropertyTest, MaxRowId) {
+  RawBatch batch;
+  batch.keys = {0, std::numeric_limits<std::uint64_t>::max()};
+  batch.payloads = {{1.0F}, {2.0F}};
+  ExpectRoundTrip(batch);  // Key delta of 2^64-1 must survive the varint.
+}
+
+TEST(SerializerPropertyTest, DuplicateKeysCoalesceInInputOrder) {
+  RawBatch batch;
+  batch.keys = {7, 3, 7, 7, 3};
+  batch.payloads = {{1.0F, 10.0F}, {0.5F, 0.5F}, {2.0F, 20.0F}, {4.0F, 40.0F}, {0.25F, 0.25F}};
+  ExpectRoundTrip(batch);
+
+  const std::optional<DecodedDeltaBatch> decoded =
+      DecodeDeltaBatch(EncodeDeltaBatch(batch.Rows()));
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->rows(), 2u);
+  EXPECT_EQ(decoded->keys[0], 3u);
+  EXPECT_EQ(decoded->keys[1], 7u);
+  // ((1 + 2) + 4), summed left to right.
+  EXPECT_EQ(decoded->row(1)[0], 7.0F);
+  EXPECT_EQ(decoded->row(1)[1], 70.0F);
+}
+
+TEST(SerializerPropertyTest, RandomBatchesRoundTrip) {
+  std::mt19937_64 rng(0xD1FFu);
+  for (int trial = 0; trial < 200; ++trial) {
+    RawBatch batch;
+    const std::size_t n = rng() % 40;
+    // Per-key column width must be consistent; derive it from the key.
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t key = rng() % 64;  // Small space => duplicates.
+      const std::size_t cols = 1 + key % 7;
+      std::vector<float> payload(cols);
+      for (auto& v : payload) {
+        v = static_cast<float>(static_cast<std::int64_t>(rng() % 4001) - 2000) / 128.0F;
+      }
+      batch.keys.push_back(key);
+      batch.payloads.push_back(std::move(payload));
+    }
+    SCOPED_TRACE(testing::Message() << "trial " << trial << " rows " << n);
+    ExpectRoundTrip(batch);
+  }
+}
+
+TEST(SerializerPropertyTest, WideKeysAndWideRowsRoundTrip) {
+  std::mt19937_64 rng(99);
+  RawBatch batch;
+  std::uint64_t key = 0;
+  for (int i = 0; i < 16; ++i) {
+    key += 1 + (rng() % (1ULL << 60));  // Multi-byte varint deltas.
+    std::vector<float> payload(128);
+    for (auto& v : payload) {
+      v = static_cast<float>(rng() % 1000) * 0.001F;
+    }
+    batch.keys.push_back(key);
+    batch.payloads.push_back(std::move(payload));
+  }
+  ExpectRoundTrip(batch);
+}
+
+TEST(SerializerPropertyTest, EveryTruncatedPrefixFailsCleanly) {
+  RawBatch batch;
+  batch.keys = {1, 1000, std::numeric_limits<std::uint64_t>::max() - 5};
+  batch.payloads = {{1.0F, 2.0F}, {3.0F}, {4.0F, 5.0F, 6.0F, 7.0F}};
+  const std::vector<std::uint8_t> encoded = EncodeDeltaBatch(batch.Rows());
+  ASSERT_TRUE(DecodeDeltaBatch(encoded).has_value());
+  for (std::size_t len = 0; len < encoded.size(); ++len) {
+    const std::span<const std::uint8_t> prefix(encoded.data(), len);
+    EXPECT_FALSE(DecodeDeltaBatch(prefix).has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(SerializerPropertyTest, TrailingGarbageRejected) {
+  std::vector<std::uint8_t> encoded = EncodeDeltaBatch({});
+  encoded.push_back(0x00);
+  EXPECT_FALSE(DecodeDeltaBatch(encoded).has_value());
+}
+
+TEST(SerializerPropertyTest, BadVersionRejected) {
+  RawBatch batch;
+  batch.keys = {5};
+  batch.payloads = {{1.0F}};
+  std::vector<std::uint8_t> encoded = EncodeDeltaBatch(batch.Rows());
+  encoded[0] = kDeltaBatchVersion + 1;
+  EXPECT_FALSE(DecodeDeltaBatch(encoded).has_value());
+  encoded[0] = 0;
+  EXPECT_FALSE(DecodeDeltaBatch(encoded).has_value());
+}
+
+TEST(SerializerPropertyTest, HostileRowCountRejected) {
+  // Claims 2^24 + 1 rows with no payload behind it.
+  WireWriter w;
+  w.U8(kDeltaBatchVersion);
+  w.VarU64((1ULL << 24) + 1);
+  EXPECT_FALSE(DecodeDeltaBatch(w.bytes()).has_value());
+}
+
+TEST(SerializerPropertyTest, NonAscendingKeysRejected) {
+  // Hand-build a frame whose second key delta is zero (duplicate key on
+  // the wire, which the encoder can never emit).
+  WireWriter w;
+  w.U8(kDeltaBatchVersion);
+  w.VarU64(2);      // Two rows.
+  w.VarU64(9);      // First key.
+  w.VarU64(1);      // One col.
+  w.RawFloats(std::vector<float>{1.0F});
+  w.VarU64(0);      // Key delta 0 => same key again: invalid.
+  w.VarU64(1);
+  w.RawFloats(std::vector<float>{2.0F});
+  EXPECT_FALSE(DecodeDeltaBatch(w.bytes()).has_value());
+}
+
+TEST(SerializerPropertyTest, VarintOverflowRejected) {
+  // 10-byte varint encoding a value above 2^64 for the first key.
+  WireWriter w;
+  w.U8(kDeltaBatchVersion);
+  w.VarU64(1);
+  for (int i = 0; i < 9; ++i) {
+    w.U8(0xFF);
+  }
+  w.U8(0x7F);  // Continuations push the value past 64 bits.
+  EXPECT_FALSE(DecodeDeltaBatch(w.bytes()).has_value());
+}
+
+std::uint64_t MakeKey(int table, std::int64_t row) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(table)) << 40) |
+         static_cast<std::uint64_t>(row);
+}
+
+TEST(SerializerPropertyTest, ShardDeltaMsgRoundTrip) {
+  RawBatch batch;
+  batch.keys = {MakeKey(0, 3), MakeKey(1, 44)};
+  batch.payloads = {{0.5F, 1.5F}, {-3.0F}};
+  ShardDeltaMsg msg;
+  msg.shard = 3;
+  msg.clock = 41;
+  msg.payload = EncodeDeltaBatch(batch.Rows());
+
+  const std::vector<std::uint8_t> frame = EncodeMessage(msg);
+  const std::optional<Message> decoded = DecodeMessage(frame);
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_TRUE(std::holds_alternative<ShardDeltaMsg>(*decoded));
+  const auto& got = std::get<ShardDeltaMsg>(*decoded);
+  EXPECT_EQ(got.shard, 3);
+  EXPECT_EQ(got.clock, 41);
+  EXPECT_EQ(got.payload, msg.payload);  // Opaque blob embeds untouched.
+  // The embedded payload is still a decodable batch.
+  EXPECT_TRUE(DecodeDeltaBatch(got.payload).has_value());
+
+  // Truncated frames fail cleanly at the message layer too.
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_FALSE(DecodeMessage({frame.data(), len}).has_value()) << "prefix " << len;
+  }
+}
+
+}  // namespace
+}  // namespace proteus
