@@ -22,6 +22,7 @@
 #include "src/apps/datasets.h"
 #include "src/apps/mf.h"
 #include "src/chaos/harness.h"
+#include "src/chaos/lossy_link.h"
 
 namespace proteus {
 namespace {
@@ -41,6 +42,8 @@ ChaosConfig MakeConfig(std::uint64_t seed) {
   config.seed = seed;
   return config;
 }
+
+int RunLossyLinkSection(int schedules, std::uint64_t base_seed, MLApp* app);
 
 int RunSoak(int schedules, std::uint64_t base_seed) {
   RatingsConfig rc;
@@ -125,7 +128,81 @@ int RunSoak(int schedules, std::uint64_t base_seed) {
       }
     }
   }
-  return (total_violations == 0 && digest_mismatches == 0) ? 0 : 1;
+  const int chaos_rc = (total_violations == 0 && digest_mismatches == 0) ? 0 : 1;
+  // The lossy-link section is comparatively cheap; cap it so huge
+  // schedule counts stay dominated by the chaos sweep.
+  const int lossy_rc =
+      RunLossyLinkSection(schedules < 10 ? schedules : 10, base_seed, &app);
+  return chaos_rc != 0 ? chaos_rc : lossy_rc;
+}
+
+// Lossy control-link section: drives the same controller command stream
+// over (a) a clean link, (b) a hostile link behind the reliable
+// transport, and (c) the hostile link raw. Reports whether the reliable
+// transport reproduced the clean digest and what it cost in
+// retransmits.
+int RunLossyLinkSection(int schedules, std::uint64_t base_seed,
+                        MLApp* app) {
+  LinkFaultProfile profile;
+  profile.drop_permille = 250;
+  profile.delay_permille = 150;
+  profile.dup_permille = 150;
+  profile.blackhole_every = 20;
+  profile.blackhole_len = 3;
+
+  int masked = 0;
+  int raw_diverged = 0;
+  std::size_t violations = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t dropped = 0;
+  for (int s = 0; s < schedules; ++s) {
+    const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s);
+    LossyLinkConfig config;
+    config.agileml.num_partitions = 16;
+    config.agileml.data_blocks = 128;
+    config.agileml.parallel_execution = false;
+    config.agileml.backup_sync_every = 3;
+    config.agileml.seed = seed;
+    config.horizon = 30;
+    config.seed = seed;
+
+    LossyLinkConfig clean = config;
+    clean.reliable = false;
+    const LossyLinkResult baseline = RunLossyLink(app, clean);
+
+    LossyLinkConfig reliable = config;
+    reliable.link = profile;
+    reliable.reliable = true;
+    const LossyLinkResult r = RunLossyLink(app, reliable);
+
+    LossyLinkConfig raw = config;
+    raw.link = profile;
+    raw.reliable = false;
+    const LossyLinkResult u = RunLossyLink(app, raw);
+
+    masked += r.model_digest == baseline.model_digest ? 1 : 0;
+    raw_diverged += u.model_digest != baseline.model_digest ? 1 : 0;
+    violations += baseline.violations.size() + r.violations.size() + u.violations.size();
+    retransmits += r.retransmits;
+    dup_suppressed += r.dup_suppressed;
+    dropped += r.link_dropped;
+  }
+
+  std::printf("\nlossy control link: %d seeds, drop %d%% / delay %d%% / dup %d%% "
+              "/ blackhole %d-every-%d sends\n",
+              schedules, profile.drop_permille / 10, profile.delay_permille / 10,
+              profile.dup_permille / 10, profile.blackhole_len, profile.blackhole_every);
+  std::printf("reliable transport masked the link: %d/%d runs (digest == fault-free)\n",
+              masked, schedules);
+  std::printf("raw channel diverged:               %d/%d runs\n", raw_diverged, schedules);
+  std::printf("frames dropped by the link:         %llu (plus %llu duplicates suppressed)\n",
+              static_cast<unsigned long long>(dropped),
+              static_cast<unsigned long long>(dup_suppressed));
+  std::printf("retransmits paid to mask them:      %llu\n",
+              static_cast<unsigned long long>(retransmits));
+  std::printf("auditor violations:                 %zu\n", violations);
+  return (masked == schedules && violations == 0) ? 0 : 1;
 }
 
 }  // namespace

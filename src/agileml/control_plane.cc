@@ -22,6 +22,10 @@ const char* ControlMessageName(ControlMessage type) {
       return "stage-switch";
     case ControlMessage::kRollbackNotice:
       return "rollback-notice";
+    case ControlMessage::kHeartbeat:
+      return "heartbeat";
+    case ControlMessage::kSuspicionNotice:
+      return "suspicion-notice";
   }
   return "?";
 }
@@ -43,6 +47,10 @@ std::int64_t ControlPlaneLog::Total() const {
     total += c;
   }
   return total;
+}
+
+std::int64_t ControlPlaneLog::NotificationTotal() const {
+  return Total() - Count(ControlMessage::kHeartbeat);
 }
 
 std::string ControlPlaneLog::Summary() const {

@@ -23,9 +23,11 @@ enum class ControlMessage : int {
   kReadySignal = 4,        // New node -> controller: data loaded.
   kStageSwitch = 5,        // Broadcast: stage transition.
   kRollbackNotice = 6,     // Worker told to restart from a past clock.
+  kHeartbeat = 7,          // Node -> controller: lease renewal.
+  kSuspicionNotice = 8,    // Controller broadcast: node under suspicion.
 };
 
-inline constexpr int kNumControlMessages = 7;
+inline constexpr int kNumControlMessages = 9;
 
 const char* ControlMessageName(ControlMessage type);
 
@@ -36,6 +38,10 @@ class ControlPlaneLog {
 
   std::int64_t Count(ControlMessage type) const;
   std::int64_t Total() const;
+  // Total minus heartbeats: the paper's "transitions are cheap"
+  // message-count claims concern notifications, and periodic lease
+  // renewals would otherwise swamp them when the detector is enabled.
+  std::int64_t NotificationTotal() const;
 
   std::string Summary() const;
 

@@ -1,0 +1,91 @@
+#include "src/agileml/failure_detector.h"
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+FailureDetector::FailureDetector(FailureDetectorConfig config) : config_(config) {
+  if (config_.enabled) {
+    PROTEUS_CHECK_GE(config_.suspect_after, 1);
+    PROTEUS_CHECK_GT(config_.confirm_after, config_.suspect_after);
+  }
+}
+
+void FailureDetector::Register(NodeId node, std::int64_t now_clock) {
+  Lease& lease = leases_[node];
+  lease.last_heartbeat = now_clock;
+  lease.suspected = false;
+}
+
+void FailureDetector::Unregister(NodeId node) { leases_.erase(node); }
+
+bool FailureDetector::Heartbeat(NodeId node, std::int64_t now_clock) {
+  auto it = leases_.find(node);
+  if (it == leases_.end()) {
+    return false;
+  }
+  it->second.last_heartbeat = now_clock;
+  if (it->second.suspected) {
+    it->second.suspected = false;
+    ++false_positives_;
+    return true;
+  }
+  return false;
+}
+
+FailureDetectorReport FailureDetector::Poll(std::int64_t now_clock) {
+  FailureDetectorReport report;
+  if (!config_.enabled) {
+    return report;
+  }
+  for (auto it = leases_.begin(); it != leases_.end();) {
+    const std::int64_t missed = now_clock - it->second.last_heartbeat;
+    if (missed >= config_.confirm_after) {
+      report.confirmed_dead.push_back({it->first, missed});
+      ++confirmations_;
+      it = leases_.erase(it);
+      continue;
+    }
+    if (missed >= config_.suspect_after && !it->second.suspected) {
+      it->second.suspected = true;
+      report.newly_suspected.push_back(it->first);
+      ++suspicions_;
+    }
+    ++it;
+  }
+  return report;
+}
+
+bool FailureDetector::IsTracked(NodeId node) const { return leases_.count(node) > 0; }
+
+bool FailureDetector::IsSuspected(NodeId node) const {
+  auto it = leases_.find(node);
+  return it != leases_.end() && it->second.suspected;
+}
+
+std::int64_t FailureDetector::LastHeartbeat(NodeId node) const {
+  auto it = leases_.find(node);
+  PROTEUS_CHECK(it != leases_.end()) << "LastHeartbeat of untracked node " << node;
+  return it->second.last_heartbeat;
+}
+
+std::vector<NodeId> FailureDetector::Tracked() const {
+  std::vector<NodeId> nodes;
+  nodes.reserve(leases_.size());
+  for (const auto& [node, lease] : leases_) {
+    nodes.push_back(node);
+  }
+  return nodes;
+}
+
+std::vector<NodeId> FailureDetector::Suspected() const {
+  std::vector<NodeId> nodes;
+  for (const auto& [node, lease] : leases_) {
+    if (lease.suspected) {
+      nodes.push_back(node);
+    }
+  }
+  return nodes;
+}
+
+}  // namespace proteus

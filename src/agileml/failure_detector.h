@@ -1,0 +1,102 @@
+// Heartbeat/lease failure detector (ISSUE 5, Proteus §3.3): the paper's
+// controller *learns* about failures, but until now every failure in
+// this repo was announced through an explicit Fail() call — unannounced
+// spot terminations, the common case on volatile instances, were
+// unrepresentable. The detector closes that gap: every live node renews
+// a lease (Heartbeat) each runtime clock; the controller polls once per
+// clock and nodes whose lease has lapsed move through a two-stage state
+// machine:
+//
+//   alive --miss >= suspect_after--> suspected
+//   suspected --heartbeat--> alive        (false positive, counted)
+//   suspected --miss >= confirm_after--> confirmed dead (untracked)
+//
+// Everything is keyed on the integer sim clock, so detection latency is
+// exact and deterministic: a node silenced at clock C is confirmed at
+// clock C + confirm_after, never later — the ConsistencyAuditor checks
+// this bound as an invariant during chaos runs.
+#ifndef SRC_AGILEML_FAILURE_DETECTOR_H_
+#define SRC_AGILEML_FAILURE_DETECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace proteus {
+
+struct FailureDetectorConfig {
+  bool enabled = false;
+  // Missed clocks before a node becomes suspected (>= 1).
+  int suspect_after = 1;
+  // Missed clocks before a suspected node is confirmed dead
+  // (> suspect_after). This is the detection-latency bound.
+  int confirm_after = 3;
+};
+
+struct ConfirmedDeath {
+  NodeId node = kInvalidNode;
+  // Clocks between the last lease renewal and confirmation: the
+  // detection latency, exactly confirm_after when polled every clock.
+  std::int64_t missed_clocks = 0;
+};
+
+struct FailureDetectorReport {
+  std::vector<NodeId> newly_suspected;
+  std::vector<ConfirmedDeath> confirmed_dead;
+};
+
+class FailureDetector {
+ public:
+  explicit FailureDetector(FailureDetectorConfig config = {});
+
+  const FailureDetectorConfig& config() const { return config_; }
+
+  // Starts tracking `node` with its lease fresh as of `now_clock`.
+  // Re-registering an already tracked node just renews the lease.
+  void Register(NodeId node, std::int64_t now_clock);
+
+  // Stops tracking (announced eviction/failure paths: the controller
+  // already knows, no detection needed). No-op if untracked.
+  void Unregister(NodeId node);
+
+  // Lease renewal. Returns true when the node was under suspicion — a
+  // false positive the caller may want to count. No-op (returns false)
+  // for untracked nodes.
+  bool Heartbeat(NodeId node, std::int64_t now_clock);
+
+  // Evaluates every lease against `now_clock` and returns the state
+  // transitions, in ascending node order (deterministic). Confirmed
+  // nodes leave the tracked set.
+  FailureDetectorReport Poll(std::int64_t now_clock);
+
+  bool IsTracked(NodeId node) const;
+  bool IsSuspected(NodeId node) const;
+  // Clock of the node's last lease renewal; kInvalidClock semantics do
+  // not apply here — callers must only ask about tracked nodes.
+  std::int64_t LastHeartbeat(NodeId node) const;
+  std::vector<NodeId> Tracked() const;
+  std::vector<NodeId> Suspected() const;
+  std::size_t tracked_count() const { return leases_.size(); }
+
+  std::uint64_t suspicions() const { return suspicions_; }
+  std::uint64_t confirmations() const { return confirmations_; }
+  std::uint64_t false_positives() const { return false_positives_; }
+
+ private:
+  struct Lease {
+    std::int64_t last_heartbeat = 0;
+    bool suspected = false;
+  };
+
+  FailureDetectorConfig config_;
+  std::map<NodeId, Lease> leases_;
+  std::uint64_t suspicions_ = 0;
+  std::uint64_t confirmations_ = 0;
+  std::uint64_t false_positives_ = 0;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_AGILEML_FAILURE_DETECTOR_H_

@@ -23,7 +23,8 @@ AgileMLRuntime::AgileMLRuntime(MLApp* app, AgileMLConfig config,
       fabric_(config.nic_bandwidth),
       data_(app->NumItems(), config.data_blocks),
       planner_(config.planner),
-      clocks_(config.staleness) {
+      clocks_(config.staleness),
+      detector_(config.detector) {
   PROTEUS_CHECK(app_ != nullptr);
   PROTEUS_CHECK(!initial_nodes.empty());
   if (config_.parallel_execution) {
@@ -36,6 +37,9 @@ AgileMLRuntime::AgileMLRuntime(MLApp* app, AgileMLConfig config,
     nodes_.push_back(node);
     fabric_.AddNode(node.id);
     ready_.insert(node.id);
+    if (config_.detector.enabled) {
+      detector_.Register(node.id, clock_);
+    }
   }
   // Initial placement: data is loaded during start-up, before the first
   // clock, so nothing is charged to iteration time.
@@ -59,6 +63,9 @@ void AgileMLRuntime::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry*
     stage_transition_counter_ = rollback_clocks_counter_ = stall_seconds_counter_ = nullptr;
     push_coalesced_saved_counter_ = nullptr;
     backup_lag_gauge_ = worker_nodes_gauge_ = nullptr;
+    detector_suspicions_counter_ = detector_confirmed_counter_ = nullptr;
+    detector_false_positives_counter_ = nullptr;
+    detector_latency_gauge_ = nullptr;
     clock_duration_hist_ = nullptr;
     return;
   }
@@ -71,6 +78,11 @@ void AgileMLRuntime::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry*
   stall_seconds_counter_ = metrics_->GetCounter("agileml.stall.microseconds");
   backup_lag_gauge_ = metrics_->GetGauge("agileml.backup_sync.lag_clocks");
   worker_nodes_gauge_ = metrics_->GetGauge("agileml.workers");
+  detector_suspicions_counter_ = metrics_->GetCounter("agileml.detector.suspicions");
+  detector_confirmed_counter_ = metrics_->GetCounter("agileml.detector.confirmed_dead");
+  detector_false_positives_counter_ =
+      metrics_->GetCounter("agileml.detector.false_positives");
+  detector_latency_gauge_ = metrics_->GetGauge("agileml.detector.detection_latency_clocks");
   clock_duration_hist_ = metrics_->GetHistogram(
       "agileml.clock.duration_seconds",
       {0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 60.0, 120.0, 300.0});
@@ -293,6 +305,9 @@ void AgileMLRuntime::IncorporateReady() {
   for (const NodeId id : newly) {
     ready_.insert(id);
     control_log_.Record(ControlMessage::kReadySignal);
+    if (config_.detector.enabled) {
+      detector_.Register(id, clock_);
+    }
   }
   TransitionRoles(/*leaving=*/{}, /*forced=*/false);
   // New nodes preloaded their data during the preparing phase; mark their
@@ -338,6 +353,8 @@ void AgileMLRuntime::Evict(const std::vector<NodeId>& node_ids) {
     PROTEUS_CHECK(IsReady(id)) << "evicting unknown node " << id;
     leaving.insert(id);
     ready_.erase(id);
+    silenced_.erase(id);
+    detector_.Unregister(id);
     control_log_.Record(ControlMessage::kEvictionSignal);
   }
   if (leaving.empty()) {
@@ -377,6 +394,8 @@ int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
     PROTEUS_CHECK(IsReady(id)) << "failing unknown node " << id;
     dead.insert(id);
     ready_.erase(id);
+    silenced_.erase(id);
+    detector_.Unregister(id);
     for (const auto& [part, server] : roles_.server) {
       if (server == id) {
         if (roles_.UsesBackups()) {
@@ -448,6 +467,15 @@ int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
   }
   RebuildClockTable();
   return lost_clocks;
+}
+
+void AgileMLRuntime::SetNodeSilent(NodeId id, bool silent) {
+  if (!silent) {
+    silenced_.erase(id);
+    return;
+  }
+  PROTEUS_CHECK(IsReady(id)) << "silencing unknown node " << id;
+  silenced_.insert(id);
 }
 
 void AgileMLRuntime::CheckpointReliable() {
@@ -768,6 +796,66 @@ IterationReport AgileMLRuntime::RunClock() {
                      {"pull_bytes", static_cast<std::int64_t>(pull_bytes)},
                      {"push_bytes", static_cast<std::int64_t>(push_bytes)},
                      {"stall", report.stall}});
+  }
+
+  // --- Heartbeat / lease failure detection ---
+  // Runs after the clock has fully advanced, so a detector-driven
+  // rollback keeps the progress-accounting invariant: clock_ + lost
+  // advances by exactly one per RunClock, with the rollback delta moved
+  // to the lost side.
+  if (config_.detector.enabled) {
+    std::int64_t beats = 0;
+    for (const NodeId id : ready_) {
+      if (silenced_.count(id) > 0) {
+        continue;  // Gray-failed: control plane cut, no lease renewal.
+      }
+      if (detector_.Heartbeat(id, clock_)) {
+        // The node was under suspicion and came back: a false positive.
+        if (detector_false_positives_counter_ != nullptr) {
+          detector_false_positives_counter_->Increment();
+        }
+        if (tracer_ != nullptr) {
+          tracer_->InstantAt(total_time_, "detector.recovered", "agileml",
+                             {{"node", static_cast<std::int64_t>(id)},
+                              {"clock", static_cast<std::int64_t>(clock_)}});
+        }
+      }
+      ++beats;
+    }
+    if (beats > 0) {
+      control_log_.Record(ControlMessage::kHeartbeat, beats);
+    }
+    const FailureDetectorReport fd = detector_.Poll(clock_);
+    for (const NodeId id : fd.newly_suspected) {
+      control_log_.Record(ControlMessage::kSuspicionNotice);
+      if (detector_suspicions_counter_ != nullptr) {
+        detector_suspicions_counter_->Increment();
+      }
+      if (tracer_ != nullptr) {
+        tracer_->InstantAt(total_time_, "detector.suspected", "agileml",
+                           {{"node", static_cast<std::int64_t>(id)},
+                            {"clock", static_cast<std::int64_t>(clock_)}});
+      }
+    }
+    if (!fd.confirmed_dead.empty()) {
+      for (const ConfirmedDeath& death : fd.confirmed_dead) {
+        report.confirmed_dead.push_back(death.node);
+        silenced_.erase(death.node);
+        if (detector_confirmed_counter_ != nullptr) {
+          detector_confirmed_counter_->Increment();
+        }
+        if (detector_latency_gauge_ != nullptr) {
+          detector_latency_gauge_->Set(static_cast<double>(death.missed_clocks));
+        }
+        if (tracer_ != nullptr) {
+          tracer_->InstantAt(total_time_, "detector.confirmed_dead", "agileml",
+                             {{"node", static_cast<std::int64_t>(death.node)},
+                              {"missed_clocks", death.missed_clocks},
+                              {"clock", static_cast<std::int64_t>(clock_)}});
+        }
+      }
+      Fail(report.confirmed_dead);
+    }
   }
 
   IncorporateReady();

@@ -28,6 +28,7 @@
 #include "src/agileml/cluster.h"
 #include "src/agileml/control_plane.h"
 #include "src/agileml/data_assignment.h"
+#include "src/agileml/failure_detector.h"
 #include "src/agileml/roles.h"
 #include "src/common/thread_pool.h"
 #include "src/common/types.h"
@@ -81,6 +82,11 @@ struct AgileMLConfig {
   // accounting to coalesced delta batches).
   ModelOptions model;
   RolePlannerConfig planner;
+  // Heartbeat/lease failure detection (off by default; when enabled,
+  // every ready node renews its lease each clock and silently hung
+  // nodes are confirmed dead — and Fail()ed internally — after
+  // detector.confirm_after missed clocks).
+  FailureDetectorConfig detector;
   std::uint64_t seed = 1;
   // Run per-node work on a thread pool (true) or sequentially (for
   // deterministic tests).
@@ -101,6 +107,10 @@ struct IterationReport {
   SimDuration stall = 0.0;
   Stage stage = Stage::kStage1;
   int worker_nodes = 0;
+  // Nodes the failure detector confirmed dead (and Fail()ed) at the end
+  // of this clock — external drivers mirroring membership (the chaos
+  // harness) use this to forget them.
+  std::vector<NodeId> confirmed_dead;
 };
 
 class AgileMLRuntime {
@@ -136,6 +146,15 @@ class AgileMLRuntime {
   // Returns the number of lost clocks that will be re-done.
   int Fail(const std::vector<NodeId>& node_ids);
 
+  // Gray failure: the node stops participating in the control plane
+  // (its heartbeats cease) while its compute keeps running, as with a
+  // silently hung or blackholed process. With the detector enabled the
+  // node is suspected and, after detector.confirm_after missed clocks,
+  // confirmed dead and Fail()ed internally — no external Fail() call.
+  // Silencing requires the node be ready; clearing is always allowed.
+  void SetNodeSilent(NodeId id, bool silent);
+  bool IsSilencedNode(NodeId id) const { return silenced_.count(id) > 0; }
+
   // Checkpoint of the reliable tier (§3.3: insures against reliable-node
   // failure; free in stage 3 because reliable nodes run no workers).
   void CheckpointReliable();
@@ -164,6 +183,7 @@ class AgileMLRuntime {
   const std::vector<NodeInfo>& nodes() const { return nodes_; }
   // Controller-to-node notification counts (see control_plane.h).
   const ControlPlaneLog& control_log() const { return control_log_; }
+  const FailureDetector& failure_detector() const { return detector_; }
   void ResetControlLog() { control_log_.Reset(); }
   std::vector<NodeInfo> ReadyNodes() const;
   TierCounts ReadyTierCounts() const;
@@ -227,6 +247,9 @@ class AgileMLRuntime {
   std::set<NodeId> ready_;
   std::map<NodeId, std::uint64_t> preparing_;  // Remaining preload bytes.
 
+  FailureDetector detector_;
+  std::set<NodeId> silenced_;  // Ready nodes with heartbeats cut.
+
   ControlPlaneLog control_log_;
   std::vector<QueuedTransfer> queued_;
   std::optional<Checkpoint> checkpoint_;
@@ -259,6 +282,10 @@ class AgileMLRuntime {
   obs::Counter* stall_seconds_counter_ = nullptr;
   obs::Gauge* backup_lag_gauge_ = nullptr;
   obs::Gauge* worker_nodes_gauge_ = nullptr;
+  obs::Counter* detector_suspicions_counter_ = nullptr;
+  obs::Counter* detector_confirmed_counter_ = nullptr;
+  obs::Counter* detector_false_positives_counter_ = nullptr;
+  obs::Gauge* detector_latency_gauge_ = nullptr;
   obs::Histogram* clock_duration_hist_ = nullptr;
 
   std::unique_ptr<ThreadPool> pool_;

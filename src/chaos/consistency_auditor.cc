@@ -38,6 +38,7 @@ void ConsistencyAuditor::ObserveClock() {
   CheckBackupLag();
   CheckProgressAccounting();
   CheckMembership();
+  CheckDetector();
   prev_clock_ = runtime_->clock();
   prev_lost_ = runtime_->lost_clocks_total();
   has_prev_ = true;
@@ -189,15 +190,55 @@ void ConsistencyAuditor::CheckMembership() {
   }
 }
 
+void ConsistencyAuditor::CheckDetector() {
+  const FailureDetector& detector = runtime_->failure_detector();
+  if (!detector.config().enabled) {
+    return;
+  }
+  // The lease table must track exactly the ready set: a ready node the
+  // detector has forgotten can die without anyone noticing, and a
+  // tracked ghost would eventually be "confirmed dead" and Fail()ed.
+  std::set<NodeId> ready;
+  for (const NodeInfo& node : runtime_->ReadyNodes()) {
+    ready.insert(node.id);
+  }
+  for (const NodeId node : detector.Tracked()) {
+    if (ready.erase(node) == 0) {
+      std::ostringstream out;
+      out << "detector tracks non-ready node " << node;
+      Add("detector-bound", out.str());
+    }
+  }
+  for (const NodeId node : ready) {
+    std::ostringstream out;
+    out << "ready node " << node << " untracked by the detector";
+    Add("detector-bound", out.str());
+  }
+  // Suspected nodes must resolve (recover or be confirmed) within the
+  // configured bound: the runtime polls every clock, so any survivor's
+  // missed count stays strictly below confirm_after.
+  for (const NodeId node : detector.Suspected()) {
+    const std::int64_t missed = runtime_->clock() - detector.LastHeartbeat(node);
+    if (missed >= detector.config().confirm_after) {
+      std::ostringstream out;
+      out << "node " << node << " suspected for " << missed
+          << " clocks, past the confirm bound " << detector.config().confirm_after;
+      Add("detector-bound", out.str());
+    }
+  }
+}
+
 void ConsistencyAuditor::ObserveChannel(const Channel& channel, const std::string& name) {
   const std::uint64_t accounted = channel.messages_delivered() +
                                   channel.messages_dropped() +
-                                  static_cast<std::uint64_t>(channel.pending());
+                                  static_cast<std::uint64_t>(channel.pending()) -
+                                  channel.messages_duplicated();
   if (channel.messages_sent() != accounted) {
     std::ostringstream out;
     out << "channel " << name << ": sent " << channel.messages_sent()
         << " != delivered " << channel.messages_delivered() << " + dropped "
-        << channel.messages_dropped() << " + pending " << channel.pending();
+        << channel.messages_dropped() << " + pending " << channel.pending()
+        << " - duplicated " << channel.messages_duplicated();
     Add("channel-conservation", out.str());
   }
 }

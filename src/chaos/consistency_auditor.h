@@ -22,8 +22,15 @@
 //   6. Membership: ready and preparing sets partition the node list and
 //      the reliable tier is never empty (§4.2).
 //   7. Channel conservation (optional, per channel): every message sent
-//      is delivered, dropped, or still pending — the fault hook may lose
-//      messages, but never unaccountably.
+//      is delivered, dropped, or still pending, net of fault-injected
+//      duplicate copies (sent == delivered + dropped + pending -
+//      duplicated_extras) — the fault hook may lose or clone messages,
+//      but never unaccountably.
+//   8. Detector bound (when the failure detector is enabled): the
+//      detector tracks exactly the ready set, and every suspected node
+//      either recovers (lease renewed) or is confirmed dead and rolled
+//      back within confirm_after clocks — no node lingers suspected past
+//      the configured bound.
 #ifndef SRC_CHAOS_CONSISTENCY_AUDITOR_H_
 #define SRC_CHAOS_CONSISTENCY_AUDITOR_H_
 
@@ -76,6 +83,7 @@ class ConsistencyAuditor {
   void CheckBackupLag();
   void CheckProgressAccounting();
   void CheckMembership();
+  void CheckDetector();
 
   const AgileMLRuntime* runtime_;
   obs::Tracer* tracer_ = nullptr;

@@ -21,6 +21,12 @@ const char* FaultClassName(FaultClass cls) {
       return "transient-wipeout";
     case FaultClass::kControlPlaneChaos:
       return "control-plane-chaos";
+    case FaultClass::kSilentHang:
+      return "silent-hang";
+    case FaultClass::kBlackhole:
+      return "blackhole";
+    case FaultClass::kDuplicate:
+      return "duplicate";
   }
   return "?";
 }
@@ -30,9 +36,9 @@ FaultInjector::FaultInjector(std::uint64_t seed, FaultScheduleConfig config)
   PROTEUS_CHECK_GE(config_.horizon, 4);
   PROTEUS_CHECK_GE(config_.events, 0);
   PROTEUS_CHECK_GE(config_.zones, 1);
-  // The first six events cycle through a shuffled permutation of the
-  // classes so every schedule with >= 6 events mixes all of them; the
-  // rest are drawn uniformly.
+  // The first kNumFaultClasses events cycle through a shuffled
+  // permutation of the classes so every schedule with >= kNumFaultClasses
+  // events mixes all of them; the rest are drawn uniformly.
   std::vector<FaultClass> classes;
   for (int c = 0; c < kNumFaultClasses; ++c) {
     classes.push_back(static_cast<FaultClass>(c));
@@ -56,6 +62,18 @@ FaultInjector::FaultInjector(std::uint64_t seed, FaultScheduleConfig config)
         break;
       case FaultClass::kControlPlaneChaos:
         event.magnitude = static_cast<int>(rng_.UniformInt(50, 300));  // Permille.
+        break;
+      case FaultClass::kSilentHang:
+        // Hang duration in clocks. Short hangs recover before the
+        // detector's confirm bound (false-positive bait); long ones are
+        // indistinguishable from death and get rolled back.
+        event.magnitude = static_cast<int>(rng_.UniformInt(1, 5));
+        break;
+      case FaultClass::kBlackhole:
+        event.magnitude = static_cast<int>(rng_.UniformInt(1, 2));  // Victims.
+        break;
+      case FaultClass::kDuplicate:
+        event.magnitude = static_cast<int>(rng_.UniformInt(100, 400));  // Permille.
         break;
       case FaultClass::kReliableFailure:
       case FaultClass::kTransientWipeout:
@@ -81,22 +99,51 @@ std::vector<FaultEvent> FaultInjector::EventsAt(Clock clock) const {
 }
 
 ChannelFaultHook FaultInjector::MakeChannelFaultHook(int drop_permille) {
-  const double p = std::clamp(drop_permille / 1000.0, 0.0, 0.9);
+  LinkFaultProfile profile;
+  profile.drop_permille = drop_permille;
+  profile.delay_permille = drop_permille;
+  return MakeLinkFaultHook(profile);
+}
+
+ChannelFaultHook FaultInjector::MakeLinkFaultHook(const LinkFaultProfile& profile) {
+  // Bands are stacked on one uniform die per message; the total loss
+  // probability is capped so the link stays usable.
+  const double drop = std::clamp(profile.drop_permille / 1000.0, 0.0, 0.9);
+  const double delay =
+      std::clamp(profile.delay_permille / 1000.0, 0.0, std::max(0.0, 0.9 - drop));
+  const double dup = std::clamp(profile.dup_permille / 1000.0, 0.0, 1.0 - drop - delay);
+  const int copies_max = std::max(2, profile.dup_copies_max);
+  const int bh_every = std::max(0, profile.blackhole_every);
+  const int bh_len = std::max(0, profile.blackhole_len);
   // Each hook gets an independent deterministic stream so installing a
   // new hook mid-run does not disturb the injector's own draws.
   auto hook_rng = std::make_shared<Rng>(seed_ ^ (0xC4A05F1ULL + static_cast<std::uint64_t>(
                                                                     ++hooks_made_) *
                                                                     0x9E3779B97F4A7C15ULL));
-  return [hook_rng, p](const Message&) -> ChannelFault {
+  auto message_index = std::make_shared<std::uint64_t>(0);
+  return [hook_rng, message_index, drop, delay, dup, copies_max, bh_every,
+          bh_len](const Message&) -> ChannelFault {
+    const std::uint64_t index = (*message_index)++;
+    // The die is rolled unconditionally so the downstream schedule does
+    // not depend on whether a blackhole window swallowed this message.
     const double dice = hook_rng->Uniform();
-    if (dice < p) {
-      return {ChannelFault::Action::kDrop, 0};
+    if (bh_every > 0 && bh_len > 0 &&
+        index % static_cast<std::uint64_t>(bh_every) <
+            static_cast<std::uint64_t>(bh_len)) {
+      return {ChannelFault::Action::kDrop, 0, 0};
     }
-    if (dice < 2 * p) {
+    if (dice < drop) {
+      return {ChannelFault::Action::kDrop, 0, 0};
+    }
+    if (dice < drop + delay) {
       return {ChannelFault::Action::kDelay,
-              static_cast<int>(hook_rng->UniformInt(1, 4))};
+              static_cast<int>(hook_rng->UniformInt(1, 4)), 0};
     }
-    return {ChannelFault::Action::kDeliver, 0};
+    if (dice < drop + delay + dup) {
+      return {ChannelFault::Action::kDuplicate, 0,
+              static_cast<int>(hook_rng->UniformInt(2, copies_max))};
+    }
+    return {ChannelFault::Action::kDeliver, 0, 0};
   };
 }
 

@@ -5,7 +5,7 @@
 // loss, and total transient wipeouts. The seeded FaultInjector turns
 // those into composable adversarial schedules: given a seed it produces
 // the same sequence of fault events every time, so a failing soak run
-// can be replayed exactly. Six fault classes are generated:
+// can be replayed exactly. Nine fault classes are generated:
 //
 //   kZoneMassEviction   correlated warned eviction of every allocation
 //                       in one zone (spot price spike takes the zone)
@@ -19,10 +19,19 @@
 //                       the stage-3 -> stage-1 fallback
 //   kControlPlaneChaos  control-plane messages are dropped/delayed via
 //                       the Channel fault hook
+//   kSilentHang         a node's control plane hangs without any
+//                       announcement: heartbeats stop while compute
+//                       keeps running, then the node recovers a few
+//                       clocks later (detector false-positive bait)
+//   kBlackhole          a node's control plane goes permanently dark —
+//                       the unannounced spot termination; only the
+//                       failure detector can notice
+//   kDuplicate          the control channel delivers extra copies of
+//                       messages (duplication, on top of drop/delay)
 //
 // A schedule with >= kNumFaultClasses events is guaranteed to contain
-// every class at least once (the first six draws cycle through a
-// shuffled permutation of the classes).
+// every class at least once (the first kNumFaultClasses draws cycle
+// through a shuffled permutation of the classes).
 #ifndef SRC_CHAOS_FAULT_INJECTOR_H_
 #define SRC_CHAOS_FAULT_INJECTOR_H_
 
@@ -42,9 +51,12 @@ enum class FaultClass : int {
   kReliableFailure = 3,
   kTransientWipeout = 4,
   kControlPlaneChaos = 5,
+  kSilentHang = 6,
+  kBlackhole = 7,
+  kDuplicate = 8,
 };
 
-inline constexpr int kNumFaultClasses = 6;
+inline constexpr int kNumFaultClasses = 9;
 
 const char* FaultClassName(FaultClass cls);
 
@@ -52,15 +64,32 @@ struct FaultEvent {
   FaultClass cls = FaultClass::kZoneMassEviction;
   Clock at_clock = 0;  // Fires at the boundary before this clock runs.
   // Class-specific knob: zone index (mass eviction), node count
-  // (preparing eviction / mid-sync failure), or drop intensity permille
-  // (control-plane chaos).
+  // (preparing eviction / mid-sync failure / blackhole), drop intensity
+  // permille (control-plane chaos), duplication permille (duplicate),
+  // or hang duration in clocks (silent hang).
   int magnitude = 1;
 };
 
 struct FaultScheduleConfig {
   Clock horizon = 40;  // Clocks the schedule spans.
-  int events = 8;      // Fault events to generate (>= 6 covers all classes).
+  // Fault events to generate (>= kNumFaultClasses covers all classes).
+  int events = 8;
   int zones = 3;       // Zones allocations are spread over.
+};
+
+// Lossy-link profile for a control channel: every Send() rolls one die
+// and lands in the drop / delay / duplicate band (in that order), and
+// message-index-based blackhole windows drop everything for
+// `blackhole_len` consecutive sends every `blackhole_every` (0 =
+// disabled). One die per message keeps the schedule replayable and
+// independent of which bands are enabled.
+struct LinkFaultProfile {
+  int drop_permille = 0;
+  int delay_permille = 0;
+  int dup_permille = 0;
+  int dup_copies_max = 3;  // Duplicates deliver 2..dup_copies_max copies.
+  int blackhole_every = 0;
+  int blackhole_len = 0;
 };
 
 class FaultInjector {
@@ -77,6 +106,11 @@ class FaultInjector {
   // `drop_permille` of messages are lost and an equal share delayed by
   // 1-4 polls; the hook owns its own Rng stream derived from the seed.
   ChannelFaultHook MakeChannelFaultHook(int drop_permille);
+
+  // General lossy-link hook: drop + delay + duplicate bands plus
+  // periodic blackhole windows, per LinkFaultProfile. Same independent
+  // per-hook Rng stream scheme as MakeChannelFaultHook.
+  ChannelFaultHook MakeLinkFaultHook(const LinkFaultProfile& profile);
 
   // Seeded stream for the harness's victim-picking decisions.
   Rng& rng() { return rng_; }

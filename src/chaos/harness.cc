@@ -42,6 +42,17 @@ std::vector<NodeInfo> InitialNodes(const ChaosConfig& config) {
   return nodes;
 }
 
+// The silent-hang and blackhole fault classes are only observable
+// through the heartbeat detector, so chaos runs always arm it.
+ChaosConfig NormalizeConfig(ChaosConfig config) {
+  if (!config.agileml.detector.enabled) {
+    config.agileml.detector.enabled = true;
+    config.agileml.detector.suspect_after = 1;
+    config.agileml.detector.confirm_after = 3;
+  }
+  return config;
+}
+
 }  // namespace
 
 std::uint64_t ChaosRunResult::Digest() const {
@@ -62,13 +73,17 @@ std::uint64_t ChaosRunResult::Digest() const {
   h = HashCombine(h, control_delivered);
   h = HashCombine(h, control_dropped);
   h = HashCombine(h, control_pending);
+  h = HashCombine(h, control_duplicated);
   h = HashCombine(h, HashString(control_log_summary));
+  h = HashCombine(h, detector_suspicions);
+  h = HashCombine(h, detector_confirmed_dead);
+  h = HashCombine(h, detector_false_positives);
   return h;
 }
 
 ChaosHarness::ChaosHarness(MLApp* app, ChaosConfig config)
     : app_(app),
-      config_(std::move(config)),
+      config_(NormalizeConfig(std::move(config))),
       injector_(config_.seed, config_.schedule),
       runtime_(std::make_unique<AgileMLRuntime>(app_, config_.agileml,
                                                 InitialNodes(config_))),
@@ -289,6 +304,64 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
       control_channel_.SetFaultHook(injector_.MakeChannelFaultHook(event.magnitude));
       return true;
     }
+    case FaultClass::kSilentHang: {
+      // One ready transient node stops heartbeating but keeps computing
+      // (a gray failure: the control plane is cut, the data plane is
+      // not). It resumes after `magnitude` clocks — short hangs recover
+      // as counted false positives, long ones get confirmed dead first.
+      std::vector<NodeId> ready = ReadyTransientIds();
+      ready.erase(std::remove_if(ready.begin(), ready.end(),
+                                 [this](NodeId id) {
+                                   return silenced_cause_.count(id) > 0;
+                                 }),
+                  ready.end());
+      if (ready.empty()) {
+        return false;
+      }
+      // Prefer ActivePS hosts: a confirmed death there forces a rollback.
+      std::stable_sort(ready.begin(), ready.end(), [this](NodeId a, NodeId b) {
+        const auto& actives = runtime_->roles().active_ps_nodes;
+        return actives.count(a) > actives.count(b);
+      });
+      const NodeId victim = ready.front();
+      runtime_->SetNodeSilent(victim, true);
+      silenced_cause_[victim] = FaultClass::kSilentHang;
+      silent_resume_[victim] = boundary_ + event.magnitude;
+      return true;
+    }
+    case FaultClass::kBlackhole: {
+      // Up to `magnitude` ready transient nodes fall off the network for
+      // good — no eviction notice, no Fail() call, no resume. Only the
+      // detector ever learns about them.
+      std::vector<NodeId> ready = ReadyTransientIds();
+      ready.erase(std::remove_if(ready.begin(), ready.end(),
+                                 [this](NodeId id) {
+                                   return silenced_cause_.count(id) > 0;
+                                 }),
+                  ready.end());
+      if (ready.empty()) {
+        return false;
+      }
+      std::stable_sort(ready.begin(), ready.end(), [this](NodeId a, NodeId b) {
+        const auto& actives = runtime_->roles().active_ps_nodes;
+        return actives.count(a) > actives.count(b);
+      });
+      const std::size_t count =
+          std::min<std::size_t>(ready.size(), static_cast<std::size_t>(event.magnitude));
+      for (std::size_t i = 0; i < count; ++i) {
+        runtime_->SetNodeSilent(ready[i], true);
+        silenced_cause_[ready[i]] = FaultClass::kBlackhole;
+      }
+      return true;
+    }
+    case FaultClass::kDuplicate: {
+      // The control link starts cloning frames; conservation must hold
+      // net of the extra copies and the controller must stay idempotent.
+      LinkFaultProfile profile;
+      profile.dup_permille = event.magnitude;
+      control_channel_.SetFaultHook(injector_.MakeLinkFaultHook(profile));
+      return true;
+    }
   }
   return false;
 }
@@ -296,7 +369,26 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
 ChaosRunResult ChaosHarness::Run() {
   ChaosRunResult result;
   for (Clock boundary = 0; boundary < config_.schedule.horizon; ++boundary) {
-    std::vector<FaultClass> applied;
+    boundary_ = boundary;
+    // Detector-driven rollbacks happened inside the previous RunClock;
+    // their forced transfers stall this clock, so the class carries over
+    // into this boundary's stall attribution.
+    std::vector<FaultClass> applied = std::move(carryover_classes_);
+    carryover_classes_.clear();
+
+    // Silent-hang victims whose hang has elapsed resume heartbeating —
+    // unless the detector already confirmed them dead (handled below) or
+    // an overlapping fault removed them (SetNodeSilent(false) is then a
+    // harmless no-op).
+    for (auto it = silent_resume_.begin(); it != silent_resume_.end();) {
+      if (it->second <= boundary) {
+        runtime_->SetNodeSilent(it->first, false);
+        silenced_cause_.erase(it->first);
+        it = silent_resume_.erase(it);
+      } else {
+        ++it;
+      }
+    }
 
     // Revocations registered by a preparing-eviction event land now,
     // while (typically) the nodes are still preloading.
@@ -365,8 +457,47 @@ ChaosRunResult ChaosHarness::Run() {
       AddAllocation(zone, config_.nodes_per_allocation);
     }
 
+    const int lost_before_clock = runtime_->lost_clocks_total();
+    const std::int64_t notices_before_clock =
+        runtime_->control_log().NotificationTotal();
     const IterationReport report = runtime_->RunClock();
     ++result.clocks_run;
+
+    if (!report.confirmed_dead.empty()) {
+      // The detector confirmed silent nodes dead inside RunClock and the
+      // runtime already rolled back / recovered. Attribute the rollback
+      // and the suspicion notices to the fault class that silenced each
+      // victim; the recovery stall lands on the next clock (carryover).
+      const int lost_delta = runtime_->lost_clocks_total() - lost_before_clock;
+      const std::int64_t notice_delta =
+          runtime_->control_log().NotificationTotal() - notices_before_clock;
+      std::vector<FaultClass> causes;
+      for (const NodeId node : report.confirmed_dead) {
+        const auto it = silenced_cause_.find(node);
+        causes.push_back(it != silenced_cause_.end() ? it->second
+                                                     : FaultClass::kBlackhole);
+        silenced_cause_.erase(node);
+        silent_resume_.erase(node);
+      }
+      // One RunClock performs at most one rollback, so the whole delta
+      // goes to the first victim's class; every class still shares the
+      // next clock's stall.
+      auto& first_stats = result.per_class[static_cast<std::size_t>(causes.front())];
+      first_stats.lost_clocks += lost_delta;
+      first_stats.control_messages += notice_delta;
+      for (const FaultClass cause : causes) {
+        carryover_classes_.push_back(cause);
+      }
+      ForgetNodes(report.confirmed_dead);
+      if (tracer_ != nullptr) {
+        tracer_->InstantAt(
+            runtime_->total_time(), "fault.confirmed_dead", "chaos",
+            {{"victims", static_cast<std::int64_t>(report.confirmed_dead.size())},
+             {"lost_clocks", static_cast<std::int64_t>(lost_delta)},
+             {"boundary", static_cast<std::int64_t>(boundary)}});
+      }
+    }
+
     if (!applied.empty()) {
       // Forced-transfer stall of the recovery clock, split across the
       // fault classes that caused it.
@@ -407,7 +538,12 @@ ChaosRunResult ChaosHarness::Run() {
   result.control_delivered = control_channel_.messages_delivered();
   result.control_dropped = control_channel_.messages_dropped();
   result.control_pending = control_channel_.pending();
+  result.control_duplicated = control_channel_.messages_duplicated();
   result.control_log_summary = runtime_->control_log().Summary();
+  const FailureDetector& detector = runtime_->failure_detector();
+  result.detector_suspicions = detector.suspicions();
+  result.detector_confirmed_dead = detector.confirmations();
+  result.detector_false_positives = detector.false_positives();
   return result;
 }
 

@@ -44,6 +44,10 @@ struct ChaosConfig {
   int checkpoint_every = 5;
   std::uint64_t seed = 1;
 };
+// Note: the harness always arms the runtime's failure detector (the
+// silent-hang and blackhole fault classes are only observable through
+// it); a disabled agileml.detector is enabled with suspect_after=1,
+// confirm_after=3.
 
 // Recovery overhead attributed to one fault class across a run.
 struct FaultClassStats {
@@ -66,7 +70,12 @@ struct ChaosRunResult {
   std::uint64_t control_delivered = 0;
   std::uint64_t control_dropped = 0;
   std::uint64_t control_pending = 0;
+  std::uint64_t control_duplicated = 0;  // Fault-injected extra copies.
   std::string control_log_summary;
+  // Failure-detector accounting (silent hangs / blackholes).
+  std::uint64_t detector_suspicions = 0;
+  std::uint64_t detector_confirmed_dead = 0;
+  std::uint64_t detector_false_positives = 0;
 
   bool ok() const { return violations.empty(); }
   // Order-sensitive fingerprint of every numeric field; equal digests
@@ -132,6 +141,18 @@ class ChaosHarness {
   // Allocations added by a preparing-eviction event, to be revoked at
   // the next clock boundary (mid-preload).
   std::vector<AllocationId> pending_preload_evictions_;
+  // Boundary currently being processed (so Apply can schedule resumes).
+  Clock boundary_ = 0;
+  // Silent-hang victims and the boundary at which they resume
+  // heartbeating (if still alive); blackholed nodes never appear here.
+  std::map<NodeId, Clock> silent_resume_;
+  // Which fault class silenced each node, for loss attribution when the
+  // detector confirms it dead.
+  std::map<NodeId, FaultClass> silenced_cause_;
+  // Fault classes whose detector-driven rollback happened inside the
+  // previous RunClock: their forced transfers stall the next clock, so
+  // the stall share is attributed there.
+  std::vector<FaultClass> carryover_classes_;
 
   // Observability sinks (optional) and per-class fault counters.
   obs::Tracer* tracer_ = nullptr;

@@ -17,8 +17,10 @@ void Fabric::AddNode(NodeId node) {
 
 void Fabric::RemoveNode(NodeId node) {
   auto it = traffic_.find(node);
-  PROTEUS_CHECK(it != traffic_.end()) << "node " << node << " not present";
-  traffic_.erase(it);
+  PROTEUS_DCHECK(it != traffic_.end()) << "node " << node << " not present";
+  if (it != traffic_.end()) {
+    traffic_.erase(it);
+  }
 }
 
 bool Fabric::HasNode(NodeId node) const { return traffic_.find(node) != traffic_.end(); }
@@ -103,9 +105,10 @@ NodeId Fabric::RoundBottleneckNode() const {
 }
 
 const NodeTraffic& Fabric::Traffic(NodeId node) const {
+  static const NodeTraffic kEmpty;
   auto it = traffic_.find(node);
-  PROTEUS_CHECK(it != traffic_.end()) << "unknown node " << node;
-  return it->second;
+  PROTEUS_DCHECK(it != traffic_.end()) << "unknown node " << node;
+  return it != traffic_.end() ? it->second : kEmpty;
 }
 
 std::uint64_t Fabric::RoundTotalBytes() const {

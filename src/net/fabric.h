@@ -49,6 +49,10 @@ class Fabric {
   explicit Fabric(double nic_bandwidth_bps = 1.25e8);
 
   void AddNode(NodeId node);
+  // Removing an unknown node is a DCHECK'd no-op: with detector-driven
+  // removal a node can be confirmed dead (and removed) concurrently
+  // with an announced eviction for the same allocation, so removal must
+  // be idempotent mid-round.
   void RemoveNode(NodeId node);
   bool HasNode(NodeId node) const;
 
@@ -78,6 +82,10 @@ class Fabric {
   // Node attaining the max (kInvalidNode when no traffic).
   NodeId RoundBottleneckNode() const;
 
+  // Unknown lookups return a static empty NodeTraffic under
+  // PROTEUS_DCHECK rather than crashing (or worse, inserting): chaos
+  // paths can legitimately ask about a node that was just confirmed
+  // dead and removed mid-round.
   const NodeTraffic& Traffic(NodeId node) const;
   std::uint64_t RoundTotalBytes() const;
 

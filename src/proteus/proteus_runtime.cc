@@ -21,6 +21,10 @@ ProteusRuntime::ProteusRuntime(MLApp* app, const InstanceTypeCatalog* catalog,
       now_(start),
       next_decision_(start) {
   PROTEUS_CHECK(app_ != nullptr);
+  if (config_.silent_failure_fraction > 0) {
+    PROTEUS_CHECK(config_.agileml.detector.enabled)
+        << "silent failures need the heartbeat detector to be caught";
+  }
   if (config_.on_demand_zone.empty()) {
     config_.on_demand_zone = traces->Keys().front().zone;
   }
@@ -223,8 +227,26 @@ void ProteusRuntime::ProcessMarketEventsUntil(SimTime until) {
       } else if (*alloc.eviction_time <= until) {
         // The warning was missed (or suppressed): effective failure.
         market_.MarkEvicted(tracked.id);
-        HandleEviction(tracked, /*warned=*/false);
-        erase = true;
+        bool all_ready = !tracked.nodes.empty();
+        for (const NodeId node : tracked.nodes) {
+          all_ready = all_ready && agileml_->IsReadyNode(node);
+        }
+        if (config_.silent_failure_fraction > 0 &&
+            agileml_->failure_detector().config().enabled && all_ready &&
+            rng_.Bernoulli(config_.silent_failure_fraction)) {
+          // Silent termination: no notice is ever sent. The nodes stop
+          // heartbeating (compute keeps running against dead state) and
+          // the allocation stays tracked until the detector confirms
+          // the death inside a later RunClock (see Step()).
+          for (const NodeId node : tracked.nodes) {
+            agileml_->SetNodeSilent(node, true);
+          }
+          tracked.silenced = true;
+          RecordAllocEvent("failed.silent", tracked);
+        } else {
+          HandleEviction(tracked, /*warned=*/false);
+          erase = true;
+        }
         next_decision_ = until;
       }
     }
@@ -238,6 +260,33 @@ void ProteusRuntime::Step() {
     next_decision_ = now_ + config_.decision_period;
   }
   const IterationReport report = agileml_->RunClock();
+  if (!report.confirmed_dead.empty()) {
+    // The detector confirmed silenced nodes dead and the runtime already
+    // rolled back; account the allocation as a (silent) failure now.
+    for (auto it = live_.begin(); it != live_.end();) {
+      TrackedAllocation& tracked = it->second;
+      const bool confirmed =
+          tracked.silenced &&
+          std::any_of(tracked.nodes.begin(), tracked.nodes.end(),
+                      [&report](NodeId node) {
+                        return std::find(report.confirmed_dead.begin(),
+                                         report.confirmed_dead.end(),
+                                         node) != report.confirmed_dead.end();
+                      });
+      if (confirmed) {
+        ++failures_;
+        ++silent_failures_;
+        if (failures_counter_ != nullptr) {
+          failures_counter_->Increment();
+        }
+        RecordAllocEvent("failed.confirmed", tracked,
+                         {{"clock", static_cast<std::int64_t>(agileml_->clock())}});
+        it = live_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
   if (config_.checkpoint_every > 0 &&
       agileml_->clock() % config_.checkpoint_every == 0) {
     agileml_->CheckpointReliable();
@@ -276,6 +325,7 @@ ProteusRunSummary ProteusRuntime::Train(int target_clock) {
   summary.bill = ComputeTotalJobBill(market_, now_);
   summary.evictions = evictions_;
   summary.failures = failures_;
+  summary.silent_failures = silent_failures_;
   summary.acquisitions = acquisitions_;
   summary.aborted_preloads = aborted_preloads_;
   summary.lost_clocks = agileml_->lost_clocks_total();
@@ -294,6 +344,7 @@ ProteusStatus ProteusRuntime::Status() const {
   status.transient_nodes = counts.transient + agileml_->PreparingCount();
   status.evictions = evictions_;
   status.failures = failures_;
+  status.silent_failures = silent_failures_;
   status.acquisitions = acquisitions_;
   status.aborted_preloads = aborted_preloads_;
   status.lost_clocks = agileml_->lost_clocks_total();

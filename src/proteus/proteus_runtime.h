@@ -46,6 +46,13 @@ struct ProteusConfig {
   // Fraction of evictions whose 2-minute warning is missed, turning the
   // eviction into an effective failure handled by rollback (§3.3).
   double effective_failure_fraction = 0.0;
+  // Fraction of *missed-warning* evictions that are additionally silent:
+  // no eviction notice ever reaches the controller — the nodes simply
+  // stop heartbeating, and only the failure detector (which must be
+  // enabled in agileml.detector when this is > 0) notices, confirms
+  // them dead, and triggers the rollback. Models the unannounced spot
+  // terminations the paper's notification path cannot see.
+  double silent_failure_fraction = 0.0;
   // Checkpoint the reliable tier every this many clocks (0 = never).
   // Insures against reliable-node failure; free in stage 3 (§3.3).
   int checkpoint_every = 0;
@@ -61,6 +68,9 @@ struct ProteusStatus {
   int transient_nodes = 0;      // Ready + preparing.
   int evictions = 0;
   int failures = 0;
+  // Subset of `failures` that arrived with no notification at all and
+  // were caught by the heartbeat failure detector.
+  int silent_failures = 0;
   int acquisitions = 0;
   // Allocations revoked before any of their nodes finished preloading;
   // they never joined the computation, so they are not evictions or
@@ -80,6 +90,7 @@ struct ProteusRunSummary {
   JobBill bill;
   int evictions = 0;
   int failures = 0;
+  int silent_failures = 0;  // Detector-caught subset of `failures`.
   int acquisitions = 0;
   int aborted_preloads = 0;
   int lost_clocks = 0;
@@ -140,6 +151,9 @@ class ProteusRuntime {
     bool warned = false;       // Eviction warning already handled.
     bool terminating = false;  // Renewal decision said terminate.
     bool active = false;       // At least one node has been incorporated.
+    // Terminated silently: the market took the nodes but no notice was
+    // sent; the entry stays live until the detector confirms the death.
+    bool silenced = false;
     SimTime terminate_at = 0.0;
   };
 
@@ -173,6 +187,7 @@ class ProteusRuntime {
 
   int evictions_ = 0;
   int failures_ = 0;
+  int silent_failures_ = 0;
   int acquisitions_ = 0;
   int aborted_preloads_ = 0;
 

@@ -35,6 +35,18 @@ void Channel::Send(const Message& message) {
         }
         queue_.push_back({std::move(frame), type, std::max(0, fault.delay_polls)});
         return;
+      case ChannelFault::Action::kDuplicate: {
+        const int copies = std::max(1, fault.copies);
+        messages_duplicated_ += static_cast<std::uint64_t>(copies - 1);
+        if (obs::Counter* c = duplicated_counters_.For(type)) {
+          c->Add(static_cast<std::uint64_t>(copies - 1));
+        }
+        for (int i = 1; i < copies; ++i) {
+          queue_.push_back({frame, type, 0});
+        }
+        queue_.push_back({std::move(frame), type, 0});
+        return;
+      }
       case ChannelFault::Action::kDeliver:
         queue_.push_back({std::move(frame), type, 0});
         return;
@@ -77,6 +89,7 @@ void Channel::SetObservability(obs::MetricsRegistry* metrics, const std::string&
   delivered_counters_ = {};
   dropped_counters_ = {};
   delayed_counters_ = {};
+  duplicated_counters_ = {};
   if (metrics == nullptr) {
     return;
   }
@@ -84,7 +97,8 @@ void Channel::SetObservability(obs::MetricsRegistry* metrics, const std::string&
       MessageType::kAppCharacteristics, MessageType::kAllocationRequest,
       MessageType::kAllocationGrant,    MessageType::kEvictionNotice,
       MessageType::kReadParam,          MessageType::kParamValue,
-      MessageType::kUpdateParam,        MessageType::kWorkerReady};
+      MessageType::kUpdateParam,        MessageType::kWorkerReady,
+      MessageType::kShardDelta,         MessageType::kReliableFrame};
   for (const MessageType type : kAllTypes) {
     const obs::Labels labels = {{"channel", name}, {"type", MessageTypeName(type)}};
     const auto idx = static_cast<std::size_t>(type);
@@ -93,6 +107,8 @@ void Channel::SetObservability(obs::MetricsRegistry* metrics, const std::string&
     delivered_counters_.by_type[idx] = metrics->GetCounter("rpc.messages.delivered", labels);
     dropped_counters_.by_type[idx] = metrics->GetCounter("rpc.messages.dropped", labels);
     delayed_counters_.by_type[idx] = metrics->GetCounter("rpc.messages.delayed", labels);
+    duplicated_counters_.by_type[idx] =
+        metrics->GetCounter("rpc.messages.duplicated", labels);
   }
 }
 
@@ -129,6 +145,11 @@ std::uint64_t Channel::messages_dropped() const {
 std::uint64_t Channel::messages_delayed() const {
   std::lock_guard<std::mutex> lock(mu_);
   return messages_delayed_;
+}
+
+std::uint64_t Channel::messages_duplicated() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return messages_duplicated_;
 }
 
 }  // namespace proteus

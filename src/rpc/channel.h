@@ -5,9 +5,10 @@
 // For chaos testing the channel accepts a fault hook: every Send() is
 // routed through it, and the hook may deliver the frame normally, drop
 // it on the floor, or hold it back for a number of Poll() calls
-// (delayed frames can be overtaken, modeling reordering). The counters
-// always satisfy messages_sent == delivered + dropped + pending, which
-// the ConsistencyAuditor checks during chaos soaks.
+// (delayed frames can be overtaken, modeling reordering), or enqueue
+// extra copies (duplication). The counters always satisfy
+// messages_sent == delivered + dropped + pending - duplicated_extras,
+// which the ConsistencyAuditor checks during chaos soaks.
 #ifndef SRC_RPC_CHANNEL_H_
 #define SRC_RPC_CHANNEL_H_
 
@@ -27,12 +28,14 @@ namespace proteus {
 // What the fault hook decided to do with one outgoing message.
 struct ChannelFault {
   enum class Action {
-    kDeliver,  // Enqueue normally.
-    kDrop,     // Lose the frame; it never becomes pending.
-    kDelay,    // Enqueue but withhold for `delay_polls` Poll() calls.
+    kDeliver,    // Enqueue normally.
+    kDrop,       // Lose the frame; it never becomes pending.
+    kDelay,      // Enqueue but withhold for `delay_polls` Poll() calls.
+    kDuplicate,  // Enqueue `copies` identical frames (copies >= 1).
   };
   Action action = Action::kDeliver;
   int delay_polls = 0;
+  int copies = 2;
 };
 
 using ChannelFaultHook = std::function<ChannelFault(const Message&)>;
@@ -61,6 +64,9 @@ class Channel {
   std::uint64_t messages_delivered() const;
   std::uint64_t messages_dropped() const;
   std::uint64_t messages_delayed() const;
+  // Extra copies enqueued beyond the original sends (a kDuplicate fault
+  // with copies == N adds N - 1 here).
+  std::uint64_t messages_duplicated() const;
 
  private:
   struct Entry {
@@ -86,11 +92,13 @@ class Channel {
   TypeCounters delivered_counters_;
   TypeCounters dropped_counters_;
   TypeCounters delayed_counters_;
+  TypeCounters duplicated_counters_;
   std::uint64_t messages_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t messages_delivered_ = 0;
   std::uint64_t messages_dropped_ = 0;
   std::uint64_t messages_delayed_ = 0;
+  std::uint64_t messages_duplicated_ = 0;
 };
 
 }  // namespace proteus

@@ -58,6 +58,17 @@ void EncodeBody(WireWriter& w, const ShardDeltaMsg& m) {
   w.Blob(m.payload);
 }
 
+void EncodeBody(WireWriter& w, const ReliableFrameMsg& m) {
+  w.U32(m.session);
+  w.VarU64(m.seq);
+  w.VarU64(m.cum_ack);
+  w.VarU64(m.sacks.size());
+  for (const std::uint64_t sack : m.sacks) {
+    w.VarU64(sack);
+  }
+  w.Blob(m.payload);
+}
+
 template <typename T>
 std::optional<Message> Finish(WireReader& r, T&& value) {
   if (r.failed() || !r.AtEnd()) {
@@ -131,6 +142,22 @@ std::optional<Message> DecodeBody(MessageType type, WireReader& r) {
       m.payload = r.Blob().value_or(std::vector<std::uint8_t>{});
       return Finish(r, std::move(m));
     }
+    case MessageType::kReliableFrame: {
+      ReliableFrameMsg m;
+      m.session = r.U32().value_or(0);
+      m.seq = r.VarU64().value_or(0);
+      m.cum_ack = r.VarU64().value_or(0);
+      const std::uint64_t count = r.VarU64().value_or(0);
+      if (count > WireReader::kMaxElements) {
+        return std::nullopt;  // Hostile length prefix.
+      }
+      m.sacks.reserve(static_cast<std::size_t>(count));
+      for (std::uint64_t i = 0; i < count && !r.failed(); ++i) {
+        m.sacks.push_back(r.VarU64().value_or(0));
+      }
+      m.payload = r.Blob().value_or(std::vector<std::uint8_t>{});
+      return Finish(r, std::move(m));
+    }
   }
   return std::nullopt;
 }
@@ -156,6 +183,9 @@ MessageType TypeOf(const Message& message) {
     MessageType operator()(const UpdateParamMsg&) const { return MessageType::kUpdateParam; }
     MessageType operator()(const WorkerReadyMsg&) const { return MessageType::kWorkerReady; }
     MessageType operator()(const ShardDeltaMsg&) const { return MessageType::kShardDelta; }
+    MessageType operator()(const ReliableFrameMsg&) const {
+      return MessageType::kReliableFrame;
+    }
   };
   return std::visit(Visitor{}, message);
 }
@@ -180,6 +210,8 @@ const char* MessageTypeName(MessageType type) {
       return "worker_ready";
     case MessageType::kShardDelta:
       return "shard_delta";
+    case MessageType::kReliableFrame:
+      return "reliable_frame";
   }
   return "unknown";
 }
@@ -195,7 +227,7 @@ std::optional<Message> DecodeMessage(std::span<const std::uint8_t> frame) {
   WireReader r(frame);
   const auto tag = r.U8();
   if (!tag.has_value() || *tag < 1 ||
-      *tag > static_cast<std::uint8_t>(MessageType::kShardDelta)) {
+      *tag > static_cast<std::uint8_t>(MessageType::kReliableFrame)) {
     return std::nullopt;
   }
   return DecodeBody(static_cast<MessageType>(*tag), r);

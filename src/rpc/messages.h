@@ -31,6 +31,7 @@ enum class MessageType : std::uint8_t {
   kUpdateParam = 7,
   kWorkerReady = 8,
   kShardDelta = 9,
+  kReliableFrame = 10,
 };
 
 // AgileML -> BidBrain at start-up (§5: "a ZMQ message that specifies
@@ -101,10 +102,25 @@ struct ShardDeltaMsg {
   std::vector<std::uint8_t> payload;
 };
 
+// Reliable-transport envelope (see src/rpc/reliable.h): a sequenced
+// data frame or a pure ack, carried over the raw Channel. `seq == 0`
+// marks an ack-only frame (data sequence numbers start at 1). `cum_ack`
+// acknowledges every sequence number <= it; `sacks` selectively
+// acknowledges received-out-of-order frames above the cumulative point,
+// so the sender can skip retransmitting them. `payload` embeds the
+// encoded inner Message as an opaque blob.
+struct ReliableFrameMsg {
+  std::uint32_t session = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t cum_ack = 0;
+  std::vector<std::uint64_t> sacks;
+  std::vector<std::uint8_t> payload;
+};
+
 using Message =
     std::variant<AppCharacteristicsMsg, AllocationRequestMsg, AllocationGrantMsg,
                  EvictionNoticeMsg, ReadParamMsg, ParamValueMsg, UpdateParamMsg,
-                 WorkerReadyMsg, ShardDeltaMsg>;
+                 WorkerReadyMsg, ShardDeltaMsg, ReliableFrameMsg>;
 
 // Frames (type tag + payload) any message.
 std::vector<std::uint8_t> EncodeMessage(const Message& message);

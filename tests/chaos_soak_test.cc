@@ -1,5 +1,5 @@
 // Chaos soak (ctest label: "soak"): hundreds of seeded adversarial
-// schedules mixing all six fault classes must complete with zero
+// schedules mixing all nine fault classes must complete with zero
 // auditor violations, and same-seed runs must be bit-identical.
 //
 // Run alone with `ctest -L soak`; exclude with `ctest -LE soak`.
@@ -35,7 +35,7 @@ class ChaosSoakTest : public ::testing::Test {
     config.agileml.backup_sync_every = 3;
     config.agileml.seed = seed;
     config.schedule.horizon = 30;
-    config.schedule.events = 8;  // >= 6 guarantees all classes appear.
+    config.schedule.events = 12;  // >= kNumFaultClasses guarantees all classes.
     config.schedule.zones = 3;
     config.seed = seed;
     return config;
@@ -60,7 +60,7 @@ TEST_F(ChaosSoakTest, TwoHundredSchedulesZeroViolations) {
       per_class_applied[c] += result.per_class[static_cast<std::size_t>(c)].events;
     }
   }
-  // The soak only counts as "mixing all six fault classes" if every
+  // The soak only counts as "mixing all nine fault classes" if every
   // class actually fired many times across the corpus.
   for (int c = 0; c < kNumFaultClasses; ++c) {
     EXPECT_GE(per_class_applied[c], kSchedules / 4)

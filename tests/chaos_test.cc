@@ -44,9 +44,9 @@ TEST(FaultInjectorTest, DifferentSeedsDiffer) {
   EXPECT_TRUE(differs);
 }
 
-TEST(FaultInjectorTest, SixOrMoreEventsCoverAllClasses) {
+TEST(FaultInjectorTest, EnoughEventsCoverAllClasses) {
   FaultScheduleConfig config;
-  config.events = 6;
+  config.events = kNumFaultClasses;
   for (std::uint64_t seed = 1; seed <= 20; ++seed) {
     FaultInjector injector(seed, config);
     std::set<FaultClass> seen;

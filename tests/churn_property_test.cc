@@ -9,6 +9,7 @@
 #include "src/agileml/runtime.h"
 #include "src/apps/datasets.h"
 #include "src/apps/mf.h"
+#include "src/chaos/consistency_auditor.h"
 #include "src/common/rng.h"
 
 namespace proteus {
@@ -118,6 +119,95 @@ TEST_P(ChurnPropertyTest, InvariantsSurviveRandomChurn) {
   }
 
   // After all that churn, training still works.
+  const double before = runtime.ComputeObjective();
+  runtime.RunClocks(8);
+  EXPECT_LT(runtime.ComputeObjective(), before);
+}
+
+TEST_P(ChurnPropertyTest, InvariantsSurviveSilentFailuresUnderChurn) {
+  // Same churn soup, but failures are UNANNOUNCED: nodes go silent and
+  // only the heartbeat detector notices. Invariants (and the auditor's
+  // detector bounds) must hold at every clock while suspicions ripen,
+  // nodes are confirmed dead, and short hangs recover.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 104729);
+  AgileMLConfig config;
+  config.num_partitions = 16;
+  config.data_blocks = 128;
+  config.parallel_execution = false;
+  config.backup_sync_every = static_cast<int>(rng.UniformInt(1, 4));
+  config.detector.enabled = true;
+  config.detector.suspect_after = 1;
+  config.detector.confirm_after = static_cast<int>(rng.UniformInt(2, 4));
+
+  std::vector<NodeInfo> initial;
+  const int reliable = static_cast<int>(rng.UniformInt(2, 4));
+  for (NodeId id = 0; id < reliable; ++id) {
+    initial.push_back({id, Tier::kReliable, 8, kInvalidAllocation});
+  }
+  for (NodeId id = 100; id < 104; ++id) {
+    initial.push_back({id, Tier::kTransient, 8, kInvalidAllocation});
+  }
+  AgileMLRuntime runtime(app_.get(), config, initial);
+  ConsistencyAuditor auditor(&runtime);
+  NodeId next_id = 1000;
+  int confirmed_total = 0;
+
+  for (int step = 0; step < 25; ++step) {
+    const double dice = rng.Uniform();
+    std::vector<NodeId> healthy_transient;
+    std::vector<NodeId> silenced;
+    for (const auto& node : runtime.ReadyNodes()) {
+      if (node.reliable()) {
+        continue;
+      }
+      if (runtime.IsSilencedNode(node.id)) {
+        silenced.push_back(node.id);
+      } else {
+        healthy_transient.push_back(node.id);
+      }
+    }
+    if (dice < 0.35 || healthy_transient.empty()) {
+      std::vector<NodeInfo> added;
+      const int count = static_cast<int>(rng.UniformInt(1, 8));
+      for (int i = 0; i < count; ++i) {
+        added.push_back({next_id++, Tier::kTransient, 8, kInvalidAllocation});
+      }
+      runtime.AddNodes(added);
+    } else if (dice < 0.70) {
+      // Silent failure: cut heartbeats on 1-2 healthy transient nodes.
+      rng.Shuffle(healthy_transient);
+      const auto count = std::min<std::size_t>(
+          healthy_transient.size(), static_cast<std::size_t>(rng.UniformInt(1, 2)));
+      for (std::size_t i = 0; i < count; ++i) {
+        runtime.SetNodeSilent(healthy_transient[i], true);
+      }
+    } else if (dice < 0.80 && !silenced.empty()) {
+      // Short hang: one silenced node comes back (false-positive path).
+      runtime.SetNodeSilent(silenced[static_cast<std::size_t>(rng.UniformInt(
+                                0, static_cast<std::int64_t>(silenced.size()) - 1))],
+                            false);
+    } else if (!healthy_transient.empty()) {
+      // Announced eviction still mixes in.
+      rng.Shuffle(healthy_transient);
+      runtime.Evict({healthy_transient[0]});
+    }
+    const int clocks = static_cast<int>(rng.UniformInt(1, 4));
+    for (int c = 0; c < clocks; ++c) {
+      const IterationReport report = runtime.RunClock();
+      confirmed_total += static_cast<int>(report.confirmed_dead.size());
+      auditor.ObserveClock();
+      ASSERT_TRUE(auditor.ok()) << "seed " << GetParam() << " step " << step
+                                << ":\n"
+                                << auditor.Report();
+      CheckInvariants(runtime);
+    }
+  }
+  // The detector actually fired across the run (confirm_after <= 4 and
+  // plenty of permanently silenced nodes guarantee confirmations).
+  EXPECT_GT(confirmed_total + static_cast<int>(runtime.failure_detector().false_positives()), 0)
+      << "churn never exercised the detector";
+
+  // Convergence: silently losing nodes must not poison training.
   const double before = runtime.ComputeObjective();
   runtime.RunClocks(8);
   EXPECT_LT(runtime.ComputeObjective(), before);

@@ -44,8 +44,29 @@ TEST(ControlPlaneLog, SummaryGoldenFormat) {
   EXPECT_EQ(log.Summary(),
             "data-assignment=3, partition-ownership=4, eviction-signal=1, "
             "end-of-life-flag=5, ready-signal=6, stage-switch=2, rollback-notice=8");
+  log.Record(ControlMessage::kHeartbeat, 12);
+  log.Record(ControlMessage::kSuspicionNotice);
+  EXPECT_EQ(log.Summary(),
+            "data-assignment=3, partition-ownership=4, eviction-signal=1, "
+            "end-of-life-flag=5, ready-signal=6, stage-switch=2, rollback-notice=8, "
+            "heartbeat=12, suspicion-notice=1");
   log.Reset();
   EXPECT_EQ(log.Summary(), "none");
+}
+
+TEST(ControlPlaneLog, NotificationTotalExcludesHeartbeats) {
+  // Heartbeats are periodic background traffic, not elasticity
+  // notifications; the paper's "bounded message count" claims are about
+  // the latter, so NotificationTotal() must net heartbeats out.
+  ControlPlaneLog log;
+  EXPECT_EQ(log.NotificationTotal(), 0);
+  log.Record(ControlMessage::kHeartbeat, 50);
+  log.Record(ControlMessage::kStageSwitch);
+  log.Record(ControlMessage::kSuspicionNotice, 2);
+  EXPECT_EQ(log.Total(), 53);
+  EXPECT_EQ(log.NotificationTotal(), 3);  // Suspicion notices DO count.
+  log.Reset();
+  EXPECT_EQ(log.NotificationTotal(), 0);
 }
 
 class ControlPlaneRuntimeTest : public ::testing::Test {

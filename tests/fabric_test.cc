@@ -100,6 +100,49 @@ TEST(Fabric, RemoveNodeDropsAccounting) {
   EXPECT_TRUE(fabric.HasNode(0));
 }
 
+TEST(Fabric, RemoveMidRoundKeepsSurvivorsAccounting) {
+  // Detector-driven removal can yank a node between transfers of the
+  // same round; the survivors' counters must be untouched.
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.AddNode(1);
+  fabric.AddNode(2);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 1, 100);
+  fabric.RecordTransfer(0, 2, 200);
+  fabric.RemoveNode(2);
+  EXPECT_FALSE(fabric.HasNode(2));
+  EXPECT_EQ(fabric.Traffic(0).fg_egress, 300u);
+  EXPECT_EQ(fabric.Traffic(1).fg_ingress, 100u);
+  EXPECT_DOUBLE_EQ(fabric.RoundCommTime(0), 3.0);
+  // The removed node no longer gates the round bottleneck.
+  EXPECT_EQ(fabric.RoundBottleneckNode(), 0);
+}
+
+#ifdef NDEBUG
+// The graceful paths below are DCHECK'd: in Debug builds they abort by
+// design, so only release builds exercise the degraded behavior.
+TEST(Fabric, UnknownTrafficLookupReturnsEmpty) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.BeginRound();
+  fabric.RecordTransfer(0, 0, 100);
+  const NodeTraffic& t = fabric.Traffic(42);
+  EXPECT_EQ(t.fg_egress, 0u);
+  EXPECT_EQ(t.fg_ingress, 0u);
+  EXPECT_FALSE(fabric.HasNode(42));  // Lookup must not insert.
+}
+
+TEST(Fabric, RemoveUnknownNodeIsIdempotent) {
+  Fabric fabric(100.0);
+  fabric.AddNode(0);
+  fabric.RemoveNode(5);  // Never added: no-op.
+  fabric.RemoveNode(0);
+  fabric.RemoveNode(0);  // Double removal: no-op.
+  EXPECT_FALSE(fabric.HasNode(0));
+}
+#endif  // NDEBUG
+
 TEST(Fabric, RoundTotalBytesSumsEgress) {
   Fabric fabric(100.0);
   fabric.AddNode(0);

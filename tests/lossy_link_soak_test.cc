@@ -1,0 +1,94 @@
+// Lossy-link soak (ctest label: "soak"): across a corpus of seeds, the
+// reliable transport must reproduce the fault-free model digest exactly
+// — drops, reorders, duplicates, and blackhole windows all masked —
+// with zero auditor violations, while the same faults over the raw
+// channel keep diverging (proving the corpus is actually adversarial).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/chaos/lossy_link.h"
+
+namespace proteus {
+namespace {
+
+class LossyLinkSoakTest : public ::testing::Test {
+ protected:
+  LossyLinkSoakTest() {
+    RatingsConfig rc;
+    rc.users = 300;
+    rc.items = 150;
+    rc.ratings = 10000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 4;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  LossyLinkConfig Config(std::uint64_t seed) const {
+    LossyLinkConfig config;
+    config.agileml.num_partitions = 8;
+    config.agileml.data_blocks = 64;
+    config.agileml.parallel_execution = false;
+    config.agileml.backup_sync_every = 3;
+    config.agileml.seed = seed;
+    config.horizon = 30;
+    config.command_every = 2;
+    config.seed = seed;
+    return config;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(LossyLinkSoakTest, ReliableDigestMatchesFaultFreeAcrossSeeds) {
+  constexpr int kSeeds = 25;
+  std::uint64_t total_retransmits = 0;
+  std::uint64_t total_dup_suppressed = 0;
+  int divergent_raw_runs = 0;
+  for (int s = 0; s < kSeeds; ++s) {
+    const std::uint64_t seed = 5000 + static_cast<std::uint64_t>(s);
+    LossyLinkConfig clean = Config(seed);
+    clean.reliable = false;
+    const LossyLinkResult baseline = RunLossyLink(app_.get(), clean);
+    ASSERT_TRUE(baseline.ok()) << "seed " << seed;
+
+    LinkFaultProfile profile;
+    profile.drop_permille = 200 + 25 * (s % 5);
+    profile.delay_permille = 150;
+    profile.dup_permille = 100 + 20 * (s % 3);
+    profile.blackhole_every = 15 + s % 10;
+    profile.blackhole_len = 2 + s % 2;
+
+    LossyLinkConfig lossy = Config(seed);
+    lossy.link = profile;
+    lossy.reliable = true;
+    const LossyLinkResult masked = RunLossyLink(app_.get(), lossy);
+    ASSERT_TRUE(masked.ok()) << "seed " << seed;
+    ASSERT_EQ(masked.model_digest, baseline.model_digest)
+        << "seed " << seed << ": reliable transport failed to mask the link";
+    ASSERT_EQ(masked.commands_applied, baseline.commands_applied) << "seed " << seed;
+    total_retransmits += masked.retransmits;
+    total_dup_suppressed += masked.dup_suppressed;
+
+    LossyLinkConfig raw = Config(seed);
+    raw.link = profile;
+    raw.reliable = false;
+    const LossyLinkResult unmasked = RunLossyLink(app_.get(), raw);
+    ASSERT_TRUE(unmasked.ok()) << "seed " << seed;
+    if (unmasked.model_digest != baseline.model_digest) {
+      ++divergent_raw_runs;
+    }
+  }
+  // The corpus only proves something if the faults had teeth.
+  EXPECT_GT(total_retransmits, 0U);
+  EXPECT_GT(total_dup_suppressed, 0U);
+  EXPECT_GT(divergent_raw_runs, kSeeds / 2)
+      << "faults too mild: raw runs mostly matched the baseline anyway";
+}
+
+}  // namespace
+}  // namespace proteus

@@ -148,5 +148,60 @@ TEST_F(ProteusFaultRecoveryTest, CheckpointRestoreUnderStage3Churn) {
   EXPECT_GE(runtime.Status().lost_clocks, lost);
 }
 
+TEST_F(ProteusFaultRecoveryTest, SilentFailuresAreDetectedAndCounted) {
+  // Some missed-warning market evictions turn into SILENT failures: the
+  // nodes stop heartbeating but are never announced. The heartbeat
+  // detector must confirm them, roll back, and count them — the run must
+  // finish as healthy as one with only announced failures.
+  ProteusConfig config = Config();
+  config.agileml.detector.enabled = true;
+  config.agileml.detector.suspect_after = 1;
+  config.agileml.detector.confirm_after = 3;
+  config.effective_failure_fraction = 0.6;  // Warnings get missed often...
+  config.silent_failure_fraction = 1.0;     // ...and every miss is silent.
+  config.agileml.backup_sync_every = 3;
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, config, 11 * kDay);
+  ConsistencyAuditor auditor(&runtime.agileml());
+  for (int i = 0; i < 120; ++i) {
+    runtime.Step();
+    auditor.ObserveClock();
+  }
+  EXPECT_TRUE(auditor.ok()) << auditor.Report();
+
+  const ProteusStatus status = runtime.Status();
+  EXPECT_GT(status.acquisitions, 0);
+  // The lively market produced missed-warning revocations; with
+  // fraction=1.0 every one of them went through the silent path.
+  EXPECT_GT(status.silent_failures, 0)
+      << "no missed-warning eviction occurred in 120 clocks; market too calm";
+  EXPECT_GE(status.failures, status.silent_failures);
+  // Every silenced node is eventually confirmed and removed: nothing
+  // stays silenced forever, and the detector counted each confirmation.
+  // (Drain first: a failure in the last couple of steps may still be
+  // ripening toward its confirm_after bound.)
+  const AgileMLRuntime& agileml = runtime.agileml();
+  const auto any_silenced = [&agileml] {
+    for (const NodeInfo& node : agileml.nodes()) {
+      if (agileml.IsSilencedNode(node.id)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (int i = 0; i < 30 && any_silenced(); ++i) {
+    runtime.Step();
+    auditor.ObserveClock();
+  }
+  for (const NodeInfo& node : agileml.nodes()) {
+    EXPECT_FALSE(agileml.IsSilencedNode(node.id))
+        << "node " << node.id << " still silenced at end of run";
+  }
+  EXPECT_GE(agileml.failure_detector().confirmations(),
+            static_cast<std::uint64_t>(status.silent_failures));
+  // Silent failures cost work (rollback), but training survived.
+  EXPECT_GT(status.lost_clocks, 0);
+  EXPECT_TRUE(agileml.data().OwnershipIsComplete());
+}
+
 }  // namespace
 }  // namespace proteus
