@@ -14,6 +14,7 @@
 // breakdown aggregated from those spans. Timestamps are the runtime's
 // virtual clock, so two runs with the same seed produce byte-identical
 // traces.
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -21,6 +22,7 @@
 #include "bench/support.h"
 #include "src/apps/datasets.h"
 #include "src/apps/mf.h"
+#include "src/chaos/crash_restart.h"
 #include "src/chaos/harness.h"
 #include "src/chaos/lossy_link.h"
 
@@ -44,6 +46,7 @@ ChaosConfig MakeConfig(std::uint64_t seed) {
 }
 
 int RunLossyLinkSection(int schedules, std::uint64_t base_seed, MLApp* app);
+int RunCrashRestartSection(int seeds, std::uint64_t base_seed, MLApp* app);
 
 int RunSoak(int schedules, std::uint64_t base_seed) {
   RatingsConfig rc;
@@ -60,6 +63,14 @@ int RunSoak(int schedules, std::uint64_t base_seed) {
   int digest_mismatches = 0;
   int total_clocks = 0;
   int total_lost = 0;
+  std::array<long long, 4> depth_totals{};
+  std::uint64_t durable_committed = 0;
+  std::uint64_t durable_aborts = 0;
+  long long corrupt_injected = 0;
+  long long corrupt_skipped = 0;
+  long long torn_armed = 0;
+  std::uint64_t scrubs = 0;
+  std::uint64_t scrub_found = 0;
 
   for (int s = 0; s < schedules; ++s) {
     const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s);
@@ -95,6 +106,16 @@ int RunSoak(int schedules, std::uint64_t base_seed) {
       totals[c].stall_seconds += stats.stall_seconds;
       totals[c].control_messages += stats.control_messages;
     }
+    for (std::size_t d = 0; d < depth_totals.size(); ++d) {
+      depth_totals[d] += result.recovery_depths[d];
+    }
+    durable_committed += result.durable_epochs_committed;
+    durable_aborts += result.durable_commit_aborts;
+    corrupt_injected += result.corrupt_frames_injected;
+    corrupt_skipped += result.corrupt_epochs_skipped;
+    torn_armed += result.torn_checkpoints_armed;
+    scrubs += result.scrubs_run;
+    scrub_found += result.scrub_corruptions_found;
   }
 
   std::printf("chaos soak: %d schedules x %lld-clock horizon, base seed %llu\n",
@@ -114,6 +135,26 @@ int RunSoak(int schedules, std::uint64_t base_seed) {
   std::printf("auditor violations:     %zu\n", total_violations);
   std::printf("determinism mismatches: %d\n", digest_mismatches);
 
+  // Escalation-ladder breakdown (§3.3 tiered reliability): how deep each
+  // recovery had to reach, and how the durable insurance behind rung 3
+  // held up under injected corruption and torn commits.
+  std::printf("\nrecovery-depth breakdown (escalation ladder):\n");
+  std::printf("%-22s %8s\n", "depth", "events");
+  for (std::size_t d = 0; d < depth_totals.size(); ++d) {
+    std::printf("%-22s %8lld\n",
+                RecoveryDepthName(static_cast<RecoveryDepth>(d)), depth_totals[d]);
+  }
+  std::printf("durable epochs committed: %llu (%llu commits aborted by torn writes; "
+              "%lld torn-write faults armed)\n",
+              static_cast<unsigned long long>(durable_committed),
+              static_cast<unsigned long long>(durable_aborts), torn_armed);
+  std::printf("corrupt frames injected:  %lld (%lld committed epochs skipped at "
+              "restore time)\n",
+              corrupt_injected, corrupt_skipped);
+  std::printf("scrubs run:               %llu (found %llu corruptions)\n",
+              static_cast<unsigned long long>(scrubs),
+              static_cast<unsigned long long>(scrub_found));
+
   // Recovery-time breakdown from the trace spans: each recovery clock
   // following a fault carries one "recovery" span per contributing
   // class, so summing span durations attributes the stall time.
@@ -129,11 +170,67 @@ int RunSoak(int schedules, std::uint64_t base_seed) {
     }
   }
   const int chaos_rc = (total_violations == 0 && digest_mismatches == 0) ? 0 : 1;
-  // The lossy-link section is comparatively cheap; cap it so huge
+  // The companion sections are comparatively cheap; cap them so huge
   // schedule counts stay dominated by the chaos sweep.
+  const int crash_rc =
+      RunCrashRestartSection(schedules < 10 ? schedules : 10, base_seed, &app);
   const int lossy_rc =
       RunLossyLinkSection(schedules < 10 ? schedules : 10, base_seed, &app);
-  return chaos_rc != 0 ? chaos_rc : lossy_rc;
+  if (chaos_rc != 0) {
+    return chaos_rc;
+  }
+  return crash_rc != 0 ? crash_rc : lossy_rc;
+}
+
+// Crash/restart section: for every rung of the escalation ladder, crash
+// mid-run at that depth and verify the recovered state is byte-identical
+// to the correct reference (last sync, pre-crash state, or the newest
+// committed durable epoch). Any digest mismatch or auditor violation
+// fails the soak.
+int RunCrashRestartSection(int seeds, std::uint64_t base_seed, MLApp* app) {
+  int digest_mismatches = 0;
+  std::size_t violations = 0;
+  int runs = 0;
+  int total_lost = 0;
+  for (const CrashScenario scenario :
+       {CrashScenario::kBackupPromotion, CrashScenario::kActiveRebuild,
+        CrashScenario::kDurableRestore}) {
+    for (int s = 0; s < seeds; ++s) {
+      const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s);
+      CrashRestartConfig config;
+      config.agileml.num_partitions = 16;
+      config.agileml.data_blocks = 128;
+      config.agileml.parallel_execution = false;
+      config.agileml.backup_sync_every = 3;
+      config.agileml.seed = seed;
+      config.scenario = scenario;
+      config.horizon = 24;
+      config.checkpoint_every = 4;
+      config.crash_at = 15;
+      config.seed = seed;
+      const CrashRestartResult result = RunCrashRestart(app, config);
+      ++runs;
+      total_lost += result.lost_clocks;
+      if (!result.digest_match) {
+        ++digest_mismatches;
+        std::fprintf(stderr, "crash_restart %s seed %llu: digest mismatch\n",
+                     CrashScenarioName(scenario),
+                     static_cast<unsigned long long>(seed));
+      }
+      for (const auto& violation : result.violations) {
+        ++violations;
+        std::fprintf(stderr, "crash_restart %s seed %llu: %s — %s\n",
+                     CrashScenarioName(scenario),
+                     static_cast<unsigned long long>(seed),
+                     violation.invariant.c_str(), violation.detail.c_str());
+      }
+    }
+  }
+  std::printf("\ncrash/restart ladder: %d runs (3 scenarios x %d seeds)\n", runs, seeds);
+  std::printf("byte-identical recoveries: %d/%d\n", runs - digest_mismatches, runs);
+  std::printf("clocks of work lost:       %d total\n", total_lost);
+  std::printf("auditor violations:        %zu\n", violations);
+  return (digest_mismatches == 0 && violations == 0) ? 0 : 1;
 }
 
 // Lossy control-link section: drives the same controller command stream

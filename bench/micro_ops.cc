@@ -1,10 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the hot operations of the
-// parameter-server substrate: row reads/updates, backup sync, fabric
-// accounting, and cost-model evaluation.
+// parameter-server substrate: row reads/updates, backup sync, checkpoint
+// serialize/write/restore, fabric accounting, and cost-model evaluation.
+//
+// Two modes:
+//   micro_ops [gbench flags]          normal google-benchmark run
+//   micro_ops --bench_json=PATH       self-timed headline numbers only,
+//                                     written as JSON (the CI artifact)
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
 
 #include "bench/support.h"
 #include "src/bidbrain/cost_model.h"
+#include "src/ps/checkpoint_store.h"
 #include "src/ps/model.h"
 #include "src/rpc/messages.h"
 #include "src/rpc/serializer.h"
@@ -115,6 +127,85 @@ void BM_ApplySerializeSharded(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplySerializeSharded)->Arg(1)->Arg(4)->Arg(8);
 
+// --- Durable checkpoint path (PR 6): serialize the model's shards,
+// push them through the two-phase CheckpointStore commit, and restore
+// them back. Bytes/sec is the headline; the store-write bench forces
+// full (non-incremental) epochs so it measures frame+CRC+manifest cost,
+// not the reuse fast path.
+
+void PopulateStore(ModelStore& store) {
+  const std::vector<float> delta(kHotCols, 0.5F);
+  std::vector<RowDelta> batch;
+  batch.reserve(kHotRows);
+  for (std::int64_t r = 0; r < kHotRows; ++r) {
+    batch.push_back({0, r, std::span<const float>(delta)});
+  }
+  store.ApplyUpdates(batch);
+}
+
+std::uint64_t CheckpointBytes(const ModelStore& store) {
+  std::uint64_t bytes = 0;
+  for (int s = 0; s < store.shards(); ++s) {
+    bytes += store.SerializeShardCheckpoint(s).size();
+  }
+  return bytes;
+}
+
+void BM_CheckpointSerializeShards(benchmark::State& state) {
+  ModelStore store = MakeHotStore(static_cast<int>(state.range(0)));
+  PopulateStore(store);
+  std::uint64_t bytes = 0;
+  for (auto _ : state) {
+    bytes = 0;
+    for (int s = 0; s < store.shards(); ++s) {
+      bytes += store.SerializeShardCheckpoint(s).size();
+    }
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CheckpointSerializeShards)->Arg(1)->Arg(8);
+
+void BM_CheckpointStoreWrite(benchmark::State& state) {
+  ModelStore store = MakeHotStore(static_cast<int>(state.range(0)));
+  PopulateStore(store);
+  std::vector<std::vector<std::uint8_t>> blobs;
+  std::uint64_t bytes = 0;
+  for (int s = 0; s < store.shards(); ++s) {
+    blobs.push_back(store.SerializeShardCheckpoint(s));
+    bytes += blobs.back().size();
+  }
+  const std::vector<std::uint64_t> force_full(blobs.size(), 0);
+  MemDurableDevice device;
+  CheckpointStore ck(&device);
+  Clock clock = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ck.WriteBlobs(blobs, force_full, ++clock).committed);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_CheckpointStoreWrite)->Arg(1)->Arg(8);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  ModelStore store = MakeHotStore(static_cast<int>(state.range(0)));
+  PopulateStore(store);
+  MemDurableDevice device;
+  CheckpointStore ck(&device);
+  const CheckpointWriteResult written = ck.WriteCheckpoint(store, 1);
+  for (auto _ : state) {
+    const auto loaded = ck.ReadNewestValid();
+    for (int s = 0; s < store.shards(); ++s) {
+      store.RestoreShardCheckpoint(s, loaded->shard_blobs[static_cast<std::size_t>(s)]);
+    }
+    benchmark::DoNotOptimize(loaded->bytes_read);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(written.bytes_written));
+}
+BENCHMARK(BM_CheckpointRestore)->Arg(1)->Arg(8);
+
 void BM_FabricRecordTransfer(benchmark::State& state) {
   Fabric fabric(1.25e8);
   for (NodeId n = 0; n < 64; ++n) {
@@ -168,7 +259,161 @@ void BM_MfProcessClock(benchmark::State& state) {
 }
 BENCHMARK(BM_MfProcessClock);
 
+// --- --bench_json mode: the headline numbers CI tracks as an artifact.
+// Self-timed (steady_clock) instead of going through google-benchmark so
+// the output schema is ours and stays stable across benchmark-library
+// upgrades.
+
+double SecondsPerIter(const std::function<void()>& body) {
+  using clock = std::chrono::steady_clock;
+  body();  // Warm-up: touch lazily-materialized rows, fill caches.
+  int iters = 0;
+  const clock::time_point begin = clock::now();
+  clock::time_point now = begin;
+  // At least 3 iterations and ~200ms of wall time.
+  while (iters < 3 || std::chrono::duration<double>(now - begin).count() < 0.2) {
+    body();
+    ++iters;
+    now = clock::now();
+  }
+  return std::chrono::duration<double>(now - begin).count() / iters;
+}
+
+struct BenchJsonRow {
+  std::string name;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+std::vector<BenchJsonRow> RunJsonBenches() {
+  std::vector<BenchJsonRow> rows;
+
+  // Legacy vs sharded apply+serialize: the tentpole rows/s comparison.
+  {
+    ModelStore store = MakeHotStore(1);
+    const std::vector<float> delta(kHotCols, 0.5F);
+    const double spi = SecondsPerIter([&] {
+      std::uint64_t bytes = 0;
+      for (std::int64_t r = 0; r < kHotRows; ++r) {
+        store.ApplyDelta(0, r, delta);
+        UpdateParamMsg msg;
+        msg.table = 0;
+        msg.row = r;
+        msg.delta = delta;
+        bytes += EncodeMessage(msg).size();
+      }
+      benchmark::DoNotOptimize(bytes);
+    });
+    rows.push_back({"apply_serialize_legacy", "rows_per_sec", kHotRows / spi, "rows/s"});
+  }
+  {
+    ModelStore store = MakeHotStore(8);
+    const std::vector<float> delta(kHotCols, 0.5F);
+    std::vector<RowDelta> batch;
+    std::vector<DeltaRow> wire;
+    batch.reserve(kHotRows);
+    wire.reserve(kHotRows);
+    for (std::int64_t r = 0; r < kHotRows; ++r) {
+      batch.push_back({0, r, std::span<const float>(delta)});
+      wire.push_back({MakeRowKey(0, r), std::span<const float>(delta)});
+    }
+    const double spi = SecondsPerIter([&] {
+      store.ApplyUpdates(batch);
+      benchmark::DoNotOptimize(EncodeDeltaBatch(wire).size());
+    });
+    rows.push_back({"apply_serialize_sharded8", "rows_per_sec", kHotRows / spi, "rows/s"});
+  }
+
+  // Durable checkpoint path: serialize, store-write (full epochs through
+  // the 2-phase commit), restore.
+  {
+    ModelStore store = MakeHotStore(8);
+    PopulateStore(store);
+    const double bytes = static_cast<double>(CheckpointBytes(store));
+    const double spi = SecondsPerIter([&] {
+      std::uint64_t total = 0;
+      for (int s = 0; s < store.shards(); ++s) {
+        total += store.SerializeShardCheckpoint(s).size();
+      }
+      benchmark::DoNotOptimize(total);
+    });
+    rows.push_back({"checkpoint_serialize", "mb_per_sec", bytes / spi / 1e6, "MB/s"});
+  }
+  {
+    ModelStore store = MakeHotStore(8);
+    PopulateStore(store);
+    std::vector<std::vector<std::uint8_t>> blobs;
+    double bytes = 0;
+    for (int s = 0; s < store.shards(); ++s) {
+      blobs.push_back(store.SerializeShardCheckpoint(s));
+      bytes += static_cast<double>(blobs.back().size());
+    }
+    const std::vector<std::uint64_t> force_full(blobs.size(), 0);
+    MemDurableDevice device;
+    CheckpointStore ck(&device);
+    Clock clock = 0;
+    const double spi = SecondsPerIter([&] {
+      benchmark::DoNotOptimize(ck.WriteBlobs(blobs, force_full, ++clock).committed);
+    });
+    rows.push_back({"checkpoint_store_write", "mb_per_sec", bytes / spi / 1e6, "MB/s"});
+  }
+  {
+    ModelStore store = MakeHotStore(8);
+    PopulateStore(store);
+    MemDurableDevice device;
+    CheckpointStore ck(&device);
+    const CheckpointWriteResult written = ck.WriteCheckpoint(store, 1);
+    const double bytes = static_cast<double>(written.bytes_written);
+    const double spi = SecondsPerIter([&] {
+      const auto loaded = ck.ReadNewestValid();
+      for (int s = 0; s < store.shards(); ++s) {
+        store.RestoreShardCheckpoint(s, loaded->shard_blobs[static_cast<std::size_t>(s)]);
+      }
+      benchmark::DoNotOptimize(loaded->bytes_read);
+    });
+    rows.push_back({"checkpoint_restore", "mb_per_sec", bytes / spi / 1e6, "MB/s"});
+  }
+  return rows;
+}
+
+int WriteBenchJson(const std::string& path) {
+  const std::vector<BenchJsonRow> rows = RunJsonBenches();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "micro_ops: cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"proteus.micro_ops.v1\",\n  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"metric\": \"%s\", \"value\": %.1f, "
+                 "\"unit\": \"%s\"}%s\n",
+                 rows[i].name.c_str(), rows[i].metric.c_str(), rows[i].value,
+                 rows[i].unit.c_str(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  for (const BenchJsonRow& row : rows) {
+    std::printf("%-26s %14.1f %s\n", row.name.c_str(), row.value, row.unit.c_str());
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 }  // namespace proteus
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const std::string json_path = proteus::bench::TakeFlag(argc, argv, "bench_json");
+  if (!json_path.empty()) {
+    return proteus::WriteBenchJson(json_path);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -26,6 +26,8 @@ const char* ControlMessageName(ControlMessage type) {
       return "heartbeat";
     case ControlMessage::kSuspicionNotice:
       return "suspicion-notice";
+    case ControlMessage::kRecoveryNotice:
+      return "recovery-notice";
   }
   return "?";
 }

@@ -25,9 +25,10 @@ enum class ControlMessage : int {
   kRollbackNotice = 6,     // Worker told to restart from a past clock.
   kHeartbeat = 7,          // Node -> controller: lease renewal.
   kSuspicionNotice = 8,    // Controller broadcast: node under suspicion.
+  kRecoveryNotice = 9,     // Broadcast: state recovered from the durable tier.
 };
 
-inline constexpr int kNumControlMessages = 9;
+inline constexpr int kNumControlMessages = 10;
 
 const char* ControlMessageName(ControlMessage type);
 

@@ -62,6 +62,8 @@ void AgileMLRuntime::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry*
     pull_bytes_counter_ = push_bytes_counter_ = backup_sync_bytes_counter_ = nullptr;
     stage_transition_counter_ = rollback_clocks_counter_ = stall_seconds_counter_ = nullptr;
     push_coalesced_saved_counter_ = nullptr;
+    checkpoint_bytes_written_counter_ = checkpoint_bytes_restored_counter_ = nullptr;
+    restore_clocks_lost_counter_ = nullptr;
     backup_lag_gauge_ = worker_nodes_gauge_ = nullptr;
     detector_suspicions_counter_ = detector_confirmed_counter_ = nullptr;
     detector_false_positives_counter_ = nullptr;
@@ -76,6 +78,9 @@ void AgileMLRuntime::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry*
   stage_transition_counter_ = metrics_->GetCounter("agileml.stage.transitions");
   rollback_clocks_counter_ = metrics_->GetCounter("agileml.rollback.lost_clocks");
   stall_seconds_counter_ = metrics_->GetCounter("agileml.stall.microseconds");
+  checkpoint_bytes_written_counter_ = metrics_->GetCounter("agileml.checkpoint.bytes_written");
+  checkpoint_bytes_restored_counter_ = metrics_->GetCounter("agileml.checkpoint.bytes_restored");
+  restore_clocks_lost_counter_ = metrics_->GetCounter("agileml.checkpoint.restore_clocks_lost");
   backup_lag_gauge_ = metrics_->GetGauge("agileml.backup_sync.lag_clocks");
   worker_nodes_gauge_ = metrics_->GetGauge("agileml.workers");
   detector_suspicions_counter_ = metrics_->GetCounter("agileml.detector.suspicions");
@@ -380,6 +385,14 @@ void AgileMLRuntime::Evict(const std::vector<NodeId>& node_ids) {
 }
 
 int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
+  return FailInternal(node_ids, /*durable_restore=*/false);
+}
+
+int AgileMLRuntime::FailWithDurableRestore(const std::vector<NodeId>& node_ids) {
+  return FailInternal(node_ids, /*durable_restore=*/true);
+}
+
+int AgileMLRuntime::FailInternal(const std::vector<NodeId>& node_ids, bool durable_restore) {
   std::set<NodeId> dead;
   bool lost_server_state = false;
   bool lost_reliable_ps = false;
@@ -419,7 +432,18 @@ int AgileMLRuntime::Fail(const std::vector<NodeId>& node_ids) {
   int lost_clocks = 0;
   [[maybe_unused]] const std::int64_t rollback_notices_before =
       control_log_.Count(ControlMessage::kRollbackNotice);
-  if (lost_server_state) {
+  if (durable_restore) {
+    // Correlated loss of both tiers: neither the ActivePS rows on the
+    // dead transients nor the backup/rollback copy on the dead reliable
+    // node(s) survive, so the backup-rollback path below would recover
+    // from state that no longer exists. The caller has installed the
+    // newest valid durable checkpoint; restore from it instead.
+    PROTEUS_CHECK(checkpoint_.has_value())
+        << "durable-restore failure with no checkpoint installed";
+    lost_clocks = RestoreFromCheckpoint();
+    control_log_.Record(ControlMessage::kRecoveryNotice,
+                        static_cast<std::int64_t>(roles_.worker_nodes.size()));
+  } else if (lost_server_state) {
     // §3.3 "Failures": BackupPS state is the new solution state; all
     // workers re-do the clocks since the last active->backup sync.
     lost_clocks = static_cast<int>(clock_ - last_sync_clock_);
@@ -486,6 +510,14 @@ void AgileMLRuntime::CheckpointReliable() {
   for (int s = 0; s < model_.shards(); ++s) {
     blobs.push_back(model_.SerializeShardCheckpoint(s));
   }
+  std::uint64_t checkpoint_bytes = 0;
+  for (const auto& blob : blobs) {
+    checkpoint_bytes += blob.size();
+  }
+  checkpoint_bytes_written_total_ += checkpoint_bytes;
+  if (checkpoint_bytes_written_counter_ != nullptr) {
+    checkpoint_bytes_written_counter_->Add(checkpoint_bytes);
+  }
   checkpoint_ = Checkpoint{std::move(blobs), clock_};
   // Charge the checkpoint write: each reliable node holding solution
   // state streams its share to durable storage in the background. In
@@ -504,11 +536,29 @@ void AgileMLRuntime::CheckpointReliable() {
 int AgileMLRuntime::RestoreFromCheckpoint() {
   PROTEUS_CHECK(checkpoint_.has_value());
   PROTEUS_CHECK_EQ(static_cast<int>(checkpoint_->shard_blobs.size()), model_.shards());
+  std::uint64_t restored_bytes = 0;
   for (int s = 0; s < model_.shards(); ++s) {
+    restored_bytes += checkpoint_->shard_blobs[static_cast<std::size_t>(s)].size();
     model_.RestoreShardCheckpoint(s, checkpoint_->shard_blobs[static_cast<std::size_t>(s)]);
   }
-  const int lost = static_cast<int>(clock_ - checkpoint_->clock);
+  // delta > 0 is an ordinary rollback. delta < 0 is a *forward* restore:
+  // the snapshot holds clocks a prior rollback declared lost (e.g. a
+  // durable epoch newer than the last backup sync), so the jump credits
+  // them back against lost_clocks_total_ — the completed-clock counter
+  // (clock + lost) stays put either way. The credit clamps at zero for a
+  // restart driver installing a snapshot into a fresh runtime, where the
+  // jump recovers work this runtime never counted as lost.
+  const int delta = static_cast<int>(clock_ - checkpoint_->clock);
+  const int lost = std::max(0, delta);
   clock_ = checkpoint_->clock;
+  checkpoint_bytes_restored_total_ += restored_bytes;
+  restore_clocks_lost_total_ += lost;
+  if (checkpoint_bytes_restored_counter_ != nullptr) {
+    checkpoint_bytes_restored_counter_->Add(restored_bytes);
+  }
+  if (restore_clocks_lost_counter_ != nullptr) {
+    restore_clocks_lost_counter_->Add(static_cast<std::uint64_t>(lost));
+  }
   if (roles_.UsesBackups()) {
     // Re-snapshot: backups were also stale. The snapshot doubles as a
     // complete sync at the restored clock.
@@ -518,7 +568,7 @@ int AgileMLRuntime::RestoreFromCheckpoint() {
   } else {
     last_sync_clock_ = std::min(last_sync_clock_, clock_);
   }
-  lost_clocks_total_ += lost;
+  lost_clocks_total_ = std::max(0, lost_clocks_total_ + delta);
   if (lost > 0) {
     // Workers restart from the checkpointed clock.
     control_log_.Record(ControlMessage::kRollbackNotice,
@@ -539,6 +589,15 @@ int AgileMLRuntime::RestoreFromCheckpoint() {
   RebuildClockTable();
   return lost;
 }
+
+void AgileMLRuntime::InstallCheckpoint(std::vector<std::vector<std::uint8_t>> shard_blobs,
+                                       Clock clock) {
+  PROTEUS_CHECK_EQ(static_cast<int>(shard_blobs.size()), model_.shards())
+      << "installed checkpoint shard count does not match the model";
+  checkpoint_ = Checkpoint{std::move(shard_blobs), clock};
+}
+
+void AgileMLRuntime::DropCheckpoint() { checkpoint_.reset(); }
 
 SimDuration AgileMLRuntime::ChargeQueuedTransfers() {
   // Stall transfers (eviction/failure handling) halt the training

@@ -145,6 +145,13 @@ class AgileMLRuntime {
   // Unwarned failure: rollback to the last backup-consistent clock.
   // Returns the number of lost clocks that will be re-done.
   int Fail(const std::vector<NodeId>& node_ids);
+  // Unwarned failure where *both* tiers lost their copy of the solution
+  // state (correlated bulk eviction took the ActivePSs and the
+  // BackupPS/checkpoint holders at once). Instead of rolling back to the
+  // backup copy, state is restored from the installed checkpoint — the
+  // caller (normally the RecoveryManager) must InstallCheckpoint()
+  // first. Returns lost clocks.
+  int FailWithDurableRestore(const std::vector<NodeId>& node_ids);
 
   // Gray failure: the node stops participating in the control plane
   // (its heartbeats cease) while its compute keeps running, as with a
@@ -163,6 +170,15 @@ class AgileMLRuntime {
   Clock checkpoint_clock() const { return checkpoint_ ? checkpoint_->clock : -1; }
   // Restores model state from the last checkpoint; returns lost clocks.
   int RestoreFromCheckpoint();
+  // Replaces the held checkpoint with externally recovered state (e.g.
+  // shard payloads read back from a durable CheckpointStore). Blob
+  // count must match the model's shard count. A restart driver can
+  // install into a fresh runtime and RestoreFromCheckpoint() to resume
+  // a crashed run.
+  void InstallCheckpoint(std::vector<std::vector<std::uint8_t>> shard_blobs, Clock clock);
+  // Models losing the in-memory checkpoint with its reliable holders
+  // (correlated wipeout): after this only a durable copy can help.
+  void DropCheckpoint();
 
   // --- Introspection ---
   Clock clock() const { return clock_; }
@@ -190,6 +206,11 @@ class AgileMLRuntime {
   int PreparingCount() const { return static_cast<int>(preparing_.size()); }
   double ComputeObjective() const;
   const AgileMLConfig& config() const { return config_; }
+  // Lifetime totals for the checkpoint machinery (mirrored into
+  // ProteusRunSummary and the agileml.checkpoint.* metrics).
+  std::uint64_t checkpoint_bytes_written_total() const { return checkpoint_bytes_written_total_; }
+  std::uint64_t checkpoint_bytes_restored_total() const { return checkpoint_bytes_restored_total_; }
+  int restore_clocks_lost_total() const { return restore_clocks_lost_total_; }
 
  private:
   struct QueuedTransfer {
@@ -212,6 +233,9 @@ class AgileMLRuntime {
 
   const NodeInfo& Node(NodeId id) const;
   bool IsReady(NodeId id) const { return ready_.count(id) > 0; }
+
+  // Shared body of Fail / FailWithDurableRestore.
+  int FailInternal(const std::vector<NodeId>& node_ids, bool durable_restore);
 
   // Re-plans roles over ready nodes and queues the state transfers the
   // transition requires. `dead` nodes cannot serve as transfer sources.
@@ -265,6 +289,9 @@ class AgileMLRuntime {
   SimDuration total_time_ = 0.0;
   SimDuration last_duration_ = 1.0;
   int lost_clocks_total_ = 0;
+  std::uint64_t checkpoint_bytes_written_total_ = 0;
+  std::uint64_t checkpoint_bytes_restored_total_ = 0;
+  int restore_clocks_lost_total_ = 0;
 
   // Observability sinks (optional) and cached metric handles. All
   // recording happens on the serial control path, never inside the
@@ -280,6 +307,9 @@ class AgileMLRuntime {
   obs::Counter* stage_transition_counter_ = nullptr;
   obs::Counter* rollback_clocks_counter_ = nullptr;
   obs::Counter* stall_seconds_counter_ = nullptr;
+  obs::Counter* checkpoint_bytes_written_counter_ = nullptr;
+  obs::Counter* checkpoint_bytes_restored_counter_ = nullptr;
+  obs::Counter* restore_clocks_lost_counter_ = nullptr;
   obs::Gauge* backup_lag_gauge_ = nullptr;
   obs::Gauge* worker_nodes_gauge_ = nullptr;
   obs::Counter* detector_suspicions_counter_ = nullptr;

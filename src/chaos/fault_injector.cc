@@ -27,6 +27,12 @@ const char* FaultClassName(FaultClass cls) {
       return "blackhole";
     case FaultClass::kDuplicate:
       return "duplicate";
+    case FaultClass::kCorrelatedWipeout:
+      return "correlated-wipeout";
+    case FaultClass::kCheckpointCorruption:
+      return "checkpoint-corruption";
+    case FaultClass::kTornCheckpoint:
+      return "torn-checkpoint";
   }
   return "?";
 }
@@ -74,6 +80,19 @@ FaultInjector::FaultInjector(std::uint64_t seed, FaultScheduleConfig config)
         break;
       case FaultClass::kDuplicate:
         event.magnitude = static_cast<int>(rng_.UniformInt(100, 400));  // Permille.
+        break;
+      case FaultClass::kCorrelatedWipeout:
+        // Reliable victims taken alongside the full transient wipeout.
+        event.magnitude = static_cast<int>(rng_.UniformInt(1, 2));
+        break;
+      case FaultClass::kCheckpointCorruption:
+        // Corruption kind: 0 = bit flip, 1 = truncation, 2 = chunk
+        // deleted under a committed manifest (stale manifest).
+        event.magnitude = static_cast<int>(rng_.UniformInt(0, 2));
+        break;
+      case FaultClass::kTornCheckpoint:
+        // 0 = torn chunk write, 1 = manifest rename never commits.
+        event.magnitude = static_cast<int>(rng_.UniformInt(0, 1));
         break;
       case FaultClass::kReliableFailure:
       case FaultClass::kTransientWipeout:

@@ -29,6 +29,20 @@
 //   kDuplicate          the control channel delivers extra copies of
 //                       messages (duplication, on top of drop/delay)
 //
+// Three durability-tier classes complete the set (PR 6):
+//
+//   kCorrelatedWipeout     a correlated bulk eviction takes every
+//                          transient node AND reliable node(s) holding
+//                          the backup/checkpoint state: both tiers lost
+//                          at once, only the durable checkpoint survives
+//   kCheckpointCorruption  bit rot on the durable device: a stored
+//                          checkpoint chunk or manifest is bit-flipped,
+//                          truncated, or deleted out from under its
+//                          manifest (stale-manifest corruption)
+//   kTornCheckpoint        a crash during the next durable checkpoint
+//                          write: either the chunk write tears or the
+//                          manifest rename never commits
+//
 // A schedule with >= kNumFaultClasses events is guaranteed to contain
 // every class at least once (the first kNumFaultClasses draws cycle
 // through a shuffled permutation of the classes).
@@ -54,9 +68,12 @@ enum class FaultClass : int {
   kSilentHang = 6,
   kBlackhole = 7,
   kDuplicate = 8,
+  kCorrelatedWipeout = 9,
+  kCheckpointCorruption = 10,
+  kTornCheckpoint = 11,
 };
 
-inline constexpr int kNumFaultClasses = 9;
+inline constexpr int kNumFaultClasses = 12;
 
 const char* FaultClassName(FaultClass cls);
 

@@ -78,6 +78,16 @@ std::uint64_t ChaosRunResult::Digest() const {
   h = HashCombine(h, detector_suspicions);
   h = HashCombine(h, detector_confirmed_dead);
   h = HashCombine(h, detector_false_positives);
+  for (const int depth_count : recovery_depths) {
+    h = HashCombine(h, static_cast<std::uint64_t>(depth_count));
+  }
+  h = HashCombine(h, durable_epochs_committed);
+  h = HashCombine(h, durable_commit_aborts);
+  h = HashCombine(h, static_cast<std::uint64_t>(corrupt_frames_injected));
+  h = HashCombine(h, static_cast<std::uint64_t>(corrupt_epochs_skipped));
+  h = HashCombine(h, static_cast<std::uint64_t>(torn_checkpoints_armed));
+  h = HashCombine(h, scrubs_run);
+  h = HashCombine(h, scrub_corruptions_found);
   return h;
 }
 
@@ -101,9 +111,16 @@ ChaosHarness::ChaosHarness(MLApp* app, ChaosConfig config)
     allocations_[next_allocation_++] = std::move(alloc);
   }
   next_node_ = id;
-  // Start-up insurance: a checkpoint always exists, so a stage-1
-  // reliable failure can restore rather than lose the solution state.
-  runtime_->CheckpointReliable();
+  store_ = std::make_unique<CheckpointStore>(
+      &device_, CheckpointStoreConfig{config_.durable_retain});
+  recovery_ = std::make_unique<RecoveryManager>(
+      runtime_.get(), store_.get(),
+      RecoveryManagerConfig{config_.checkpoint_every, config_.scrub_every});
+  // Start-up insurance: a checkpoint always exists (in memory and as a
+  // committed durable epoch), so a stage-1 reliable failure can restore
+  // rather than lose the solution state and a correlated both-tier loss
+  // is survivable from the first clock on.
+  recovery_->ForceCheckpoint();
 }
 
 ChaosHarness::~ChaosHarness() = default;
@@ -121,6 +138,7 @@ void ChaosHarness::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* m
   runtime_->SetObservability(tracer, metrics);
   control_channel_.SetObservability(metrics, "controller");
   auditor_.SetObservability(tracer, metrics);
+  recovery_->SetObservability(tracer, metrics);
 }
 
 std::vector<NodeId> ChaosHarness::ReadyTransientIds() const {
@@ -362,6 +380,151 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
       control_channel_.SetFaultHook(injector_.MakeLinkFaultHook(profile));
       return true;
     }
+    case FaultClass::kCorrelatedWipeout: {
+      // A market-wide clearing event: every transient node vanishes AND
+      // `magnitude` reliable node(s) — preferring the ones serving or
+      // backing partitions — die with them. When that takes out both
+      // copies of some partition only the durable tier can recover, so
+      // the event waits until a committed epoch validates (a corrupted
+      // store self-heals at the next cadence write).
+      std::vector<NodeId> reliable;
+      for (const NodeInfo& node : runtime_->ReadyNodes()) {
+        if (node.reliable()) {
+          reliable.push_back(node.id);
+        }
+      }
+      if (reliable.size() < 2) {
+        return false;  // The reliable tier must never empty out.
+      }
+      std::vector<NodeId> victims = AllTransientIds();
+      if (victims.empty()) {
+        return false;
+      }
+      if (!store_->ReadNewestValid().has_value()) {
+        return false;
+      }
+      // Reliable victims carry the most solution state first, so the
+      // wipeout reaches the bottom of the escalation ladder whenever the
+      // role map allows it.
+      const RoleAssignment& roles = runtime_->roles();
+      std::stable_sort(reliable.begin(), reliable.end(),
+                       [&roles](NodeId a, NodeId b) {
+                         int held_a = 0;
+                         int held_b = 0;
+                         for (const auto& [partition, owner] : roles.server) {
+                           held_a += owner == a;
+                           held_b += owner == b;
+                         }
+                         for (const auto& [partition, owner] : roles.backup) {
+                           held_a += owner == a;
+                           held_b += owner == b;
+                         }
+                         return held_a > held_b;
+                       });
+      const std::size_t reliable_victims = std::min<std::size_t>(
+          static_cast<std::size_t>(std::max(1, event.magnitude)),
+          reliable.size() - 1);
+      victims.insert(victims.end(), reliable.begin(),
+                     reliable.begin() + static_cast<std::ptrdiff_t>(reliable_victims));
+      for (const auto& [id, alloc] : allocations_) {
+        SendEvictionNotice(id, alloc.nodes, /*warned=*/false);
+      }
+      SendEvictionNotice(kInvalidAllocation,
+                         {reliable.begin(),
+                          reliable.begin() + static_cast<std::ptrdiff_t>(reliable_victims)},
+                         /*warned=*/false);
+      // The dead reliable machines held the in-memory checkpoint: when
+      // the active+backup pair is gone too, recovery must come from the
+      // durable device, not from RAM.
+      if (recovery_->Classify(victims) == RecoveryDepth::kDurableRestore) {
+        runtime_->DropCheckpoint();
+      }
+      const RecoveryOutcome outcome = recovery_->Recover(victims);
+      corrupt_epochs_skipped_ += outcome.corrupt_epochs_skipped;
+      control_channel_.Send(Message(RecoveryNoticeMsg{
+          static_cast<std::int32_t>(outcome.depth),
+          static_cast<std::int64_t>(outcome.restored_clock),
+          static_cast<std::int32_t>(outcome.lost_clocks), outcome.durable_epoch}));
+      ForgetNodes(victims);
+      allocations_.clear();
+      pending_preload_evictions_.clear();
+      // The operator replaces the dead on-demand machines; they preload
+      // and rejoin like any addition.
+      std::vector<NodeInfo> replacements;
+      for (std::size_t i = 0; i < reliable_victims; ++i) {
+        replacements.push_back({next_node_++, Tier::kReliable, 8, kInvalidAllocation});
+      }
+      runtime_->AddNodes(replacements);
+      return true;
+    }
+    case FaultClass::kCheckpointCorruption: {
+      // Bit rot on the durable device: one stored checkpoint object is
+      // flipped, truncated, or (kind 2) a chunk is deleted out from
+      // under its committed manifest. Validation must refuse to load the
+      // damaged epoch and Scrub must count the damage.
+      std::vector<std::string> objects;
+      for (const std::string& name : device_.List()) {
+        if (name.rfind("ck/", 0) == 0) {
+          objects.push_back(name);
+        }
+      }
+      const int kind = event.magnitude % 3;
+      if (kind == 2) {
+        objects.erase(std::remove_if(objects.begin(), objects.end(),
+                                     [](const std::string& name) {
+                                       return name.rfind("ck/obj/", 0) != 0;
+                                     }),
+                      objects.end());
+      }
+      if (objects.empty()) {
+        return false;
+      }
+      const std::string name = objects[static_cast<std::size_t>(injector_.rng().UniformInt(
+          0, static_cast<std::int64_t>(objects.size()) - 1))];
+      bool injected = false;
+      switch (kind) {
+        case 0: {
+          const auto bytes = device_.Read(name);
+          if (!bytes || bytes->empty()) {
+            return false;
+          }
+          injected = device_.FlipBit(
+              name,
+              static_cast<std::size_t>(injector_.rng().UniformInt(
+                  0, static_cast<std::int64_t>(bytes->size()) - 1)),
+              static_cast<int>(injector_.rng().UniformInt(0, 7)));
+          break;
+        }
+        case 1: {
+          const auto bytes = device_.Read(name);
+          if (!bytes || bytes->size() < 2) {
+            return false;
+          }
+          injected = device_.Truncate(name, bytes->size() / 2);
+          break;
+        }
+        default:
+          injected = device_.Delete(name);
+          break;
+      }
+      if (injected) {
+        ++corrupt_frames_injected_;
+      }
+      return injected;
+    }
+    case FaultClass::kTornCheckpoint: {
+      // Crash inside the next durable checkpoint write: either a chunk
+      // write tears mid-frame (the store aborts the epoch) or the
+      // manifest rename — the commit point — never happens (the epoch is
+      // left torn: tmp manifest only, skipped by every reader).
+      if (event.magnitude % 2 == 0) {
+        device_.ArmTornWrite(0.5);
+      } else {
+        device_.ArmDropRename();
+      }
+      ++torn_checkpoints_armed_;
+      return true;
+    }
   }
   return false;
 }
@@ -516,10 +679,10 @@ ChaosRunResult ChaosHarness::Run() {
       }
     }
 
-    if (config_.checkpoint_every > 0 &&
-        runtime_->clock() % config_.checkpoint_every == 0) {
-      runtime_->CheckpointReliable();
-    }
+    // Checkpoint cadence and periodic durable scrubbing live in the
+    // recovery manager; every in-memory checkpoint is mirrored as a
+    // durable epoch on the simulated device.
+    recovery_->OnClockBoundary();
 
     // The controller drains its inbox; delayed frames age one poll each.
     for (int i = 0; i < 4; ++i) {
@@ -544,6 +707,14 @@ ChaosRunResult ChaosHarness::Run() {
   result.detector_suspicions = detector.suspicions();
   result.detector_confirmed_dead = detector.confirmations();
   result.detector_false_positives = detector.false_positives();
+  result.recovery_depths = recovery_->depth_counts();
+  result.durable_epochs_committed = store_->epochs_committed();
+  result.durable_commit_aborts = store_->commit_aborts();
+  result.corrupt_frames_injected = corrupt_frames_injected_;
+  result.corrupt_epochs_skipped = corrupt_epochs_skipped_;
+  result.torn_checkpoints_armed = torn_checkpoints_armed_;
+  result.scrubs_run = recovery_->scrubs_run();
+  result.scrub_corruptions_found = recovery_->scrub_corruptions_found();
   return result;
 }
 

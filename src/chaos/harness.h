@@ -21,11 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "src/agileml/recovery_manager.h"
 #include "src/agileml/runtime.h"
 #include "src/chaos/consistency_auditor.h"
 #include "src/chaos/fault_injector.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
+#include "src/ps/checkpoint_store.h"
 #include "src/rpc/channel.h"
 
 namespace proteus {
@@ -39,9 +41,15 @@ struct ChaosConfig {
   // Replenish (as BidBrain would) when ready+preparing transient nodes
   // drop below this.
   int min_transient = 4;
-  // Checkpoint the reliable tier every this many clocks (also once at
-  // start-up, so a stage-1 reliable failure is always survivable).
+  // Checkpoint the reliable tier every this many clock boundaries (also
+  // once at start-up, so a stage-1 reliable failure is always
+  // survivable). Every in-memory checkpoint is mirrored to the durable
+  // device through the RecoveryManager.
   int checkpoint_every = 5;
+  // Durable epochs retained before garbage collection.
+  int durable_retain = 3;
+  // Scrub the durable store every this many boundaries (0 = never).
+  int scrub_every = 4;
   std::uint64_t seed = 1;
 };
 // Note: the harness always arms the runtime's failure detector (the
@@ -76,6 +84,18 @@ struct ChaosRunResult {
   std::uint64_t detector_suspicions = 0;
   std::uint64_t detector_confirmed_dead = 0;
   std::uint64_t detector_false_positives = 0;
+  // Durability-tier accounting (PR 6): recovery events per escalation
+  // depth (indexed by RecoveryDepth), durable checkpoint traffic, and
+  // corruption bookkeeping. An injected corruption is only ever visible
+  // as a skipped epoch or a scrub hit — never as loaded state.
+  std::array<int, 4> recovery_depths{};
+  std::uint64_t durable_epochs_committed = 0;
+  std::uint64_t durable_commit_aborts = 0;
+  int corrupt_frames_injected = 0;
+  int corrupt_epochs_skipped = 0;
+  int torn_checkpoints_armed = 0;
+  std::uint64_t scrubs_run = 0;
+  std::uint64_t scrub_corruptions_found = 0;
 
   bool ok() const { return violations.empty(); }
   // Order-sensitive fingerprint of every numeric field; equal digests
@@ -108,6 +128,9 @@ class ChaosHarness {
   const FaultInjector& injector() const { return injector_; }
   const ConsistencyAuditor& auditor() const { return auditor_; }
   const Channel& control_channel() const { return control_channel_; }
+  const RecoveryManager& recovery() const { return *recovery_; }
+  const CheckpointStore& store() const { return *store_; }
+  MemDurableDevice& device() { return device_; }
 
  private:
   struct ChaosAllocation {
@@ -133,6 +156,15 @@ class ChaosHarness {
   std::unique_ptr<AgileMLRuntime> runtime_;
   ConsistencyAuditor auditor_;
   Channel control_channel_;
+  // Durable tier: an in-memory simulated device (with fault hooks the
+  // checkpoint-corruption classes use) under a versioned store, driven
+  // by the RecoveryManager's cadence and escalation ladder.
+  MemDurableDevice device_;
+  std::unique_ptr<CheckpointStore> store_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  int corrupt_frames_injected_ = 0;
+  int torn_checkpoints_armed_ = 0;
+  int corrupt_epochs_skipped_ = 0;
 
   std::map<AllocationId, ChaosAllocation> allocations_;
   AllocationId next_allocation_ = 0;

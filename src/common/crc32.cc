@@ -1,0 +1,41 @@
+#include "src/common/crc32.h"
+
+#include <array>
+
+namespace proteus {
+namespace {
+
+constexpr std::uint32_t kPoly = 0xEDB88320u;
+
+constexpr std::array<std::uint32_t, 256> MakeTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (kPoly ^ (c >> 1)) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = MakeTable();
+
+}  // namespace
+
+std::uint32_t Crc32Init() { return 0xFFFFFFFFu; }
+
+std::uint32_t Crc32Update(std::uint32_t crc, std::span<const std::uint8_t> data) {
+  for (std::uint8_t byte : data) {
+    crc = kTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc;
+}
+
+std::uint32_t Crc32Final(std::uint32_t crc) { return crc ^ 0xFFFFFFFFu; }
+
+std::uint32_t Crc32(std::span<const std::uint8_t> data) {
+  return Crc32Final(Crc32Update(Crc32Init(), data));
+}
+
+}  // namespace proteus

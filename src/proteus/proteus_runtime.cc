@@ -332,6 +332,9 @@ ProteusRunSummary ProteusRuntime::Train(int target_clock) {
   summary.final_objective = agileml_->ComputeObjective();
   summary.model_shards = agileml_->model().shards();
   summary.shard_imbalance = agileml_->model().ShardImbalance();
+  summary.checkpoint_bytes_written = agileml_->checkpoint_bytes_written_total();
+  summary.checkpoint_bytes_restored = agileml_->checkpoint_bytes_restored_total();
+  summary.restore_clocks_lost = agileml_->restore_clocks_lost_total();
   return summary;
 }
 

@@ -98,6 +98,12 @@ struct ProteusRunSummary {
   std::vector<double> objective_trace;  // When objective_every > 0.
   int model_shards = 1;
   double shard_imbalance = 1.0;  // At end of run.
+  // Durability traffic (PR 6): checkpoint bytes serialized out of /
+  // restored into the model over the run, and how many completed clocks
+  // checkpoint restores rolled back (a subset of `lost_clocks`).
+  std::uint64_t checkpoint_bytes_written = 0;
+  std::uint64_t checkpoint_bytes_restored = 0;
+  int restore_clocks_lost = 0;
 };
 
 class ProteusRuntime {

@@ -69,6 +69,13 @@ void EncodeBody(WireWriter& w, const ReliableFrameMsg& m) {
   w.Blob(m.payload);
 }
 
+void EncodeBody(WireWriter& w, const RecoveryNoticeMsg& m) {
+  w.I32(m.depth);
+  w.I64(m.restored_clock);
+  w.I32(m.lost_clocks);
+  w.VarU64(m.checkpoint_epoch);
+}
+
 template <typename T>
 std::optional<Message> Finish(WireReader& r, T&& value) {
   if (r.failed() || !r.AtEnd()) {
@@ -158,6 +165,14 @@ std::optional<Message> DecodeBody(MessageType type, WireReader& r) {
       m.payload = r.Blob().value_or(std::vector<std::uint8_t>{});
       return Finish(r, std::move(m));
     }
+    case MessageType::kRecoveryNotice: {
+      RecoveryNoticeMsg m;
+      m.depth = r.I32().value_or(0);
+      m.restored_clock = r.I64().value_or(0);
+      m.lost_clocks = r.I32().value_or(0);
+      m.checkpoint_epoch = r.VarU64().value_or(0);
+      return Finish(r, std::move(m));
+    }
   }
   return std::nullopt;
 }
@@ -186,6 +201,9 @@ MessageType TypeOf(const Message& message) {
     MessageType operator()(const ReliableFrameMsg&) const {
       return MessageType::kReliableFrame;
     }
+    MessageType operator()(const RecoveryNoticeMsg&) const {
+      return MessageType::kRecoveryNotice;
+    }
   };
   return std::visit(Visitor{}, message);
 }
@@ -212,6 +230,8 @@ const char* MessageTypeName(MessageType type) {
       return "shard_delta";
     case MessageType::kReliableFrame:
       return "reliable_frame";
+    case MessageType::kRecoveryNotice:
+      return "recovery_notice";
   }
   return "unknown";
 }
@@ -227,7 +247,7 @@ std::optional<Message> DecodeMessage(std::span<const std::uint8_t> frame) {
   WireReader r(frame);
   const auto tag = r.U8();
   if (!tag.has_value() || *tag < 1 ||
-      *tag > static_cast<std::uint8_t>(MessageType::kReliableFrame)) {
+      *tag > static_cast<std::uint8_t>(MessageType::kRecoveryNotice)) {
     return std::nullopt;
   }
   return DecodeBody(static_cast<MessageType>(*tag), r);

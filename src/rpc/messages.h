@@ -32,6 +32,7 @@ enum class MessageType : std::uint8_t {
   kWorkerReady = 8,
   kShardDelta = 9,
   kReliableFrame = 10,
+  kRecoveryNotice = 11,
 };
 
 // AgileML -> BidBrain at start-up (§5: "a ZMQ message that specifies
@@ -117,10 +118,21 @@ struct ReliableFrameMsg {
   std::vector<std::uint8_t> payload;
 };
 
+// Controller broadcast after a multi-level recovery (see
+// src/agileml/recovery_manager.h): tells every worker which escalation
+// depth ran, the clock training resumed from, and — for durable
+// restores — the checkpoint epoch that supplied the state.
+struct RecoveryNoticeMsg {
+  std::int32_t depth = 0;  // RecoveryDepth as an integer.
+  std::int64_t restored_clock = 0;
+  std::int32_t lost_clocks = 0;
+  std::uint64_t checkpoint_epoch = 0;  // 0 = no durable epoch involved.
+};
+
 using Message =
     std::variant<AppCharacteristicsMsg, AllocationRequestMsg, AllocationGrantMsg,
                  EvictionNoticeMsg, ReadParamMsg, ParamValueMsg, UpdateParamMsg,
-                 WorkerReadyMsg, ShardDeltaMsg, ReliableFrameMsg>;
+                 WorkerReadyMsg, ShardDeltaMsg, ReliableFrameMsg, RecoveryNoticeMsg>;
 
 // Frames (type tag + payload) any message.
 std::vector<std::uint8_t> EncodeMessage(const Message& message);

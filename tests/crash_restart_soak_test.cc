@@ -1,0 +1,94 @@
+// Crash/restart soak (ctest label: "soak"): every recovery depth of the
+// escalation ladder, across many seeds and corruption levels, must
+// restore byte-identical state with zero auditor violations and never
+// load an injected corrupted frame.
+//
+// Run alone with `ctest -L soak`; exclude with `ctest -LE soak`.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/chaos/crash_restart.h"
+
+namespace proteus {
+namespace {
+
+class CrashRestartSoakTest : public ::testing::Test {
+ protected:
+  CrashRestartSoakTest() {
+    RatingsConfig rc;
+    rc.users = 300;
+    rc.items = 150;
+    rc.ratings = 10000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 4;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  CrashRestartConfig Config(CrashScenario scenario, std::uint64_t seed) const {
+    CrashRestartConfig config;
+    config.agileml.num_partitions = 8;
+    config.agileml.data_blocks = 64;
+    config.agileml.parallel_execution = false;
+    config.agileml.backup_sync_every = 3;
+    config.agileml.seed = seed;
+    config.scenario = scenario;
+    config.horizon = 24;
+    config.checkpoint_every = 4;
+    config.crash_at = 15;
+    config.seed = seed;
+    return config;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(CrashRestartSoakTest, EveryDepthByteIdenticalAcrossSeeds) {
+  constexpr int kSeeds = 25;
+  for (const CrashScenario scenario :
+       {CrashScenario::kBackupPromotion, CrashScenario::kActiveRebuild,
+        CrashScenario::kDurableRestore}) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const CrashRestartResult result =
+          RunCrashRestart(app_.get(), Config(scenario, seed));
+      ASSERT_TRUE(result.digest_match)
+          << CrashScenarioName(scenario) << " seed " << seed
+          << ": post-recovery digest differs from the pre-crash reference";
+      ASSERT_TRUE(result.violations.empty())
+          << CrashScenarioName(scenario) << " seed " << seed << ": "
+          << result.violations.size() << " auditor violation(s), first: "
+          << result.violations.front().invariant << " — "
+          << result.violations.front().detail;
+    }
+  }
+}
+
+TEST_F(CrashRestartSoakTest, CorruptedEpochsAreAlwaysSkippedNeverLoaded) {
+  constexpr int kSeeds = 15;
+  for (int corrupt = 1; corrupt <= 3; ++corrupt) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      CrashRestartConfig config = Config(CrashScenario::kDurableRestore, seed);
+      config.corrupt_newest_epochs = corrupt;
+      const CrashRestartResult result = RunCrashRestart(app_.get(), config);
+      ASSERT_EQ(result.corrupt_frames_injected, corrupt)
+          << "seed " << seed << " corrupt " << corrupt;
+      ASSERT_EQ(result.corrupt_epochs_skipped, corrupt)
+          << "seed " << seed << " corrupt " << corrupt;
+      ASSERT_EQ(result.scrub_corruptions_found,
+                static_cast<std::uint64_t>(corrupt))
+          << "seed " << seed << " corrupt " << corrupt;
+      ASSERT_TRUE(result.digest_match)
+          << "seed " << seed << " corrupt " << corrupt
+          << ": loaded state does not match a committed epoch";
+      ASSERT_TRUE(result.violations.empty())
+          << "seed " << seed << " corrupt " << corrupt;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proteus

@@ -126,6 +126,22 @@ TEST_F(ProteusRuntimeTest, StatusReflectsProgress) {
   EXPECT_GE(status.cost_so_far, 0.0);
 }
 
+TEST_F(ProteusRuntimeTest, SummarySurfacesCheckpointTraffic) {
+  ProteusConfig config = Config();
+  config.checkpoint_every = 4;  // Stage-1 insurance cadence (§3.3).
+  ProteusRuntime runtime(app_.get(), &catalog_, &traces_, &estimator_, config, 11 * kDay);
+  const ProteusRunSummary summary = runtime.Train(12);
+  EXPECT_GT(summary.checkpoint_bytes_written, 0u)
+      << "periodic CheckpointReliable must serialize model bytes";
+  EXPECT_EQ(summary.checkpoint_bytes_written,
+            runtime.agileml().checkpoint_bytes_written_total());
+  // Restores only happen on failures; when they do, the clocks they roll
+  // back are a subset of all lost clocks.
+  EXPECT_LE(summary.restore_clocks_lost, summary.lost_clocks);
+  EXPECT_EQ(summary.checkpoint_bytes_restored,
+            runtime.agileml().checkpoint_bytes_restored_total());
+}
+
 TEST_F(ProteusRuntimeTest, ObjectiveTraceRecorded) {
   ProteusConfig config = Config();
   config.objective_every = 5;
