@@ -7,13 +7,18 @@
 //
 // Usage: chaos_soak [schedules=50] [base_seed=1]
 //                   [--trace_out=PATH] [--metrics_out=PATH]
+//                   [--ledger_out=PATH] [--flight_out=PATH]
 //
 // With --trace_out the run emits a Chrome trace_event JSON (Perfetto)
 // containing every fault-injection instant and the recovery spans that
 // follow, and the report gains a per-fault-class recovery-time
 // breakdown aggregated from those spans. Timestamps are the runtime's
 // virtual clock, so two runs with the same seed produce byte-identical
-// traces.
+// traces. --ledger_out adds the causal event ledger (JSONL) that
+// proteus_analyze turns into critical-path and cost reports, and any
+// failing exit (auditor violation, digest mismatch) dumps a
+// FlightRecorder post-mortem to --flight_out (default
+// flight_recorder.json).
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -306,15 +311,22 @@ int RunLossyLinkSection(int schedules, std::uint64_t base_seed,
 }  // namespace proteus
 
 int main(int argc, char** argv) {
-  // Strips --trace_out= / --metrics_out= before positional parsing.
+  // Strips the --*_out= observability flags before positional parsing.
   proteus::bench::ObsSession obs_session(argc, argv);
   const int schedules = argc > 1 ? std::atoi(argv[1]) : 50;
   const std::uint64_t base_seed =
       argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 1;
   if (schedules <= 0) {
     std::fprintf(stderr, "usage: %s [schedules] [base_seed] [--trace_out=PATH] "
-                         "[--metrics_out=PATH]\n", argv[0]);
+                         "[--metrics_out=PATH] [--ledger_out=PATH] "
+                         "[--flight_out=PATH]\n", argv[0]);
     return 2;
   }
-  return proteus::RunSoak(schedules, base_seed);
+  const int rc = proteus::RunSoak(schedules, base_seed);
+  if (rc != 0) {
+    // Ship the evidence with the failure: the recent causal event
+    // window plus the chain that led to the last recorded event.
+    obs_session.DumpFlightRecorder("chaos_soak: failing exit code " + std::to_string(rc));
+  }
+  return rc;
 }

@@ -1,0 +1,105 @@
+// proteus_analyze: where did my run's time and money go?
+//
+// Ingests the observability artifacts a bench run wrote (causal event
+// ledger, Chrome trace, metrics snapshot) and emits a deterministic
+// machine-readable report: per-clock critical-path breakdown, straggler
+// attribution, cost-of-reliability split (paper Fig 8/9), recovery
+// post-mortems, and rollback/audit summaries. CI archives the report
+// next to BENCH_micro_ops.json and fails on any unattributed clock
+// stall or ledger gap (--check).
+//
+// Usage: proteus_analyze --ledger=PATH [--trace=PATH] [--metrics=PATH]
+//                        [--out=PATH] [--check]
+//                        [--rate_reliable=0.199] [--rate_transient=0.035]
+//                        [--top=10]
+//
+// Only the ledger is required. Without --out the report prints to
+// stdout. With --check the exit code is non-zero when any clock's time
+// could not be fully attributed or the ledger has structural gaps —
+// byte-identical inputs produce byte-identical reports, so the report
+// doubles as a determinism fixture.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/support.h"
+#include "src/obs/analyze/analyze.h"
+#include "src/obs/json.h"
+
+int main(int argc, char** argv) {
+  using proteus::bench::TakeFlag;
+  using proteus::bench::TakeSwitch;
+
+  const std::string ledger_path = TakeFlag(argc, argv, "ledger");
+  const std::string trace_path = TakeFlag(argc, argv, "trace");
+  const std::string metrics_path = TakeFlag(argc, argv, "metrics");
+  const std::string out_path = TakeFlag(argc, argv, "out");
+  const std::string rate_reliable = TakeFlag(argc, argv, "rate_reliable");
+  const std::string rate_transient = TakeFlag(argc, argv, "rate_transient");
+  const std::string top = TakeFlag(argc, argv, "top");
+  const bool check = TakeSwitch(argc, argv, "check");
+
+  if (ledger_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: %s --ledger=PATH [--trace=PATH] [--metrics=PATH] "
+                 "[--out=PATH] [--check] [--rate_reliable=R] "
+                 "[--rate_transient=R] [--top=N]\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::string ledger_jsonl;
+  if (!proteus::obs::ReadFileToString(ledger_path, &ledger_jsonl)) {
+    std::fprintf(stderr, "proteus_analyze: cannot read ledger %s\n", ledger_path.c_str());
+    return 2;
+  }
+  std::string trace_json;
+  if (!trace_path.empty() && !proteus::obs::ReadFileToString(trace_path, &trace_json)) {
+    std::fprintf(stderr, "proteus_analyze: cannot read trace %s\n", trace_path.c_str());
+    return 2;
+  }
+  std::string metrics_json;
+  if (!metrics_path.empty() &&
+      !proteus::obs::ReadFileToString(metrics_path, &metrics_json)) {
+    std::fprintf(stderr, "proteus_analyze: cannot read metrics %s\n", metrics_path.c_str());
+    return 2;
+  }
+
+  proteus::obs::analyze::AnalyzeOptions options;
+  if (!rate_reliable.empty()) {
+    options.rate_reliable_per_hour = std::strtod(rate_reliable.c_str(), nullptr);
+  }
+  if (!rate_transient.empty()) {
+    options.rate_transient_per_hour = std::strtod(rate_transient.c_str(), nullptr);
+  }
+  if (!top.empty()) {
+    options.critical_path_top = std::atoi(top.c_str());
+  }
+
+  const proteus::obs::analyze::AnalyzeResult result =
+      proteus::obs::analyze::AnalyzeRun(ledger_jsonl, trace_json, metrics_json, options);
+  if (!result.error.empty()) {
+    std::fprintf(stderr, "proteus_analyze: %s\n", result.error.c_str());
+    return 2;
+  }
+
+  if (out_path.empty()) {
+    std::fputs(result.report_json.c_str(), stdout);
+  } else if (proteus::obs::WriteStringToFile(out_path, result.report_json)) {
+    std::fprintf(stderr, "report: wrote %zu bytes to %s\n", result.report_json.size(),
+                 out_path.c_str());
+  } else {
+    std::fprintf(stderr, "proteus_analyze: cannot write %s\n", out_path.c_str());
+    return 2;
+  }
+
+  if (result.unattributed_clocks > 0 || result.ledger_gaps > 0) {
+    std::fprintf(stderr,
+                 "proteus_analyze: %d unattributed clock(s), %d ledger gap(s)\n",
+                 result.unattributed_clocks, result.ledger_gaps);
+    if (check) {
+      return 1;
+    }
+  }
+  return 0;
+}

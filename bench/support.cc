@@ -53,13 +53,24 @@ ObsSession* CurrentObsSession() { return g_session; }
 
 ObsSession::ObsSession(int& argc, char** argv)
     : trace_path_(TakeFlag(argc, argv, "trace_out")),
-      metrics_path_(TakeFlag(argc, argv, "metrics_out")) {
+      metrics_path_(TakeFlag(argc, argv, "metrics_out")),
+      ledger_path_(TakeFlag(argc, argv, "ledger_out")),
+      recorder_(&ledger_) {
+  const std::string flight_path = TakeFlag(argc, argv, "flight_out");
+  if (!flight_path.empty()) {
+    recorder_.SetDumpPath(flight_path);
+  }
+  recorder_.InstallFatalHook();
   g_session = this;
 }
 
 ObsSession::~ObsSession() {
   Flush();
   g_session = nullptr;
+}
+
+void ObsSession::DumpFlightRecorder(const std::string& reason) {
+  recorder_.Dump(reason);
 }
 
 void ObsSession::Flush() {
@@ -77,13 +88,22 @@ void ObsSession::Flush() {
   }
   if (!metrics_path_.empty()) {
     const obs::MetricsSnapshot snapshot = metrics_.Snapshot();
-    const bool ok = EndsWith(metrics_path_, ".csv") ? snapshot.WriteCsv(metrics_path_)
-                                                    : snapshot.WriteText(metrics_path_);
+    const bool ok = EndsWith(metrics_path_, ".csv")    ? snapshot.WriteCsv(metrics_path_)
+                    : EndsWith(metrics_path_, ".json") ? snapshot.WriteJson(metrics_path_)
+                                                       : snapshot.WriteText(metrics_path_);
     if (ok) {
       std::fprintf(stderr, "metrics: wrote %zu series to %s\n", snapshot.points.size(),
                    metrics_path_.c_str());
     } else {
       std::fprintf(stderr, "metrics: failed to write %s\n", metrics_path_.c_str());
+    }
+  }
+  if (!ledger_path_.empty()) {
+    if (ledger_.WriteJsonl(ledger_path_)) {
+      std::fprintf(stderr, "ledger: wrote %zu events to %s\n", ledger_.size(),
+                   ledger_path_.c_str());
+    } else {
+      std::fprintf(stderr, "ledger: failed to write %s\n", ledger_path_.c_str());
     }
   }
 }

@@ -24,6 +24,8 @@
 #include "src/bidbrain/eviction_estimator.h"
 #include "src/chaos/harness.h"
 #include "src/market/spot_market.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/proteus/job_simulator.h"
@@ -40,17 +42,27 @@ std::string TakeFlag(int& argc, char** argv, const char* name);
 // Pops a bare `--name` switch out of argv; returns whether it was present.
 bool TakeSwitch(int& argc, char** argv, const char* name);
 
-// --- Observability session (--trace_out= / --metrics_out=) ---
+// --- Observability session (--trace_out= / --metrics_out= /
+//     --ledger_out= / --flight_out=) ---
 //
-// Every bench accepts two optional flags:
+// Every bench accepts four optional flags:
 //   --trace_out=PATH    Chrome trace_event JSON of the run, viewable in
 //                       Perfetto (ui.perfetto.dev) or chrome://tracing.
 //   --metrics_out=PATH  MetricsRegistry snapshot; a .csv suffix selects
-//                       CSV, anything else the text exposition format.
-// The session owns the Tracer and MetricsRegistry that instrumented
-// runtimes record into, strips the flags it recognizes from argc/argv
-// (positional-argument parsing stays untouched), and writes the
-// requested artifacts when it goes out of scope.
+//                       CSV, a .json suffix the JSON export, anything
+//                       else the text exposition format.
+//   --ledger_out=PATH   Causal event ledger as JSONL — the input
+//                       proteus_analyze turns into critical-path and
+//                       cost-attribution reports.
+//   --flight_out=PATH   Where FlightRecorder post-mortems land (default
+//                       flight_recorder.json) when an auditor violation
+//                       or a PROTEUS_CHECK failure fires.
+// The session owns the Tracer, MetricsRegistry, EventLedger, and
+// FlightRecorder that instrumented runtimes record into, strips the
+// flags it recognizes from argc/argv (positional-argument parsing stays
+// untouched), and writes the requested artifacts when it goes out of
+// scope. The recorder holds the fatal-log hook for the session's
+// lifetime, so a CHECK failure anywhere dumps the recent event window.
 class ObsSession {
  public:
   ObsSession(int& argc, char** argv);
@@ -61,12 +73,29 @@ class ObsSession {
 
   obs::Tracer* tracer() { return &tracer_; }
   obs::MetricsRegistry* metrics() { return &metrics_; }
-  bool enabled() const { return !trace_path_.empty() || !metrics_path_.empty(); }
+  obs::EventLedger* ledger() { return &ledger_; }
+  obs::FlightRecorder* recorder() { return &recorder_; }
+  bool enabled() const {
+    return !trace_path_.empty() || !metrics_path_.empty() || !ledger_path_.empty();
+  }
 
   // Wires a runtime into this session's sinks.
-  void Attach(AgileMLRuntime& runtime) { runtime.SetObservability(&tracer_, &metrics_); }
-  void Attach(ProteusRuntime& runtime) { runtime.SetObservability(&tracer_, &metrics_); }
-  void Attach(ChaosHarness& harness) { harness.SetObservability(&tracer_, &metrics_); }
+  void Attach(AgileMLRuntime& runtime) {
+    runtime.SetObservability(&tracer_, &metrics_);
+    runtime.SetLedger(&ledger_);
+  }
+  void Attach(ProteusRuntime& runtime) {
+    runtime.SetObservability(&tracer_, &metrics_);
+    runtime.SetLedger(&ledger_);
+  }
+  void Attach(ChaosHarness& harness) {
+    harness.SetObservability(&tracer_, &metrics_);
+    harness.SetLedger(&ledger_, &recorder_);
+  }
+
+  // Writes a FlightRecorder post-mortem to the configured --flight_out
+  // path right now (used by benches on a failing exit).
+  void DumpFlightRecorder(const std::string& reason);
 
   // Writes the requested artifacts now (idempotent; the destructor
   // calls it too).
@@ -75,8 +104,11 @@ class ObsSession {
  private:
   std::string trace_path_;
   std::string metrics_path_;
+  std::string ledger_path_;
   obs::Tracer tracer_;
   obs::MetricsRegistry metrics_;
+  obs::EventLedger ledger_;
+  obs::FlightRecorder recorder_;
   bool flushed_ = false;
 };
 

@@ -49,6 +49,8 @@ void RecoveryManager::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry
   last_depth_gauge_ = metrics_->GetGauge("recovery.last_depth");
 }
 
+void RecoveryManager::SetLedger(obs::EventLedger* ledger) { ledger_ = ledger; }
+
 void RecoveryManager::OnClockBoundary() {
   ++boundaries_;
   if (config_.checkpoint_every > 0 && boundaries_ % config_.checkpoint_every == 0) {
@@ -58,13 +60,24 @@ void RecoveryManager::OnClockBoundary() {
     const ScrubReport report = store_->Scrub();
     ++scrubs_run_;
     scrub_corruptions_found_ += report.corrupt_objects.size();
+    if (ledger_ != nullptr) {
+      ledger_->Record("recovery.scrub", "recovery", runtime_->total_time(),
+                      {{"corrupt_found",
+                        static_cast<std::int64_t>(report.corrupt_objects.size())}});
+    }
   }
 }
 
 void RecoveryManager::ForceCheckpoint() {
+  obs::EventId region = obs::kNoEvent;
+  if (ledger_ != nullptr) {
+    region = ledger_->Open("recovery.checkpoint", "recovery", runtime_->total_time(),
+                           {{"clock", static_cast<std::int64_t>(runtime_->clock())}});
+  }
   runtime_->CheckpointReliable();
   last_checkpoint_clock_ = runtime_->clock();
   ++checkpoints_written_;
+  std::int64_t durable_committed = 0;
   if (store_ != nullptr) {
     // Mirror the snapshot the runtime just took: serialization is
     // canonical, so the durable bytes are bit-identical to the
@@ -73,7 +86,11 @@ void RecoveryManager::ForceCheckpoint() {
         store_->WriteCheckpoint(runtime_->model(), runtime_->clock());
     if (result.committed) {
       ++durable_commits_;
+      durable_committed = 1;
     }
+  }
+  if (ledger_ != nullptr) {
+    ledger_->Close(region, 0.0, {{"durable_committed", durable_committed}});
   }
 }
 
@@ -126,6 +143,13 @@ RecoveryOutcome RecoveryManager::Recover(const std::vector<NodeId>& failed) {
   RecoveryOutcome outcome;
   outcome.depth = Classify(failed);
   const SimDuration at = runtime_->total_time();
+  obs::EventId step_event = obs::kNoEvent;
+  if (ledger_ != nullptr) {
+    // Everything the ladder does — the runtime's rollback, checkpoint
+    // restore, eviction records — lands inside this causal region.
+    step_event = ledger_->Open("recovery.step", "recovery", at,
+                               {{"failed", static_cast<std::int64_t>(failed.size())}});
+  }
 
   if (outcome.depth == RecoveryDepth::kDurableRestore) {
     // Load *before* Fail(): the failure path refuses to proceed without
@@ -173,6 +197,16 @@ RecoveryOutcome RecoveryManager::Recover(const std::vector<NodeId>& failed) {
     // restored state is the only copy, and a second correlated loss
     // before then must still find a checkpoint.
     ForceCheckpoint();
+  }
+  if (ledger_ != nullptr) {
+    ledger_->Close(step_event, runtime_->total_time() - at,
+                   {{"depth", std::string(RecoveryDepthName(outcome.depth))},
+                    {"lost_clocks", static_cast<std::int64_t>(outcome.lost_clocks)},
+                    {"restored_clock", static_cast<std::int64_t>(outcome.restored_clock)},
+                    {"durable_epoch", static_cast<std::int64_t>(outcome.durable_epoch)},
+                    {"used_durable", static_cast<std::int64_t>(outcome.used_durable)},
+                    {"corrupt_epochs_skipped",
+                     static_cast<std::int64_t>(outcome.corrupt_epochs_skipped)}});
   }
   return outcome;
 }

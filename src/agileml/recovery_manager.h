@@ -31,6 +31,7 @@
 
 #include "src/agileml/runtime.h"
 #include "src/common/types.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ps/checkpoint_store.h"
@@ -75,6 +76,12 @@ class RecoveryManager {
 
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  // Attaches the causal event ledger. Recover() becomes a
+  // "recovery.step" causal region — the rollbacks, checkpoints, and
+  // restores the runtime performs on its behalf are recorded as its
+  // children. Checkpoint cadence and scrubs record leaf events.
+  void SetLedger(obs::EventLedger* ledger);
+
   // Call once per clock boundary (before RunClock). Handles the
   // checkpoint cadence and periodic scrubbing.
   void OnClockBoundary();
@@ -114,6 +121,7 @@ class RecoveryManager {
   std::uint64_t scrub_corruptions_found_ = 0;
 
   obs::Tracer* tracer_ = nullptr;
+  obs::EventLedger* ledger_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* depth_counters_[4] = {nullptr, nullptr, nullptr, nullptr};
   obs::Counter* durable_restores_counter_ = nullptr;

@@ -93,6 +93,8 @@ void AgileMLRuntime::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry*
       {0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 60.0, 120.0, 300.0});
 }
 
+void AgileMLRuntime::SetLedger(obs::EventLedger* ledger) { ledger_ = ledger; }
+
 const NodeInfo& AgileMLRuntime::Node(NodeId id) const {
   for (const auto& node : nodes_) {
     if (node.id == id) {
@@ -154,6 +156,13 @@ void AgileMLRuntime::TransitionRoles(const std::set<NodeId>& leaving, bool force
       // Zero-duration span: role moves are instantaneous in virtual time;
       // their cost lands in the next clock's stall (recovery.stall span).
       tracer_->SpanAt(total_time_, 0.0, "stage.transition", "agileml",
+                      {{"from", std::string(StageName(roles_.stage))},
+                       {"to", std::string(StageName(next.stage))},
+                       {"clock", static_cast<std::int64_t>(clock_)},
+                       {"forced", static_cast<std::int64_t>(forced ? 1 : 0)}});
+    }
+    if (ledger_ != nullptr) {
+      ledger_->Record("stage.transition", "agileml", total_time_,
                       {{"from", std::string(StageName(roles_.stage))},
                        {"to", std::string(StageName(next.stage))},
                        {"clock", static_cast<std::int64_t>(clock_)},
@@ -292,6 +301,11 @@ void AgileMLRuntime::AddNodes(const std::vector<NodeInfo>& new_nodes) {
                        {{"count", static_cast<std::int64_t>(new_nodes.size())},
                         {"clock", static_cast<std::int64_t>(clock_)}});
   }
+  if (ledger_ != nullptr && !new_nodes.empty()) {
+    ledger_->Record("nodes.add", "agileml", total_time_,
+                    {{"count", static_cast<std::int64_t>(new_nodes.size())},
+                     {"clock", static_cast<std::int64_t>(clock_)}});
+  }
 }
 
 void AgileMLRuntime::IncorporateReady() {
@@ -340,6 +354,12 @@ void AgileMLRuntime::IncorporateReady() {
                         {"stage", std::string(StageName(roles_.stage))},
                         {"clock", static_cast<std::int64_t>(clock_)}});
   }
+  if (ledger_ != nullptr) {
+    ledger_->Record("nodes.incorporate", "agileml", total_time_,
+                    {{"count", static_cast<std::int64_t>(newly.size())},
+                     {"stage", std::string(StageName(roles_.stage))},
+                     {"clock", static_cast<std::int64_t>(clock_)}});
+  }
   PROTEUS_LOG(Debug) << "incorporated " << newly.size() << " nodes; stage "
                      << StageName(roles_.stage);
 }
@@ -369,6 +389,11 @@ void AgileMLRuntime::Evict(const std::vector<NodeId>& node_ids) {
     tracer_->InstantAt(total_time_, "nodes.evict", "agileml",
                        {{"count", static_cast<std::int64_t>(leaving.size())},
                         {"clock", static_cast<std::int64_t>(clock_)}});
+  }
+  if (ledger_ != nullptr) {
+    ledger_->Record("nodes.evict", "agileml", total_time_,
+                    {{"count", static_cast<std::int64_t>(leaving.size())},
+                     {"clock", static_cast<std::int64_t>(clock_)}});
   }
   TransitionRoles(leaving, /*forced=*/true);
   for (const NodeId id : leaving) {
@@ -428,6 +453,15 @@ int AgileMLRuntime::FailInternal(const std::vector<NodeId>& node_ids, bool durab
                        {{"count", static_cast<std::int64_t>(dead.size())},
                         {"clock", static_cast<std::int64_t>(clock_)}});
   }
+  obs::EventId fail_event = obs::kNoEvent;
+  if (ledger_ != nullptr) {
+    fail_event = ledger_->Record(
+        "nodes.fail", "agileml", total_time_,
+        {{"count", static_cast<std::int64_t>(dead.size())},
+         {"clock", static_cast<std::int64_t>(clock_)},
+         {"lost_server_state", static_cast<std::int64_t>(lost_server_state ? 1 : 0)},
+         {"lost_reliable_ps", static_cast<std::int64_t>(lost_reliable_ps ? 1 : 0)}});
+  }
 
   int lost_clocks = 0;
   [[maybe_unused]] const std::int64_t rollback_notices_before =
@@ -463,6 +497,16 @@ int AgileMLRuntime::FailInternal(const std::vector<NodeId>& node_ids, bool durab
                        {"lost_clocks", static_cast<std::int64_t>(lost_clocks)},
                        {"to_clock", static_cast<std::int64_t>(clock_)},
                        {"failed_nodes", static_cast<std::int64_t>(dead.size())}});
+    }
+    if (ledger_ != nullptr) {
+      // Causal parent is the failure that forced the rollback, not the
+      // ambient region — analysis can tell fault-driven rollbacks apart.
+      ledger_->RecordWithParent(
+          "rollback", "agileml", total_time_, fail_event,
+          {{"kind", std::string("backup")},
+           {"lost_clocks", static_cast<std::int64_t>(lost_clocks)},
+           {"to_clock", static_cast<std::int64_t>(clock_)},
+           {"failed_nodes", static_cast<std::int64_t>(dead.size())}});
     }
   } else if (lost_reliable_ps) {
     // A reliable ParamServ died in stage 1: only a checkpoint can save
@@ -519,6 +563,11 @@ void AgileMLRuntime::CheckpointReliable() {
     checkpoint_bytes_written_counter_->Add(checkpoint_bytes);
   }
   checkpoint_ = Checkpoint{std::move(blobs), clock_};
+  if (ledger_ != nullptr) {
+    ledger_->Record("checkpoint", "agileml", total_time_,
+                    {{"clock", static_cast<std::int64_t>(clock_)},
+                     {"bytes", static_cast<std::int64_t>(checkpoint_bytes)}});
+  }
   // Charge the checkpoint write: each reliable node holding solution
   // state streams its share to durable storage in the background. In
   // stage 3 reliable nodes have no foreground role, so this is free —
@@ -582,6 +631,13 @@ int AgileMLRuntime::RestoreFromCheckpoint() {
                     {{"kind", std::string("checkpoint")},
                      {"lost_clocks", static_cast<std::int64_t>(lost)},
                      {"to_clock", static_cast<std::int64_t>(clock_)}});
+  }
+  if (ledger_ != nullptr) {
+    ledger_->Record("rollback", "agileml", total_time_,
+                    {{"kind", std::string("checkpoint")},
+                     {"lost_clocks", static_cast<std::int64_t>(lost)},
+                     {"to_clock", static_cast<std::int64_t>(clock_)},
+                     {"bytes_restored", static_cast<std::int64_t>(restored_bytes)}});
   }
   // Worker clocks must follow the runtime clock backwards, or the next
   // RunClock would violate ClockTable's monotonic-advance invariant.
@@ -657,6 +713,15 @@ void AgileMLRuntime::SyncAllToBackups(TrafficClass cls) {
 
 IterationReport AgileMLRuntime::RunClock() {
   const SimDuration clock_start = total_time_;
+  // Open the clock's causal region first: everything recorded until the
+  // matching Close (comm accounting, backup syncs, detector verdicts,
+  // detector-driven failure handling) is a child of this clock.
+  obs::EventId clock_event = obs::kNoEvent;
+  if (ledger_ != nullptr) {
+    clock_event = ledger_->Open("clock", "agileml", clock_start,
+                                {{"clock", static_cast<std::int64_t>(clock_)}});
+    last_clock_event_ = clock_event;
+  }
   fabric_.BeginRound();
   const SimDuration stall = ChargeQueuedTransfers();
 
@@ -771,19 +836,39 @@ IterationReport AgileMLRuntime::RunClock() {
   if (push_coalesced_saved_counter_ != nullptr) {
     push_coalesced_saved_counter_->Add(push_saved_bytes);
   }
+  if (ledger_ != nullptr) {
+    ledger_->Record("pull", "agileml", clock_start,
+                    {{"bytes", static_cast<std::int64_t>(pull_bytes)}});
+    ledger_->Record("push", "agileml", clock_start,
+                    {{"bytes", static_cast<std::int64_t>(push_bytes)},
+                     {"coalesced_saved", static_cast<std::int64_t>(push_saved_bytes)}});
+  }
 
   // --- Active -> Backup streaming (stages 2/3) ---
   if (roles_.UsesBackups() && (clock_ + 1) % config_.backup_sync_every == 0) {
     SyncAllToBackups(TrafficClass::kBackground);
     last_sync_clock_ = clock_ + 1;
+    if (ledger_ != nullptr) {
+      ledger_->Record("backup.sync", "agileml", clock_start,
+                      {{"synced_clock", static_cast<std::int64_t>(clock_ + 1)}});
+    }
   }
 
   // --- Virtual timing ---
   IterationReport report;
   const double cost_per_item = app_->CostPerItem();
+  SimDuration gate_compute = 0.0;  // Gating node's own compute / comm.
+  SimDuration gate_comm = 0.0;
+  std::int64_t ready_reliable = 0;
+  std::int64_t ready_transient = 0;
   for (const auto& node : nodes_) {
     if (!IsReady(node.id)) {
       continue;
+    }
+    if (node.reliable()) {
+      ++ready_reliable;
+    } else {
+      ++ready_transient;
     }
     SimDuration compute = 0.0;
     if (roles_.worker_nodes.count(node.id) > 0) {
@@ -802,12 +887,29 @@ IterationReport AgileMLRuntime::RunClock() {
     if (total > report.bottleneck_time) {
       report.bottleneck_time = total;
       report.bottleneck_node = node.id;
+      gate_compute = compute;
+      gate_comm = comm;
     }
   }
+  bool gated_by_compute = gate_compute >= gate_comm;
   if (config_.bisection_bandwidth > 0.0) {
     const SimDuration fabric_floor =
         static_cast<SimDuration>(fabric_.RoundTotalBytes()) / config_.bisection_bandwidth;
-    report.bottleneck_time = std::max(report.bottleneck_time, fabric_floor);
+    if (fabric_floor > report.bottleneck_time) {
+      report.bottleneck_time = fabric_floor;
+      gated_by_compute = false;  // The core switch, not any node, gates.
+    }
+  }
+  // Serialized split of the critical path: the gating resource counts in
+  // full, the other contributes only its non-overlapped residue; any
+  // bisection-floor excess is transport. The two sides reassemble into
+  // bottleneck_time exactly — the analyzer's 100%-attribution invariant.
+  {
+    const double residue = 1.0 - config_.comm_compute_overlap;
+    SimDuration compute_part = gated_by_compute ? gate_compute : residue * gate_compute;
+    compute_part = std::min(compute_part, report.bottleneck_time);
+    report.critical_compute = compute_part;
+    report.critical_transport = report.bottleneck_time - compute_part;
   }
   report.duration = report.bottleneck_time + config_.barrier_overhead + stall;
   report.stall = stall;
@@ -831,13 +933,18 @@ IterationReport AgileMLRuntime::RunClock() {
   if (stall_seconds_counter_ != nullptr && stall > 0.0) {
     stall_seconds_counter_->Add(static_cast<std::uint64_t>(stall * 1e6));
   }
+  const double backup_lag_clocks =
+      roles_.UsesBackups() ? static_cast<double>(clock_ - last_sync_clock_) : 0.0;
   if (backup_lag_gauge_ != nullptr) {
-    backup_lag_gauge_->Set(roles_.UsesBackups()
-                               ? static_cast<double>(clock_ - last_sync_clock_)
-                               : 0.0);
+    backup_lag_gauge_->Set(backup_lag_clocks);
   }
   if (worker_nodes_gauge_ != nullptr) {
     worker_nodes_gauge_->Set(static_cast<double>(report.worker_nodes));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->CounterAt(total_time_, "backup_lag_clocks", "agileml", backup_lag_clocks);
+    tracer_->CounterAt(total_time_, "worker_nodes", "agileml",
+                       static_cast<double>(report.worker_nodes));
   }
   model_.UpdateShardGauges();
   if (tracer_ != nullptr) {
@@ -878,22 +985,39 @@ IterationReport AgileMLRuntime::RunClock() {
                              {{"node", static_cast<std::int64_t>(id)},
                               {"clock", static_cast<std::int64_t>(clock_)}});
         }
+        if (ledger_ != nullptr) {
+          ledger_->Record("detector.recovered", "agileml", total_time_,
+                          {{"node", static_cast<std::int64_t>(id)},
+                           {"clock", static_cast<std::int64_t>(clock_)}});
+        }
       }
       ++beats;
     }
     if (beats > 0) {
       control_log_.Record(ControlMessage::kHeartbeat, beats);
+      if (ledger_ != nullptr) {
+        ledger_->Record("heartbeat", "agileml", total_time_, {{"beats", beats}});
+      }
     }
     const FailureDetectorReport fd = detector_.Poll(clock_);
     for (const NodeId id : fd.newly_suspected) {
       control_log_.Record(ControlMessage::kSuspicionNotice);
       if (detector_suspicions_counter_ != nullptr) {
         detector_suspicions_counter_->Increment();
+        if (tracer_ != nullptr) {
+          tracer_->CounterAt(total_time_, "detector_suspicions", "agileml",
+                             static_cast<double>(detector_suspicions_counter_->value()));
+        }
       }
       if (tracer_ != nullptr) {
         tracer_->InstantAt(total_time_, "detector.suspected", "agileml",
                            {{"node", static_cast<std::int64_t>(id)},
                             {"clock", static_cast<std::int64_t>(clock_)}});
+      }
+      if (ledger_ != nullptr) {
+        ledger_->Record("detector.suspected", "agileml", total_time_,
+                        {{"node", static_cast<std::int64_t>(id)},
+                         {"clock", static_cast<std::int64_t>(clock_)}});
       }
     }
     if (!fd.confirmed_dead.empty()) {
@@ -912,12 +1036,34 @@ IterationReport AgileMLRuntime::RunClock() {
                               {"missed_clocks", death.missed_clocks},
                               {"clock", static_cast<std::int64_t>(clock_)}});
         }
+        if (ledger_ != nullptr) {
+          ledger_->Record("detector.confirmed_dead", "agileml", total_time_,
+                          {{"node", static_cast<std::int64_t>(death.node)},
+                           {"missed_clocks", death.missed_clocks},
+                           {"clock", static_cast<std::int64_t>(clock_)}});
+        }
       }
       Fail(report.confirmed_dead);
     }
   }
 
   IncorporateReady();
+  if (ledger_ != nullptr && clock_event != obs::kNoEvent) {
+    ledger_->Close(clock_event, report.duration,
+                   {{"stage", std::string(StageName(report.stage))},
+                    {"workers", static_cast<std::int64_t>(report.worker_nodes)},
+                    {"reliable_nodes", ready_reliable},
+                    {"transient_nodes", ready_transient},
+                    {"t_compute", report.critical_compute},
+                    {"t_transport", report.critical_transport},
+                    {"stall", report.stall},
+                    {"barrier", config_.barrier_overhead},
+                    {"gate", std::string(gated_by_compute ? "compute" : "transport")},
+                    {"bottleneck_node", static_cast<std::int64_t>(report.bottleneck_node)},
+                    {"pull_bytes", static_cast<std::int64_t>(pull_bytes)},
+                    {"push_bytes", static_cast<std::int64_t>(push_bytes)},
+                    {"total_bytes", static_cast<std::int64_t>(report.total_bytes)}});
+  }
   return report;
 }
 

@@ -33,6 +33,7 @@
 #include "src/common/thread_pool.h"
 #include "src/common/types.h"
 #include "src/net/fabric.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ps/clock_table.h"
@@ -100,6 +101,13 @@ struct IterationReport {
   SimDuration max_comm = 0.0;         // Slowest node's comm time.
   SimDuration bottleneck_time = 0.0;  // compute+comm of the gating node.
   NodeId bottleneck_node = kInvalidNode;
+  // Decomposition of bottleneck_time into the gating node's serialized
+  // compute and transport shares (overlap-adjusted; a bisection floor
+  // lands on the transport side). critical_compute + critical_transport
+  // == bottleneck_time by construction — the event ledger and
+  // proteus_analyze build per-clock critical-path attribution from it.
+  SimDuration critical_compute = 0.0;
+  SimDuration critical_transport = 0.0;
   std::uint64_t total_bytes = 0;      // All wire bytes this clock.
   // Pipeline stall from forced (eviction/failure-handling) transfers;
   // already included in `duration`. The chaos harness attributes this to
@@ -128,6 +136,17 @@ class AgileMLRuntime {
   // runtime's virtual time; counters/gauges register in `metrics`.
   // Either may be nullptr; call before RunClock for complete traces.
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  // Attaches the causal event ledger. Each RunClock opens a "clock"
+  // region so everything recorded during it (push/pull accounting,
+  // backup syncs, heartbeats, detector verdicts, detector-driven
+  // rollbacks) carries the clock as its causal parent; elasticity and
+  // failure handling emit their own events. May be nullptr.
+  void SetLedger(obs::EventLedger* ledger);
+  // Ledger id of the most recent "clock" region — the causal anchor for
+  // after-the-clock observers (the ConsistencyAuditor parents its
+  // violation events here).
+  obs::EventId last_clock_event() const { return last_clock_event_; }
 
   // Executes one clock of work and advances virtual time.
   IterationReport RunClock();
@@ -298,6 +317,8 @@ class AgileMLRuntime {
   // worker thread pool.
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventLedger* ledger_ = nullptr;
+  obs::EventId last_clock_event_ = obs::kNoEvent;
   obs::Counter* pull_bytes_counter_ = nullptr;
   obs::Counter* push_bytes_counter_ = nullptr;
   // Bytes saved by coalescing pushes into delta batches (legacy per-row

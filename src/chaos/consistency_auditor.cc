@@ -18,6 +18,11 @@ void ConsistencyAuditor::SetObservability(obs::Tracer* tracer, obs::MetricsRegis
   metrics_ = metrics;
 }
 
+void ConsistencyAuditor::SetLedger(obs::EventLedger* ledger, obs::FlightRecorder* recorder) {
+  ledger_ = ledger;
+  recorder_ = recorder;
+}
+
 void ConsistencyAuditor::Add(const std::string& invariant, const std::string& detail) {
   violations_.push_back({invariant, detail, runtime_->clock()});
   if (metrics_ != nullptr) {
@@ -28,6 +33,21 @@ void ConsistencyAuditor::Add(const std::string& invariant, const std::string& de
                        {{"invariant", invariant},
                         {"detail", detail},
                         {"clock", static_cast<std::int64_t>(runtime_->clock())}});
+  }
+  if (ledger_ != nullptr) {
+    // Parent to the clock whose boundary exposed the invariant break —
+    // the causal chain then leads from the violation to the offending
+    // clock (and through it to the fault/rollback that set it up).
+    const obs::EventId violation = ledger_->RecordWithParent(
+        "audit.violation", "chaos", runtime_->total_time(),
+        runtime_->last_clock_event(),
+        {{"invariant", invariant},
+         {"detail", detail},
+         {"clock", static_cast<std::int64_t>(runtime_->clock())}});
+    if (recorder_ != nullptr && !dumped_) {
+      dumped_ = true;
+      recorder_->Dump("audit.violation: " + invariant + ": " + detail, violation);
+    }
   }
 }
 

@@ -38,6 +38,8 @@
 #include <vector>
 
 #include "src/agileml/runtime.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rpc/channel.h"
@@ -59,6 +61,13 @@ class ConsistencyAuditor {
   // "audit.violation" instant on the "chaos" track at the runtime's
   // current virtual time. Either pointer may be nullptr.
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
+
+  // Attaches the causal event ledger (and, optionally, a flight
+  // recorder). Every violation records an "audit.violation" ledger
+  // event parented to the clock that exposed it, and the *first*
+  // violation triggers one recorder dump so the post-mortem carries the
+  // pristine crime scene. Either pointer may be nullptr.
+  void SetLedger(obs::EventLedger* ledger, obs::FlightRecorder* recorder);
 
   // Call exactly once after every RunClock(). Elasticity operations
   // (Evict/Fail/AddNodes/checkpoint/restore) may happen freely between
@@ -88,6 +97,9 @@ class ConsistencyAuditor {
   const AgileMLRuntime* runtime_;
   obs::Tracer* tracer_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
+  obs::EventLedger* ledger_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  bool dumped_ = false;  // One auto-dump per run: the first violation.
   std::vector<AuditViolation> violations_;
   bool has_prev_ = false;
   Clock prev_clock_ = 0;

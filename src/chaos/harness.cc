@@ -141,6 +141,14 @@ void ChaosHarness::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* m
   recovery_->SetObservability(tracer, metrics);
 }
 
+void ChaosHarness::SetLedger(obs::EventLedger* ledger, obs::FlightRecorder* recorder) {
+  ledger_ = ledger;
+  runtime_->SetLedger(ledger);
+  control_channel_.SetLedger(ledger, "controller");
+  auditor_.SetLedger(ledger, recorder);
+  recovery_->SetLedger(ledger);
+}
+
 std::vector<NodeId> ChaosHarness::ReadyTransientIds() const {
   std::vector<NodeId> out;
   for (const NodeInfo& node : runtime_->ReadyNodes()) {
@@ -531,6 +539,14 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
 
 ChaosRunResult ChaosHarness::Run() {
   ChaosRunResult result;
+  obs::EventId run_event = obs::kNoEvent;
+  const SimDuration run_start = runtime_->total_time();
+  if (ledger_ != nullptr) {
+    run_event = ledger_->Open(
+        "run", "chaos", run_start,
+        {{"seed", static_cast<std::int64_t>(config_.seed)},
+         {"horizon", static_cast<std::int64_t>(config_.schedule.horizon)}});
+  }
   for (Clock boundary = 0; boundary < config_.schedule.horizon; ++boundary) {
     boundary_ = boundary;
     // Detector-driven rollbacks happened inside the previous RunClock;
@@ -589,7 +605,21 @@ ChaosRunResult ChaosHarness::Run() {
     for (const FaultEvent& event : due) {
       const int lost_before = runtime_->lost_clocks_total();
       const std::int64_t ctrl_before = runtime_->control_log().Total();
+      obs::EventId fault_event = obs::kNoEvent;
+      if (ledger_ != nullptr) {
+        // Open before Apply: whatever the fault forces — evictions,
+        // rollbacks, recovery-ladder steps — records as its children.
+        fault_event = ledger_->Open(
+            "fault", "chaos", runtime_->total_time(),
+            {{"class", std::string(FaultClassName(event.cls))},
+             {"magnitude", static_cast<std::int64_t>(event.magnitude)},
+             {"boundary", static_cast<std::int64_t>(boundary)}});
+      }
       if (!Apply(event)) {
+        if (ledger_ != nullptr) {
+          ledger_->Close(fault_event, 0.0,
+                         {{"applied", static_cast<std::int64_t>(0)}});
+        }
         deferred_.push_back(event);
         continue;
       }
@@ -607,6 +637,13 @@ ChaosRunResult ChaosHarness::Run() {
             std::string("fault.") + FaultClassName(event.cls), "chaos",
             {{"magnitude", static_cast<std::int64_t>(event.magnitude)},
              {"boundary", static_cast<std::int64_t>(boundary)},
+             {"lost_clocks",
+              static_cast<std::int64_t>(runtime_->lost_clocks_total() - lost_before)}});
+      }
+      if (ledger_ != nullptr) {
+        ledger_->Close(
+            fault_event, 0.0,
+            {{"applied", static_cast<std::int64_t>(1)},
              {"lost_clocks",
               static_cast<std::int64_t>(runtime_->lost_clocks_total() - lost_before)}});
       }
@@ -695,6 +732,12 @@ ChaosRunResult ChaosHarness::Run() {
   result.final_clock = runtime_->clock();
   result.lost_clocks_total = runtime_->lost_clocks_total();
   result.virtual_time = runtime_->total_time();
+  if (ledger_ != nullptr) {
+    ledger_->Close(run_event, runtime_->total_time() - run_start,
+                   {{"clocks_run", static_cast<std::int64_t>(result.clocks_run)},
+                    {"final_clock", static_cast<std::int64_t>(result.final_clock)},
+                    {"lost_clocks", static_cast<std::int64_t>(result.lost_clocks_total)}});
+  }
   result.final_objective = runtime_->ComputeObjective();
   result.violations = auditor_.violations();
   result.control_sent = control_channel_.messages_sent();

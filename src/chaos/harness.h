@@ -25,6 +25,8 @@
 #include "src/agileml/runtime.h"
 #include "src/chaos/consistency_auditor.h"
 #include "src/chaos/fault_injector.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/ps/checkpoint_store.h"
@@ -121,6 +123,14 @@ class ChaosHarness {
   // the runtime's virtual time, so same-seed traces are bit-identical.
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  // Attaches the causal event ledger (and optional flight recorder) to
+  // the whole chaos stack: Run() becomes a "run" causal region, every
+  // applied fault a "fault" region whose rollbacks/recoveries are its
+  // children, and auditor violations auto-dump the recorder. The ledger
+  // never feeds ChaosRunResult::Digest(), so chaos determinism digests
+  // are unchanged. Either pointer may be nullptr.
+  void SetLedger(obs::EventLedger* ledger, obs::FlightRecorder* recorder);
+
   // Executes the full schedule; returns the run report.
   ChaosRunResult Run();
 
@@ -188,6 +198,7 @@ class ChaosHarness {
 
   // Observability sinks (optional) and per-class fault counters.
   obs::Tracer* tracer_ = nullptr;
+  obs::EventLedger* ledger_ = nullptr;
   std::array<obs::Counter*, kNumFaultClasses> fault_counters_{};
 };
 

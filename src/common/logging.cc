@@ -19,6 +19,10 @@ std::atomic<int>& MinLevel() {
   return level;
 }
 
+std::atomic<void (*)(const char*, void*)> g_fatal_hook{nullptr};
+std::atomic<void*> g_fatal_hook_arg{nullptr};
+std::atomic<bool> g_in_fatal_hook{false};
+
 const char* LevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
@@ -37,6 +41,11 @@ const char* LevelName(LogLevel level) {
 }  // namespace
 
 void SetLogLevel(LogLevel level) { MinLevel().store(static_cast<int>(level)); }
+
+void SetFatalHook(void (*hook)(const char* message, void* arg), void* arg) {
+  g_fatal_hook_arg.store(arg);
+  g_fatal_hook.store(hook);
+}
 
 LogLevel GetLogLevel() { return static_cast<LogLevel>(MinLevel().load()); }
 
@@ -76,6 +85,10 @@ LogMessage::~LogMessage() {
     std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {
+    auto* hook = g_fatal_hook.load();
+    if (hook != nullptr && !g_in_fatal_hook.exchange(true)) {
+      hook(stream_.str().c_str(), g_fatal_hook_arg.load());
+    }
     std::abort();
   }
 }

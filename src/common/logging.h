@@ -30,6 +30,15 @@ LogLevel GetLogLevel();
 // for anything else (including nullptr).
 std::optional<LogLevel> ParseLogLevel(const char* value);
 
+// Invoked once, after a fatal message is printed and before abort().
+// Lets crash tooling (the obs::FlightRecorder) persist a post-mortem of
+// the run that tripped a PROTEUS_CHECK/DCHECK. The hook must be
+// async-signal-unsafe-tolerant only in the sense that it runs on the
+// failing thread during normal control flow (not from a signal
+// handler); re-entrant fatals while the hook runs skip it. Pass nullptr
+// to uninstall.
+void SetFatalHook(void (*hook)(const char* message, void* arg), void* arg);
+
 namespace log_internal {
 
 class LogMessage {

@@ -1,0 +1,73 @@
+// proteus_analyze: turns a run's observability dumps (event ledger +
+// Chrome trace + metrics snapshot) into the accounting the paper argues
+// with — where every second and every dollar of a training run went.
+//
+// Inputs are the artifacts ObsSession writes (--ledger_out= JSONL,
+// --trace_out= Chrome JSON, --metrics_out= JSON); only the ledger is
+// required. The analyzer replays the ledger's causal event stream and
+// produces a deterministic REPORT json:
+//
+//   - per-clock critical-path attribution: for every executed training
+//     clock, which node gated it and whether the time was compute,
+//     transport, rollback (work a later rollback discarded), recovery
+//     (re-execution of rolled-back clocks + recovery stalls), or idle
+//     (barrier overhead). Every second of virtual wall-clock lands in
+//     exactly one bucket — an unattributable clock is reported and
+//     fails `--check` (that is the "ledger gap" CI gate);
+//   - straggler attribution: per-node counts/seconds of clocks gated,
+//     plus a histogram;
+//   - cost of reliability (paper Fig 8/9): dollars split across
+//     {transient, reliable, recovery, wasted-evicted} from per-clock
+//     tier populations and configurable hourly rates, normalized to the
+//     billed total when the ledger carries proteus cost samples;
+//   - recovery post-mortems: ladder depth, lost clocks, restore epochs;
+//   - rollback and audit-violation summaries.
+//
+// Same-seed ledgers produce byte-identical reports (the golden test
+// also holds the report fixed across worker thread counts: every value
+// derives from the deterministic virtual-time model, not from
+// scheduling).
+#ifndef SRC_OBS_ANALYZE_ANALYZE_H_
+#define SRC_OBS_ANALYZE_ANALYZE_H_
+
+#include <string>
+
+namespace proteus {
+namespace obs {
+namespace analyze {
+
+struct AnalyzeOptions {
+  // Hourly rates used to turn per-clock tier populations into dollars
+  // when the run has no market (chaos runs). Defaults approximate the
+  // paper's c4.xlarge on-demand price and a deep-discount spot price.
+  double rate_reliable_per_hour = 0.199;
+  double rate_transient_per_hour = 0.035;
+  // How many slowest clocks the critical_path section lists.
+  int critical_path_top = 10;
+};
+
+struct AnalyzeResult {
+  std::string report_json;  // Deterministic REPORT_*.json payload.
+  // Clocks whose recorded duration could not be fully decomposed into
+  // {compute, transport, rollback, recovery, idle} (missing args or a
+  // component-sum mismatch) — the "unattributed clock stall" gate.
+  int unattributed_clocks = 0;
+  // Structural holes: non-contiguous event ids, clock-count mismatch
+  // against the run summary, or unparseable input.
+  int ledger_gaps = 0;
+  std::string error;  // Non-empty when inputs failed to parse.
+
+  bool ok() const { return error.empty() && unattributed_clocks == 0 && ledger_gaps == 0; }
+};
+
+// `ledger_jsonl` is required; `trace_json` / `metrics_json` may be
+// empty strings (their report sections are then omitted).
+AnalyzeResult AnalyzeRun(const std::string& ledger_jsonl, const std::string& trace_json,
+                         const std::string& metrics_json,
+                         const AnalyzeOptions& options = {});
+
+}  // namespace analyze
+}  // namespace obs
+}  // namespace proteus
+
+#endif  // SRC_OBS_ANALYZE_ANALYZE_H_

@@ -1,0 +1,92 @@
+// FlightRecorder: a bounded ring of recent ledger events per component,
+// dumped to disk when something goes wrong.
+//
+// The recorder subscribes to an EventLedger and keeps, for every
+// component ("agileml", "rpc", "chaos", ...), the ids of the last N
+// events that component recorded. When a ConsistencyAuditor violation
+// fires, a PROTEUS_CHECK/DCHECK aborts (via the logging fatal hook), or
+// chaos_soak exits non-zero, Dump() writes a JSON post-mortem: the
+// trigger reason, the anchor event's full causal chain back to the
+// root, and each component's recent-event window — so a soak failure
+// ships the evidence instead of just a seed number.
+//
+// The rings are arrays of atomic event ids with a monotonically
+// increasing write cursor: the writer (called under the ledger's lock,
+// so effectively single-threaded) never blocks on a reader, and a
+// concurrent Dump() sees a consistent-enough window without taking any
+// lock on the hot path. Event payloads are fetched from the ledger at
+// dump time, so the rings stay tiny (8 bytes per slot).
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/ledger.h"
+
+namespace proteus {
+namespace obs {
+
+class FlightRecorder {
+ public:
+  // Subscribes to `ledger` (installs itself as the ledger observer).
+  // The ledger must outlive the recorder.
+  explicit FlightRecorder(EventLedger* ledger, std::size_t ring_capacity = 512);
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // Where auto-dumps (auditor violations, fatal hook) land.
+  void SetDumpPath(std::string path);
+  const std::string& dump_path() const { return dump_path_; }
+
+  // Renders the post-mortem: {"reason","anchor","chain":[...],
+  // "components":{name:[events oldest->newest]}}. Anchor kNoEvent =>
+  // no chain (e.g. a fatal with no event in hand); the chain walks
+  // anchor -> parent -> ... -> root through the full ledger, not just
+  // the rings, so it always reaches the violating event's cause.
+  std::string DumpToString(const std::string& reason, EventId anchor = kNoEvent) const;
+
+  // Writes DumpToString to `path` / to the configured dump path.
+  // Returns false (and logs) on I/O failure.
+  bool DumpToFile(const std::string& path, const std::string& reason,
+                  EventId anchor = kNoEvent) const;
+  bool Dump(const std::string& reason, EventId anchor = kNoEvent) const;
+
+  // Routes PROTEUS_CHECK/PROTEUS_DCHECK failures through this recorder:
+  // the fatal log message becomes the dump reason and the most recent
+  // event the anchor. Only one recorder can hold the hook; destruction
+  // releases it.
+  void InstallFatalHook();
+
+  std::size_t ring_capacity() const { return capacity_; }
+
+ private:
+  struct Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+    std::vector<std::atomic<EventId>> slots;
+    std::atomic<std::uint64_t> next{0};  // Total writes; slot = next % capacity.
+  };
+
+  void OnEvent(const LedgerEvent& event);
+  // Snapshot of one ring, oldest -> newest.
+  std::vector<EventId> RingContents(const Ring& ring) const;
+
+  EventLedger* ledger_;
+  const std::size_t capacity_;
+  std::string dump_path_ = "flight_recorder.json";
+  std::atomic<EventId> last_event_{kNoEvent};
+  mutable std::mutex rings_mu_;  // Guards the map shape, not the slots.
+  std::map<std::string, std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace obs
+}  // namespace proteus
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

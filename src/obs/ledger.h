@@ -1,0 +1,118 @@
+// EventLedger: a deterministic, causally-linked structured event log.
+//
+// Where the Tracer answers "what happened when", the ledger answers
+// "what happened *because of what*": every event carries the id of the
+// event that caused it. Causality is captured with an ambient context
+// stack — a component that starts a causal region (a training clock, a
+// fault injection, a recovery-ladder step) Opens an event, everything
+// recorded while it is open becomes its child, and Close fills in the
+// duration and summary args once the region's outcome is known. Regions
+// nest (fault -> rollback -> checkpoint restore), and events recorded
+// outside any region are roots (parent 0).
+//
+// All timestamps are virtual (simulated) seconds supplied by the
+// caller, and ids are a 1-based append sequence, so a same-seed run
+// produces a byte-identical ledger — the property proteus_analyze's
+// golden test and CI determinism gate rely on. Export is JSONL (one
+// event per line) through the shared src/obs/json.h helpers.
+//
+// Thread safety: all mutation is serialized on an internal mutex. The
+// instrumented control paths (RunClock, chaos harness, recovery ladder)
+// are single-threaded per run, so the lock is uncontended; the observer
+// hook (used by the FlightRecorder) is invoked under the lock and must
+// not call back into the ledger.
+#ifndef SRC_OBS_LEDGER_H_
+#define SRC_OBS_LEDGER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/obs/trace.h"
+
+namespace proteus {
+namespace obs {
+
+// 0 means "no event" (roots have parent 0).
+using EventId = std::uint64_t;
+inline constexpr EventId kNoEvent = 0;
+
+struct LedgerEvent {
+  EventId id = kNoEvent;
+  EventId parent = kNoEvent;
+  double ts = 0.0;   // Virtual seconds.
+  double dur = 0.0;  // Virtual seconds; non-zero for closed regions.
+  std::string kind;       // "clock", "rollback", "rpc.retransmit", ...
+  std::string component;  // "agileml", "rpc", "chaos", "recovery", "proteus".
+  TraceArgs args;
+};
+
+class EventLedger {
+ public:
+  // Called (under the ledger lock) for every event as it is first
+  // recorded; Close does not re-notify. Must not re-enter the ledger.
+  using Observer = std::function<void(const LedgerEvent&)>;
+
+  EventLedger() = default;
+  EventLedger(const EventLedger&) = delete;
+  EventLedger& operator=(const EventLedger&) = delete;
+
+  void SetObserver(Observer observer);
+
+  // Records a leaf event parented to the innermost open region (or as a
+  // root if none is open).
+  EventId Record(std::string kind, std::string component, double ts,
+                 TraceArgs args = {});
+  // Records a leaf event with an explicit causal parent — used where
+  // causality flows through state rather than the call stack (e.g. a
+  // retransmit parented to the original send carried in the ARQ window).
+  EventId RecordWithParent(std::string kind, std::string component, double ts,
+                           EventId parent, TraceArgs args = {});
+
+  // Opens a causal region: records the event and pushes it on the
+  // context stack so subsequent events become its children. Close pops
+  // it (regions must close innermost-first) and fills in duration and
+  // args. Closing with id 0 is a no-op, so instrumentation can be
+  // written unconditionally.
+  EventId Open(std::string kind, std::string component, double ts,
+               TraceArgs args = {});
+  void Close(EventId id, double dur, TraceArgs args = {});
+
+  // Innermost open region, or kNoEvent.
+  EventId current() const;
+
+  std::size_t size() const;
+  // Copy of one event (default-constructed if out of range) / of the
+  // whole log. Copies, because the backing vector reallocates.
+  LedgerEvent Get(EventId id) const;
+  std::vector<LedgerEvent> Events() const;
+  // The causal chain anchor -> ... -> root (anchor first).
+  std::vector<LedgerEvent> Chain(EventId anchor) const;
+
+  void Clear();
+
+  // JSONL export: {"id":..,"parent":..,"ts":..,"dur":..,"kind":..,
+  // "component":..,"args":{..}} per line, byte-deterministic.
+  std::string ToJsonl() const;
+  bool WriteJsonl(const std::string& path) const;
+
+ private:
+  EventId Append(std::string kind, std::string component, double ts, EventId parent,
+                 TraceArgs args);
+
+  mutable std::mutex mu_;
+  std::vector<LedgerEvent> events_;
+  std::vector<EventId> context_;
+  Observer observer_;
+};
+
+// Renders one event as a single-line JSON object (no trailing newline);
+// shared by ToJsonl and the FlightRecorder dump format.
+void AppendLedgerEventJson(std::string& out, const LedgerEvent& event);
+
+}  // namespace obs
+}  // namespace proteus
+
+#endif  // SRC_OBS_LEDGER_H_

@@ -6,37 +6,23 @@
 #include <sstream>
 
 #include "src/common/logging.h"
+#include "src/obs/json.h"
 
 namespace proteus {
 namespace obs {
 
 namespace {
 
-// Deterministic number formatting shared by the text/CSV exporters:
-// integers print without a decimal point, everything else as %.9g.
+// Deterministic number formatting shared by the text/CSV/JSON
+// exporters: integers print without a decimal point, everything else as
+// %.9g (non-finite clamped by FormatJsonDouble so JSON stays valid).
 std::string FormatValue(double v) {
   char buf[64];
   if (v == static_cast<double>(static_cast<long long>(v)) && std::abs(v) < 1e15) {
     std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(v));
-  } else {
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
   }
-  return buf;
-}
-
-bool WriteStringToFile(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    PROTEUS_LOG(Error) << "cannot open " << path << " for writing";
-    return false;
-  }
-  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  std::fclose(f);
-  if (written != content.size()) {
-    PROTEUS_LOG(Error) << "short write to " << path;
-    return false;
-  }
-  return true;
+  return FormatJsonDouble(v);
 }
 
 Labels SortedLabels(Labels labels) {
@@ -163,12 +149,60 @@ std::string MetricsSnapshot::ToCsv() const {
   return out.str();
 }
 
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\"metrics\":[";
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    const MetricPoint& point = points[p];
+    out += p == 0 ? "\n" : ",\n";
+    out += "{\"name\":";
+    AppendJsonString(out, point.name);
+    out += ",\"labels\":{";
+    for (std::size_t i = 0; i < point.labels.size(); ++i) {
+      if (i > 0) {
+        out += ',';
+      }
+      AppendJsonString(out, point.labels[i].first);
+      out += ':';
+      AppendJsonString(out, point.labels[i].second);
+    }
+    out += "},\"kind\":";
+    AppendJsonString(out, MetricKindName(point.kind));
+    out += ",\"value\":";
+    out += FormatValue(point.value);
+    if (point.kind == MetricKind::kHistogram) {
+      out += ",\"count\":" + std::to_string(point.count);
+      out += ",\"bounds\":[";
+      for (std::size_t i = 0; i < point.bounds.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        AppendJsonNumber(out, point.bounds[i]);
+      }
+      out += "],\"buckets\":[";
+      for (std::size_t i = 0; i < point.buckets.size(); ++i) {
+        if (i > 0) {
+          out += ',';
+        }
+        out += std::to_string(point.buckets[i]);
+      }
+      out += ']';
+    }
+    out += '}';
+  }
+  out += "\n]}\n";
+  return out;
+}
+
 bool MetricsSnapshot::WriteText(const std::string& path) const {
   return WriteStringToFile(path, ToText());
 }
 
 bool MetricsSnapshot::WriteCsv(const std::string& path) const {
   return WriteStringToFile(path, ToCsv());
+}
+
+bool MetricsSnapshot::WriteJson(const std::string& path) const {
+  return WriteStringToFile(path, ToJson());
 }
 
 MetricsRegistry::Series& MetricsRegistry::GetSeries(const std::string& name,

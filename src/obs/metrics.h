@@ -105,9 +105,14 @@ struct MetricsSnapshot {
   std::string ToText() const;
   // CSV with header `name,labels,kind,value,count`.
   std::string ToCsv() const;
+  // {"metrics":[{"name":..,"labels":{..},"kind":..,"value":..},...]} in
+  // the same deterministic (name, labels) order as text/CSV; histograms
+  // carry "count"/"bounds"/"buckets". proteus_analyze reads this form.
+  std::string ToJson() const;
   // Returns false (and logs) on I/O failure.
   bool WriteText(const std::string& path) const;
   bool WriteCsv(const std::string& path) const;
+  bool WriteJson(const std::string& path) const;
 };
 
 class MetricsRegistry {

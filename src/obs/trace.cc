@@ -1,9 +1,9 @@
 #include "src/obs/trace.h"
 
 #include <chrono>
-#include <cstdio>
 
 #include "src/common/logging.h"
+#include "src/obs/json.h"
 
 namespace proteus {
 namespace obs {
@@ -15,50 +15,13 @@ double WallSeconds() {
   return std::chrono::duration<double>(Clock::now().time_since_epoch()).count();
 }
 
-// %.9g round-trips every timestamp/duration we produce and is stable
-// across runs, which the determinism golden test relies on.
-std::string FormatDouble(double v) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.9g", v);
-  return buf;
-}
-
-void AppendJsonString(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
 void AppendJsonValue(std::string& out, const TraceValue& value) {
   if (const auto* s = std::get_if<std::string>(&value)) {
     AppendJsonString(out, *s);
   } else if (const auto* i = std::get_if<std::int64_t>(&value)) {
-    out += std::to_string(*i);
+    AppendJsonNumber(out, *i);
   } else {
-    out += FormatDouble(std::get<double>(value));
+    AppendJsonNumber(out, std::get<double>(value));
   }
 }
 
@@ -69,7 +32,7 @@ std::string FormatTraceValue(const TraceValue& value) {
   if (const auto* i = std::get_if<std::int64_t>(&value)) {
     return std::to_string(*i);
   }
-  return FormatDouble(std::get<double>(value));
+  return FormatJsonDouble(std::get<double>(value));
 }
 
 }  // namespace
@@ -111,6 +74,11 @@ void Tracer::InstantAt(double ts, std::string name, std::string track, TraceArgs
 
 void Tracer::Instant(std::string name, std::string track, TraceArgs args) {
   InstantAt(Now(), std::move(name), std::move(track), std::move(args));
+}
+
+void Tracer::CounterAt(double ts, std::string name, std::string track, double value) {
+  Record({TraceEvent::Phase::kCounter, std::move(name), std::move(track), ts, 0.0,
+          {{"value", value}}});
 }
 
 void Tracer::Clear() {
@@ -171,12 +139,22 @@ std::string Tracer::ToChromeJson() const {
     comma();
     const int tid = track_ids_.at(event.track);
     out += "{\"ph\":\"";
-    out += event.phase == TraceEvent::Phase::kSpan ? 'X' : 'i';
+    switch (event.phase) {
+      case TraceEvent::Phase::kSpan:
+        out += 'X';
+        break;
+      case TraceEvent::Phase::kInstant:
+        out += 'i';
+        break;
+      case TraceEvent::Phase::kCounter:
+        out += 'C';
+        break;
+    }
     out += "\",\"pid\":1,\"tid\":" + std::to_string(tid) + ",\"ts\":";
-    out += FormatDouble(event.ts * 1e6);  // trace_event ts is microseconds.
+    out += FormatJsonDouble(event.ts * 1e6);  // trace_event ts is microseconds.
     if (event.phase == TraceEvent::Phase::kSpan) {
-      out += ",\"dur\":" + FormatDouble(event.dur * 1e6);
-    } else {
+      out += ",\"dur\":" + FormatJsonDouble(event.dur * 1e6);
+    } else if (event.phase == TraceEvent::Phase::kInstant) {
       out += ",\"s\":\"t\"";  // Thread-scoped instant.
     }
     out += ",\"name\":";
@@ -200,19 +178,7 @@ std::string Tracer::ToChromeJson() const {
 }
 
 bool Tracer::WriteJson(const std::string& path) const {
-  const std::string json = ToChromeJson();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    PROTEUS_LOG(Error) << "cannot open " << path << " for writing";
-    return false;
-  }
-  const std::size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  std::fclose(f);
-  if (written != json.size()) {
-    PROTEUS_LOG(Error) << "short write to " << path;
-    return false;
-  }
-  return true;
+  return WriteStringToFile(path, ToChromeJson());
 }
 
 }  // namespace obs

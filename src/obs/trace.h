@@ -11,9 +11,10 @@
 //
 // ToChromeJson() emits the Trace Event Format understood by Perfetto
 // (ui.perfetto.dev) and chrome://tracing: spans as complete events
-// (ph "X"), instants as ph "i", plus thread_name metadata naming each
-// track. Event args are typed (string / int / double) and formatted
-// deterministically.
+// (ph "X"), instants as ph "i", counter samples as ph "C" (rendered as
+// time-series tracks), plus thread_name metadata naming each track.
+// Event args are typed (string / int / double) and formatted
+// deterministically through the shared src/obs/json.h helpers.
 #ifndef SRC_OBS_TRACE_H_
 #define SRC_OBS_TRACE_H_
 
@@ -33,7 +34,7 @@ using TraceValue = std::variant<std::string, std::int64_t, double>;
 using TraceArgs = std::vector<std::pair<std::string, TraceValue>>;
 
 struct TraceEvent {
-  enum class Phase { kSpan, kInstant };
+  enum class Phase { kSpan, kInstant, kCounter };
   Phase phase = Phase::kInstant;
   std::string name;
   std::string track;
@@ -66,6 +67,11 @@ class Tracer {
 
   // Clock-sampled instant (wall time unless a sim clock is bound).
   void Instant(std::string name, std::string track, TraceArgs args = {});
+
+  // Counter sample (Chrome ph "C"): `name` becomes a time-series track
+  // in Perfetto, stepping to `value` at ts. Gauges that matter over
+  // time (backup lag, detector suspicions, cost total) go through this.
+  void CounterAt(double ts, std::string name, std::string track, double value);
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }

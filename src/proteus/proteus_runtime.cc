@@ -68,9 +68,16 @@ void ProteusRuntime::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry*
   UpdateCostGauges();
 }
 
+void ProteusRuntime::SetLedger(obs::EventLedger* ledger) {
+  ledger_ = ledger;
+  agileml_->SetLedger(ledger);
+  api_channel_.SetLedger(ledger, "api");
+  controller_channel_.SetLedger(ledger, "controller");
+}
+
 void ProteusRuntime::RecordAllocEvent(const char* event, const TrackedAllocation& tracked,
                                       obs::TraceArgs extra) {
-  if (tracer_ == nullptr) {
+  if (tracer_ == nullptr && ledger_ == nullptr) {
     return;
   }
   const Allocation& alloc = market_.Get(tracked.id);
@@ -80,10 +87,24 @@ void ProteusRuntime::RecordAllocEvent(const char* event, const TrackedAllocation
   for (auto& kv : extra) {
     args.push_back(std::move(kv));
   }
-  tracer_->InstantAt(now_, std::string("alloc.") + event, "proteus", std::move(args));
+  if (ledger_ != nullptr) {
+    ledger_->Record(std::string("alloc.") + event, "proteus", now_, args);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->InstantAt(now_, std::string("alloc.") + event, "proteus", std::move(args));
+  }
 }
 
 void ProteusRuntime::UpdateCostGauges() {
+  if (ledger_ != nullptr || tracer_ != nullptr) {
+    const Money total = ComputeTotalJobBill(market_, now_).cost;
+    if (ledger_ != nullptr) {
+      ledger_->Record("cost.sample", "proteus", now_, {{"dollars", total}});
+    }
+    if (tracer_ != nullptr) {
+      tracer_->CounterAt(now_, "cost_dollars", "proteus", total);
+    }
+  }
   if (metrics_ == nullptr) {
     return;
   }

@@ -26,6 +26,7 @@
 #include "src/agileml/runtime.h"
 #include "src/bidbrain/bidbrain.h"
 #include "src/market/spot_market.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/proteus/accounting.h"
@@ -123,6 +124,14 @@ class ProteusRuntime {
   // runtime, BidBrain, and both control channels. Either may be nullptr.
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics);
 
+  // Attaches the causal event ledger: allocation lifecycle events
+  // mirror onto it ("alloc.*", component "proteus"), every Step records
+  // a "cost.sample" carrying the accumulated job bill (the analyzer
+  // normalizes its synthetic cost split to the last sample), and the
+  // call forwards to the embedded AgileML runtime and both control
+  // channels. Pass nullptr to detach.
+  void SetLedger(obs::EventLedger* ledger);
+
   // Runs one training clock, advancing market time and processing all
   // market events (decisions, warnings, evictions, renewals) that fall
   // inside it.
@@ -201,6 +210,7 @@ class ProteusRuntime {
   // cost gauges are registered lazily as allocations appear; allocation
   // ids restart at 0 every run, so cardinality stays bounded.
   obs::Tracer* tracer_ = nullptr;
+  obs::EventLedger* ledger_ = nullptr;
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Gauge* total_cost_gauge_ = nullptr;
   obs::Counter* acquisitions_counter_ = nullptr;

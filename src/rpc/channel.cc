@@ -21,18 +21,29 @@ void Channel::Send(const Message& message) {
     if (obs::Counter* c = bytes_counters_.For(type)) {
       c->Add(frame.size());
     }
+    const auto ledger_send = [&](const char* outcome) {
+      if (ledger_ != nullptr) {
+        ledger_->Record("rpc.send", "rpc", 0.0,
+                        {{"channel", ledger_name_},
+                         {"type", std::string(MessageTypeName(type))},
+                         {"bytes", static_cast<std::int64_t>(frame.size())},
+                         {"outcome", std::string(outcome)}});
+      }
+    };
     switch (fault.action) {
       case ChannelFault::Action::kDrop:
         ++messages_dropped_;
         if (obs::Counter* c = dropped_counters_.For(type)) {
           c->Increment();
         }
+        ledger_send("drop");
         return;
       case ChannelFault::Action::kDelay:
         ++messages_delayed_;
         if (obs::Counter* c = delayed_counters_.For(type)) {
           c->Increment();
         }
+        ledger_send("delay");
         queue_.push_back({std::move(frame), type, std::max(0, fault.delay_polls)});
         return;
       case ChannelFault::Action::kDuplicate: {
@@ -41,6 +52,7 @@ void Channel::Send(const Message& message) {
         if (obs::Counter* c = duplicated_counters_.For(type)) {
           c->Add(static_cast<std::uint64_t>(copies - 1));
         }
+        ledger_send("dup");
         for (int i = 1; i < copies; ++i) {
           queue_.push_back({frame, type, 0});
         }
@@ -48,6 +60,7 @@ void Channel::Send(const Message& message) {
         return;
       }
       case ChannelFault::Action::kDeliver:
+        ledger_send("deliver");
         queue_.push_back({std::move(frame), type, 0});
         return;
     }
@@ -110,6 +123,12 @@ void Channel::SetObservability(obs::MetricsRegistry* metrics, const std::string&
     duplicated_counters_.by_type[idx] =
         metrics->GetCounter("rpc.messages.duplicated", labels);
   }
+}
+
+void Channel::SetLedger(obs::EventLedger* ledger, const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ledger_ = ledger;
+  ledger_name_ = name;
 }
 
 void Channel::SetFaultHook(ChannelFaultHook hook) {

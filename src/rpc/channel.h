@@ -20,6 +20,7 @@
 #include <optional>
 #include <string>
 
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/rpc/messages.h"
 
@@ -58,6 +59,13 @@ class Channel {
   // name in `metrics`. Pass nullptr to detach.
   void SetObservability(obs::MetricsRegistry* metrics, const std::string& name);
 
+  // Attaches the causal event ledger: every Send() records an
+  // "rpc.send" event carrying the fault outcome
+  // (deliver/drop/delay/dup). The raw channel has no sim clock, so
+  // events carry ts 0; causal order is the ledger append order. Pass
+  // nullptr to detach.
+  void SetLedger(obs::EventLedger* ledger, const std::string& name);
+
   std::size_t pending() const;
   std::uint64_t messages_sent() const;
   std::uint64_t bytes_sent() const;
@@ -87,6 +95,8 @@ class Channel {
   mutable std::mutex mu_;
   std::deque<Entry> queue_;
   ChannelFaultHook fault_hook_;
+  obs::EventLedger* ledger_ = nullptr;
+  std::string ledger_name_;
   TypeCounters sent_counters_;
   TypeCounters bytes_counters_;
   TypeCounters delivered_counters_;

@@ -36,6 +36,13 @@ void ReliableChannel::RefillWindow(double now) {
     entry.attempts = 1;
     entry.first_sent = now;
     entry.next_retx = now + NextTimeout(1);
+    if (ledger_ != nullptr) {
+      entry.send_event = ledger_->Record(
+          "rpc.send.reliable", "rpc", now,
+          {{"channel", ledger_name_},
+           {"seq", static_cast<std::int64_t>(seq)},
+           {"bytes", static_cast<std::int64_t>(entry.payload.size())}});
+    }
     SendDataFrame(seq, entry);
     in_flight_.emplace(seq, std::move(entry));
   }
@@ -95,12 +102,16 @@ std::optional<Message> ReliableChannel::Receive(double now) {
 }
 
 void ReliableChannel::AcceptData(ReliableFrameMsg frame, double now) {
-  (void)now;
   const std::uint64_t seq = frame.seq;
   if (seq <= received_up_to_ || out_of_order_.count(seq) > 0) {
     ++dup_suppressed_;
     if (dup_suppressed_counter_ != nullptr) {
       dup_suppressed_counter_->Increment();
+    }
+    if (ledger_ != nullptr) {
+      ledger_->Record("rpc.dup_suppressed", "rpc", now,
+                      {{"channel", ledger_name_},
+                       {"seq", static_cast<std::int64_t>(seq)}});
     }
     // Re-ack so the sender learns this frame landed even if the
     // original ack was lost.
@@ -147,6 +158,13 @@ void ReliableChannel::Tick(double now) {
                          {{"seq", static_cast<std::int64_t>(seq)},
                           {"attempt", static_cast<std::int64_t>(entry.attempts)}});
     }
+    if (ledger_ != nullptr) {
+      ledger_->RecordWithParent(
+          "rpc.retransmit", "rpc", now, entry.send_event,
+          {{"channel", ledger_name_},
+           {"seq", static_cast<std::int64_t>(seq)},
+           {"attempt", static_cast<std::int64_t>(entry.attempts)}});
+    }
     entry.next_retx = now + NextTimeout(entry.attempts);
     SendDataFrame(seq, entry);
   }
@@ -170,6 +188,14 @@ void ReliableChannel::HandleAck(const ReliableFrameMsg& frame, double now) {
                       {{"seq", static_cast<std::int64_t>(seq)},
                        {"attempts", static_cast<std::int64_t>(it->second.attempts)}});
     }
+    if (ledger_ != nullptr) {
+      ledger_->RecordWithParent(
+          "rpc.delivery", "rpc", now, it->second.send_event,
+          {{"channel", ledger_name_},
+           {"seq", static_cast<std::int64_t>(seq)},
+           {"attempts", static_cast<std::int64_t>(it->second.attempts)},
+           {"rtt", now - it->second.first_sent}});
+    }
     in_flight_.erase(it);
   };
   while (!in_flight_.empty() && in_flight_.begin()->first <= frame.cum_ack) {
@@ -183,6 +209,11 @@ void ReliableChannel::HandleAck(const ReliableFrameMsg& frame, double now) {
 
 bool ReliableChannel::Quiescent() const {
   return in_flight_.empty() && backlog_.empty() && deliverable_.empty();
+}
+
+void ReliableChannel::SetLedger(obs::EventLedger* ledger, const std::string& name) {
+  ledger_ = ledger;
+  ledger_name_ = name;
 }
 
 void ReliableChannel::SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics,

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/rpc/channel.h"
@@ -97,6 +98,14 @@ class ReliableChannel {
   void SetObservability(obs::Tracer* tracer, obs::MetricsRegistry* metrics,
                         const std::string& name);
 
+  // Attaches the causal event ledger. Each first transmission records an
+  // "rpc.send.reliable" event whose id rides in the ARQ window, so every
+  // "rpc.retransmit" and the final "rpc.delivery" are parented to the
+  // send they stem from — causality through state, not the call stack.
+  // Duplicate arrivals record "rpc.dup_suppressed". Pass nullptr to
+  // detach.
+  void SetLedger(obs::EventLedger* ledger, const std::string& name);
+
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t dup_suppressed() const { return dup_suppressed_; }
   std::uint64_t messages_accepted() const { return messages_accepted_; }
@@ -111,6 +120,9 @@ class ReliableChannel {
     int attempts = 0;
     double first_sent = 0.0;
     double next_retx = 0.0;
+    // Ledger id of the original "rpc.send.reliable", carried so later
+    // retransmits/delivery can name their cause.
+    obs::EventId send_event = obs::kNoEvent;
   };
 
   void SendDataFrame(std::uint64_t seq, const InFlight& entry);
@@ -144,6 +156,8 @@ class ReliableChannel {
   std::vector<RetransmitRecord> retransmit_log_;
 
   obs::Tracer* tracer_ = nullptr;
+  obs::EventLedger* ledger_ = nullptr;
+  std::string ledger_name_;
   obs::Counter* retransmits_counter_ = nullptr;
   obs::Counter* dup_suppressed_counter_ = nullptr;
   obs::Histogram* ack_rtt_hist_ = nullptr;

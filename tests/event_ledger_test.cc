@@ -1,0 +1,110 @@
+// EventLedger semantics: causal parents from the ambient context stack,
+// explicit parents through state, chain walks, observer delivery, and
+// byte-deterministic JSONL export.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/obs/json.h"
+#include "src/obs/ledger.h"
+
+namespace proteus {
+namespace obs {
+namespace {
+
+TEST(EventLedger, AmbientContextParentsAndNesting) {
+  EventLedger ledger;
+  const EventId root = ledger.Record("boot", "test", 0.0);
+  EXPECT_EQ(root, 1u);
+  EXPECT_EQ(ledger.Get(root).parent, kNoEvent);
+
+  const EventId run = ledger.Open("run", "test", 0.0);
+  const EventId clock = ledger.Open("clock", "test", 1.0);
+  const EventId push = ledger.Record("push", "test", 1.5, {{"bytes", std::int64_t{64}}});
+  EXPECT_EQ(ledger.Get(run).parent, kNoEvent);
+  EXPECT_EQ(ledger.Get(clock).parent, run);
+  EXPECT_EQ(ledger.Get(push).parent, clock);
+  EXPECT_EQ(ledger.current(), clock);
+
+  ledger.Close(clock, 2.0, {{"gate", std::string("compute")}});
+  EXPECT_EQ(ledger.current(), run);
+  ledger.Close(run, 5.0);
+  EXPECT_EQ(ledger.current(), kNoEvent);
+
+  // Close fills duration and merges args onto the original event.
+  const LedgerEvent closed = ledger.Get(clock);
+  EXPECT_EQ(closed.dur, 2.0);
+  bool saw_gate = false;
+  for (const auto& [key, value] : closed.args) {
+    saw_gate |= key == "gate";
+  }
+  EXPECT_TRUE(saw_gate);
+
+  // Closing id 0 must be a no-op so instrumentation can run unguarded.
+  ledger.Close(kNoEvent, 1.0);
+  EXPECT_EQ(ledger.size(), 4u);
+}
+
+TEST(EventLedger, ExplicitParentAndChain) {
+  EventLedger ledger;
+  const EventId run = ledger.Open("run", "test", 0.0);
+  const EventId send = ledger.Record("rpc.send.reliable", "rpc", 1.0);
+  // A retransmit's cause is the original send, carried through the ARQ
+  // window — not whatever region happens to be open later.
+  const EventId retx = ledger.RecordWithParent("rpc.retransmit", "rpc", 3.0, send);
+  EXPECT_EQ(ledger.Get(retx).parent, send);
+
+  const std::vector<LedgerEvent> chain = ledger.Chain(retx);
+  ASSERT_EQ(chain.size(), 3u);  // retransmit -> send -> run.
+  EXPECT_EQ(chain[0].id, retx);
+  EXPECT_EQ(chain[1].id, send);
+  EXPECT_EQ(chain[2].id, run);
+  ledger.Close(run, 4.0);
+
+  // Chain of an unknown anchor is empty, not a crash.
+  EXPECT_TRUE(ledger.Chain(999).empty());
+}
+
+TEST(EventLedger, ObserverSeesEveryRecordOnceAndJsonlIsStable) {
+  EventLedger ledger;
+  std::vector<EventId> seen;
+  ledger.SetObserver([&seen](const LedgerEvent& event) { seen.push_back(event.id); });
+  const EventId a = ledger.Open("run", "test", 0.0);
+  ledger.Record("clock", "test", 1.0);
+  ledger.Close(a, 2.0);  // Close must NOT re-notify.
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], a);
+
+  const std::string jsonl = ledger.ToJsonl();
+  EXPECT_EQ(jsonl, ledger.ToJsonl());
+  // One line per event, each a parseable JSON object with the schema
+  // fields the analyzer keys on.
+  std::vector<JsonValue> lines;
+  std::string error;
+  ASSERT_TRUE(ParseJsonLines(jsonl, &lines, &error)) << error;
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0].IntField("id"), 1);
+  EXPECT_EQ(lines[0].StringField("kind"), "run");
+  EXPECT_EQ(lines[0].NumberField("dur"), 2.0);
+  EXPECT_EQ(lines[1].IntField("parent"), 1);
+}
+
+TEST(EventLedger, IdsAreContiguousAppendOrder) {
+  EventLedger ledger;
+  for (int i = 0; i < 10; ++i) {
+    ledger.Record("tick", "test", static_cast<double>(i));
+  }
+  const std::vector<LedgerEvent> events = ledger.Events();
+  ASSERT_EQ(events.size(), 10u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].id, i + 1);
+  }
+  ledger.Clear();
+  EXPECT_EQ(ledger.size(), 0u);
+  EXPECT_EQ(ledger.Record("fresh", "test", 0.0), 1u);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace proteus

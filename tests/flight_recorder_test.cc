@@ -1,0 +1,165 @@
+// FlightRecorder post-mortems: an auditor violation must auto-dump a
+// ring snapshot whose causal chain walks from the violation event back
+// through the clock that exposed it to the run's root — the acceptance
+// bar for "a soak failure ships the evidence, not just a seed".
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/agileml/runtime.h"
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/chaos/consistency_auditor.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/json.h"
+#include "src/obs/ledger.h"
+
+namespace proteus {
+namespace {
+
+class FlightRecorderTest : public ::testing::Test {
+ protected:
+  FlightRecorderTest() {
+    RatingsConfig rc;
+    rc.users = 200;
+    rc.items = 100;
+    rc.ratings = 6000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 4;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  AgileMLConfig Config() const {
+    AgileMLConfig config;
+    config.num_partitions = 8;
+    config.data_blocks = 64;
+    config.parallel_execution = false;
+    return config;
+  }
+
+  static std::vector<NodeInfo> Cluster(int reliable, int transient) {
+    std::vector<NodeInfo> nodes;
+    NodeId id = 0;
+    for (int i = 0; i < reliable; ++i) {
+      nodes.push_back({id++, Tier::kReliable, 8, kInvalidAllocation});
+    }
+    for (int i = 0; i < transient; ++i) {
+      nodes.push_back({id++, Tier::kTransient, 8, kInvalidAllocation});
+    }
+    return nodes;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(FlightRecorderTest, AuditorViolationDumpsCausalChainToViolation) {
+  obs::EventLedger ledger;
+  obs::FlightRecorder recorder(&ledger, /*ring_capacity=*/64);
+  const std::string dump_path =
+      ::testing::TempDir() + "/flight_recorder_violation.json";
+  recorder.SetDumpPath(dump_path);
+
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(2, 2));
+  runtime.SetLedger(&ledger);
+  ConsistencyAuditor auditor(&runtime);
+  auditor.SetLedger(&ledger, &recorder);
+
+  const obs::EventId run_event = ledger.Open("run", "chaos", 0.0);
+  runtime.RunClock();
+  auditor.ObserveClock();
+  ASSERT_TRUE(auditor.ok()) << auditor.Report();
+
+  // Observing the same clock boundary twice means progress advanced by
+  // zero since the last observation — the progress-accounting invariant
+  // (no silent loss, no double count) must fire and auto-dump.
+  auditor.ObserveClock();
+  ASSERT_FALSE(auditor.ok());
+  ledger.Close(run_event, runtime.total_time());
+
+  std::string dump_json;
+  ASSERT_TRUE(obs::ReadFileToString(dump_path, &dump_json));
+  obs::JsonValue dump;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(dump_json, &dump, &error)) << error;
+
+  EXPECT_NE(dump.StringField("reason").find("progress-accounting"),
+            std::string::npos);
+
+  // The chain must start at the audit.violation event and reach the
+  // clock that exposed it (its causal parent), ending at a root.
+  const obs::JsonValue* chain = dump.Find("chain");
+  ASSERT_NE(chain, nullptr);
+  ASSERT_GE(chain->items.size(), 2u);
+  EXPECT_EQ(chain->items.front().StringField("kind"), "audit.violation");
+  bool chain_has_clock = false;
+  for (const auto& event : chain->items) {
+    chain_has_clock |= event.StringField("kind") == "clock";
+  }
+  EXPECT_TRUE(chain_has_clock);
+  EXPECT_EQ(chain->items.back().IntField("parent"), 0);
+  EXPECT_EQ(static_cast<obs::EventId>(dump.IntField("anchor")),
+            static_cast<obs::EventId>(chain->items.front().IntField("id")));
+
+  // Component rings carry the recent window, including the violating
+  // component's own events.
+  const obs::JsonValue* components = dump.Find("components");
+  ASSERT_NE(components, nullptr);
+  const obs::JsonValue* chaos_ring = components->Find("chaos");
+  ASSERT_NE(chaos_ring, nullptr);
+  bool ring_has_violation = false;
+  for (const auto& event : chaos_ring->items) {
+    ring_has_violation |= event.StringField("kind") == "audit.violation";
+  }
+  EXPECT_TRUE(ring_has_violation);
+  const obs::JsonValue* agileml_ring = components->Find("agileml");
+  ASSERT_NE(agileml_ring, nullptr);
+  EXPECT_FALSE(agileml_ring->items.empty());
+
+  // Only the first violation dumps: the crime scene stays pristine.
+  std::remove(dump_path.c_str());
+  auditor.ObserveClock();
+  std::string second_dump;
+  EXPECT_FALSE(obs::ReadFileToString(dump_path, &second_dump));
+}
+
+TEST_F(FlightRecorderTest, RingEvictsOldestAndDumpToStringIsSelfContained) {
+  obs::EventLedger ledger;
+  obs::FlightRecorder recorder(&ledger, /*ring_capacity=*/4);
+  const obs::EventId root = ledger.Open("run", "test", 0.0);
+  for (int i = 0; i < 10; ++i) {
+    ledger.Record("tick", "test", static_cast<double>(i),
+                  {{"i", static_cast<std::int64_t>(i)}});
+  }
+  ledger.Close(root, 10.0);
+
+  const std::string dump = recorder.DumpToString("manual", ledger.size());
+  obs::JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(obs::ParseJson(dump, &parsed, &error)) << error;
+  const obs::JsonValue* components = parsed.Find("components");
+  ASSERT_NE(components, nullptr);
+  const obs::JsonValue* ring = components->Find("test");
+  ASSERT_NE(ring, nullptr);
+  // Capacity 4: only the newest four "test" events survive, oldest first.
+  ASSERT_EQ(ring->items.size(), 4u);
+  for (std::size_t i = 1; i < ring->items.size(); ++i) {
+    EXPECT_LT(ring->items[i - 1].IntField("id"), ring->items[i].IntField("id"));
+  }
+  EXPECT_EQ(ring->items.back().IntField("id"),
+            static_cast<std::int64_t>(ledger.size()));
+
+  // The chain for the last event reaches the root even though the root
+  // was evicted from every ring long ago (chains walk the ledger).
+  const obs::JsonValue* chain = parsed.Find("chain");
+  ASSERT_NE(chain, nullptr);
+  ASSERT_EQ(chain->items.size(), 2u);
+  EXPECT_EQ(chain->items.back().StringField("kind"), "run");
+}
+
+}  // namespace
+}  // namespace proteus

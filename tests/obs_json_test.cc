@@ -1,0 +1,127 @@
+// Pins the shared JSON layer every observability export rides on: the
+// one escaping helper (Tracer, EventLedger, MetricsSnapshot, and the
+// analyzer all call it), Chrome counter events (ph "C"), the metrics
+// JSON export, and the parser used by proteus_analyze.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/json.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace proteus {
+namespace obs {
+namespace {
+
+TEST(JsonString, EscapesEveryHostileByte) {
+  std::string out;
+  AppendJsonString(out, "a\"b\\c\b\f\n\r\tz");
+  EXPECT_EQ(out, "\"a\\\"b\\\\c\\b\\f\\n\\r\\tz\"");
+
+  out.clear();
+  AppendJsonString(out, std::string("nul\0byte", 8));
+  EXPECT_EQ(out, "\"nul\\u0000byte\"");
+
+  out.clear();
+  AppendJsonString(out, "\x01\x1f");
+  EXPECT_EQ(out, "\"\\u0001\\u001f\"");
+}
+
+TEST(JsonDouble, DeterministicAndFinite) {
+  EXPECT_EQ(FormatJsonDouble(0.0), "0");
+  EXPECT_EQ(FormatJsonDouble(1.5), "1.5");
+  EXPECT_EQ(FormatJsonDouble(1.0 / 0.0), "0");   // Non-finite clamps.
+  EXPECT_EQ(FormatJsonDouble(0.0 / 0.0), "0");
+}
+
+TEST(TracerJson, HostileStringsStayValidJson) {
+  Tracer tracer;
+  // Names, tracks, and args with every character class the escaper must
+  // handle: quotes, backslashes, control bytes.
+  tracer.InstantAt(1.0, "evil\"name\\", "tr\nack",
+                   {{"detail", std::string("line1\nline2\t\"quoted\"")}});
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("evil\\\"name\\\\"), std::string::npos);
+  EXPECT_NE(json.find("tr\\nack"), std::string::npos);
+  EXPECT_NE(json.find("line1\\nline2\\t\\\"quoted\\\""), std::string::npos);
+  // No raw newline may survive inside a string: every line of the
+  // rendered trace must be a complete JSON fragment.
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &parsed, &error)) << error;
+  const JsonValue* events = parsed.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // One thread-name metadata record for the track, then the instant.
+  ASSERT_EQ(events->items.size(), 2u);
+  EXPECT_EQ(events->items[0].StringField("ph"), "M");
+  EXPECT_EQ(events->items[1].StringField("name"), "evil\"name\\");
+}
+
+TEST(TracerJson, CounterEventsRenderPhC) {
+  Tracer tracer;
+  tracer.CounterAt(0.5, "backup_lag_clocks", "agileml", 3.0);
+  tracer.CounterAt(1.0, "backup_lag_clocks", "agileml", 0.0);
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  // Counters carry their value as an arg and no duration.
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &parsed, &error)) << error;
+  const JsonValue* events = parsed.Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  // One thread-name metadata record for the track, then the two samples.
+  ASSERT_EQ(events->items.size(), 3u);
+  const JsonValue& first = events->items[1];
+  EXPECT_EQ(first.StringField("ph"), "C");
+  EXPECT_EQ(first.Find("dur"), nullptr);
+  const JsonValue* args = first.Find("args");
+  ASSERT_NE(args, nullptr);
+  EXPECT_EQ(args->NumberField("value"), 3.0);
+}
+
+TEST(MetricsJson, ExportMatchesSnapshotOrderAndParses) {
+  MetricsRegistry registry;
+  registry.GetCounter("b.count", {{"zone", "us\"east"}})->Add(7);
+  registry.GetGauge("a.level")->Set(2.5);
+  registry.GetHistogram("c.hist", {1.0, 5.0})->Observe(2.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string json = snapshot.ToJson();
+  // Deterministic: same snapshot renders the same bytes, sorted like the
+  // text/CSV exports.
+  EXPECT_EQ(json, registry.Snapshot().ToJson());
+  EXPECT_LT(json.find("a.level"), json.find("b.count"));
+  EXPECT_LT(json.find("b.count"), json.find("c.hist"));
+
+  JsonValue parsed;
+  std::string error;
+  ASSERT_TRUE(ParseJson(json, &parsed, &error)) << error;
+  const JsonValue* metrics = parsed.Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->items.size(), 3u);
+  EXPECT_EQ(metrics->items[1].StringField("name"), "b.count");
+  EXPECT_EQ(metrics->items[1].NumberField("value"), 7.0);
+  const JsonValue* labels = metrics->items[1].Find("labels");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->StringField("zone"), "us\"east");
+}
+
+TEST(JsonParse, RoundTripsEscapesAndNumbers) {
+  JsonValue value;
+  std::string error;
+  ASSERT_TRUE(ParseJson(
+      R"({"s":"a\"\\\nA","n":-1.5e2,"b":true,"z":null,"arr":[1,2]})", &value, &error))
+      << error;
+  EXPECT_EQ(value.StringField("s"), "a\"\\\nA");
+  EXPECT_EQ(value.NumberField("n"), -150.0);
+  const JsonValue* arr = value.Find("arr");
+  ASSERT_NE(arr, nullptr);
+  EXPECT_EQ(arr->items.size(), 2u);
+
+  EXPECT_FALSE(ParseJson("{\"unterminated\": \"", &value, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace proteus
