@@ -279,15 +279,8 @@ double SecondsPerIter(const std::function<void()>& body) {
   return std::chrono::duration<double>(now - begin).count() / iters;
 }
 
-struct BenchJsonRow {
-  std::string name;
-  std::string metric;
-  double value = 0.0;
-  std::string unit;
-};
-
-std::vector<BenchJsonRow> RunJsonBenches() {
-  std::vector<BenchJsonRow> rows;
+std::vector<bench::BenchJsonRow> RunJsonBenches() {
+  std::vector<bench::BenchJsonRow> rows;
 
   // Legacy vs sharded apply+serialize: the tentpole rows/s comparison.
   {
@@ -377,28 +370,8 @@ std::vector<BenchJsonRow> RunJsonBenches() {
   return rows;
 }
 
-int WriteBenchJson(const std::string& path) {
-  const std::vector<BenchJsonRow> rows = RunJsonBenches();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "micro_ops: cannot open %s for writing\n", path.c_str());
-    return 1;
-  }
-  std::fprintf(f, "{\n  \"schema\": \"proteus.micro_ops.v1\",\n  \"benchmarks\": [\n");
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    std::fprintf(f,
-                 "    {\"name\": \"%s\", \"metric\": \"%s\", \"value\": %.1f, "
-                 "\"unit\": \"%s\"}%s\n",
-                 rows[i].name.c_str(), rows[i].metric.c_str(), rows[i].value,
-                 rows[i].unit.c_str(), i + 1 < rows.size() ? "," : "");
-  }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  for (const BenchJsonRow& row : rows) {
-    std::printf("%-26s %14.1f %s\n", row.name.c_str(), row.value, row.unit.c_str());
-  }
-  std::printf("wrote %s\n", path.c_str());
-  return 0;
+int WriteMicroOpsJson(const std::string& path) {
+  return bench::WriteBenchJson(path, "micro_ops", RunJsonBenches()) ? 0 : 1;
 }
 
 }  // namespace
@@ -407,7 +380,7 @@ int WriteBenchJson(const std::string& path) {
 int main(int argc, char** argv) {
   const std::string json_path = proteus::bench::TakeFlag(argc, argv, "bench_json");
   if (!json_path.empty()) {
-    return proteus::WriteBenchJson(json_path);
+    return proteus::WriteMicroOpsJson(json_path);
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) {

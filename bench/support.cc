@@ -231,6 +231,30 @@ SchemeConfig PaperSchemeConfig() {
   return config;
 }
 
+bool WriteBenchJson(const std::string& path, const std::string& schema,
+                    const std::vector<BenchJsonRow>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"schema\": \"proteus.%s.v1\",\n  \"benchmarks\": [\n", schema.c_str());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"metric\": \"%s\", \"value\": %.4f, "
+                 "\"unit\": \"%s\"}%s\n",
+                 rows[i].name.c_str(), rows[i].metric.c_str(), rows[i].value,
+                 rows[i].unit.c_str(), i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  for (const BenchJsonRow& row : rows) {
+    std::printf("%-34s %14.4f %s\n", row.name.c_str(), row.value, row.unit.c_str());
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return true;
+}
+
 std::vector<SimTime> SampleStartTimes(const MarketEnv& env, int count, SimDuration job_slack,
                                       std::uint64_t seed) {
   Rng rng(seed);

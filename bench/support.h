@@ -42,6 +42,24 @@ std::string TakeFlag(int& argc, char** argv, const char* name);
 // Pops a bare `--name` switch out of argv; returns whether it was present.
 bool TakeSwitch(int& argc, char** argv, const char* name);
 
+// --- --bench_json artifacts ---
+//
+// Headline numbers CI tracks across runs. Benches that support
+// `--bench_json=PATH` emit `{"schema": "proteus.<bench>.v1",
+// "benchmarks": [{name, metric, value, unit}, ...]}` through this shared
+// writer so every artifact parses the same way.
+struct BenchJsonRow {
+  std::string name;
+  std::string metric;
+  double value = 0.0;
+  std::string unit;
+};
+
+// Writes the rows to `path` under `proteus.<schema>.v1` and echoes them
+// to stdout. Returns false (and logs to stderr) on I/O failure.
+bool WriteBenchJson(const std::string& path, const std::string& schema,
+                    const std::vector<BenchJsonRow>& rows);
+
 // --- Observability session (--trace_out= / --metrics_out= /
 //     --ledger_out= / --flight_out=) ---
 //

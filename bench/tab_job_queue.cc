@@ -15,7 +15,7 @@ namespace proteus {
 namespace bench {
 namespace {
 
-void Main() {
+int Main(const std::string& json_path) {
   std::printf("=== Job queue: shared footprint across a sequence of 2-hour jobs ===\n");
   const MarketEnv env = MakeMarketEnv();
   const JobQueueSimulator queue_sim(&env.catalog, &env.traces, &env.estimator);
@@ -35,7 +35,9 @@ void Main() {
   SampleStats first_runtime;
   SampleStats later_runtime;
   SampleStats refunds;
-  for (const SimTime start : SampleStartTimes(env, 60, kJobs * 6 * kHour, 93)) {
+  // JSON mode is the CI artifact: fewer samples, stable headline numbers.
+  const int samples = json_path.empty() ? 60 : 12;
+  for (const SimTime start : SampleStartTimes(env, samples, kJobs * 6 * kHour, 93)) {
     const JobQueueResult q = queue_sim.Run(jobs, config, start);
     queued_per_job.Add(q.total_cost / kJobs);
     refunds.Add(q.shutdown_refunds);
@@ -58,6 +60,18 @@ void Main() {
   std::printf(
       "(later jobs start on a warm footprint; queue amortizes ramp-up and exploits\n"
       " already-paid billing hours — the rationale for the paper's accounting)\n\n");
+
+  if (!json_path.empty()) {
+    const std::vector<BenchJsonRow> rows = {
+        {"cost_per_job_standalone", "dollars", standalone_per_job.Mean(), "$"},
+        {"cost_per_job_queued", "dollars", queued_per_job.Mean(), "$"},
+        {"runtime_first_job", "hours", first_runtime.Mean(), "h"},
+        {"runtime_later_jobs", "hours", later_runtime.Mean(), "h"},
+        {"shutdown_refunds", "dollars", refunds.Mean(), "$"},
+    };
+    return WriteBenchJson(json_path, "tab_job_queue", rows) ? 0 : 1;
+  }
+  return 0;
 }
 
 }  // namespace
@@ -65,7 +79,7 @@ void Main() {
 }  // namespace proteus
 
 int main(int argc, char** argv) {
+  const std::string json_path = proteus::bench::TakeFlag(argc, argv, "bench_json");
   proteus::bench::ObsSession obs_session(argc, argv);
-  proteus::bench::Main();
-  return 0;
+  return proteus::bench::Main(json_path);
 }

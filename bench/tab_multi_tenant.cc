@@ -1,0 +1,201 @@
+// Multi-tenant spot cluster (DESIGN.md §14): N jobs arbitrated over one
+// shared market by a credit-based Karma allocator vs the static
+// fair-share and greedy max-bid baselines.
+//
+// Scenario matrix: tenant count x adversarial fraction x allocator.
+// Adversaries over-report demand (kAlwaysMax at 2x the scalability cap);
+// the table shows how each mechanism trades utilization against short-
+// and long-term fairness as adversaries multiply — and the twins
+// sub-experiment pins the strategy-proofness headline: an adversary
+// gains useful machine-hours over its truthful twin under greedy, and
+// does not under Karma.
+//
+// Flags:
+//   --threads=N       Demand fan-out threads (default 1). Output is
+//                     byte-identical at any value — CI diffs the CSV of
+//                     a 1-thread vs 4-thread run.
+//   --out=PATH        Write the canonical scenario's per-round CSV.
+//   --bench_json=PATH Emit the headline numbers as a CI artifact.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/support.h"
+#include "src/cluster/fleet.h"
+#include "src/common/logging.h"
+#include "src/cluster/karma.h"
+#include "src/common/table.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+using cluster::ClusterScheduler;
+using cluster::DemandStrategy;
+using cluster::FleetConfig;
+using cluster::FleetResult;
+using cluster::TenantSpec;
+
+std::vector<TenantSpec> MakeTenants(int n, double adv_frac) {
+  const int adversaries = static_cast<int>(n * adv_frac + 0.5);
+  std::vector<TenantSpec> specs;
+  for (int i = 0; i < n; ++i) {
+    TenantSpec spec;
+    const bool adv = i < adversaries;
+    spec.name = (adv ? "adv" : "t") + std::to_string(i);
+    // More work than the shared pool can serve in the horizon, so
+    // scarcity (and the mechanism) is what differentiates outcomes.
+    spec.slot_hours = 200.0 + 40.0 * (i % 4);
+    spec.max_slots = 12;
+    spec.active_fraction = 0.6;
+    spec.demand_seed = 100 + static_cast<std::uint64_t>(i);
+    if (adv) {
+      spec.strategy = DemandStrategy::kAlwaysMax;
+      spec.inflate_factor = 2.0;
+    }
+    specs.push_back(spec);
+  }
+  return specs;
+}
+
+FleetConfig MakeConfig(const MarketEnv& env, int n, int threads) {
+  FleetConfig config;
+  config.slot_market = {"us-east-1a", "c4.xlarge"};
+  config.start = env.eval_begin;
+  config.rounds = 48;
+  config.fixed_capacity = 3 * n;  // Scarce: total cap demand is 12n.
+  config.threads = threads;
+  return config;
+}
+
+FleetResult RunScenario(const MarketEnv& env, const std::vector<TenantSpec>& specs,
+                        const std::string& allocator_spec, const FleetConfig& config,
+                        ObsSession& obs) {
+  std::string error;
+  const auto allocator = cluster::MakeAllocator(allocator_spec, &error);
+  PROTEUS_CHECK(allocator != nullptr) << error;
+  ClusterScheduler scheduler(&env.catalog, &env.traces, &env.estimator);
+  scheduler.SetObservability(obs.tracer(), obs.metrics());
+  scheduler.SetLedger(obs.ledger());
+  return scheduler.Run(specs, *allocator, config);
+}
+
+// Adversary vs truthful twin (shared duty-cycle stream) against a
+// backdrop of duty-cycled donors: the strategy-proofness experiment.
+std::vector<TenantSpec> MakeTwinTenants() {
+  std::vector<TenantSpec> specs;
+  TenantSpec honest;
+  honest.name = "honest";
+  honest.slot_hours = 1000.0;  // Never finishes: useful hours measure access.
+  honest.max_slots = 12;
+  honest.active_fraction = 0.5;
+  honest.demand_seed = 7;
+  specs.push_back(honest);
+  TenantSpec adv = honest;
+  adv.name = "adversary";
+  adv.strategy = DemandStrategy::kAlwaysMax;
+  adv.inflate_factor = 2.0;  // Reports 24 slots every round.
+  specs.push_back(adv);
+  for (int i = 0; i < 4; ++i) {
+    TenantSpec bg;
+    bg.name = "bg" + std::to_string(i);
+    bg.slot_hours = 700.0;
+    bg.max_slots = 8;
+    bg.active_fraction = 0.5;
+    bg.demand_seed = 20 + static_cast<std::uint64_t>(i);
+    specs.push_back(bg);
+  }
+  return specs;
+}
+
+// Useful machine-hours the adversary got beyond its truthful twin.
+// Positive: inflating the report paid off. (A ratio degenerates when
+// greedy starves the honest twin to zero hours.)
+double AdversaryDelta(const FleetResult& result) {
+  const cluster::TenantResult* adv = result.Find("adversary");
+  const cluster::TenantResult* honest = result.Find("honest");
+  PROTEUS_CHECK(adv != nullptr && honest != nullptr);
+  return adv->useful_hours - honest->useful_hours;
+}
+
+int Main(int threads, const std::string& out_path, const std::string& json_path,
+         ObsSession& obs) {
+  std::printf("=== Multi-tenant cluster: Karma credits vs fair-share vs greedy ===\n");
+  const MarketEnv env = MakeMarketEnv();
+  const std::vector<std::string> allocators = {"karma", "fair", "greedy"};
+
+  TextTable table({"tenants", "adv_frac", "allocator", "mean_util", "jain_long", "jain_short",
+                   "useful_h", "cost_$", "preempt", "evict"});
+  std::vector<BenchJsonRow> rows;
+  for (const int n : {4, 8}) {
+    for (const double adv_frac : {0.0, 0.25, 0.5}) {
+      const std::vector<TenantSpec> specs = MakeTenants(n, adv_frac);
+      const FleetConfig config = MakeConfig(env, n, threads);
+      for (const std::string& alloc : allocators) {
+        const FleetResult result = RunScenario(env, specs, alloc, config, obs);
+        table.AddRow({std::to_string(n), TextTable::Cell(adv_frac, 2), result.allocator,
+                      TextTable::Cell(result.mean_utilization, 3),
+                      TextTable::Cell(result.jain_long_term, 3),
+                      TextTable::Cell(result.jain_short_term, 3),
+                      TextTable::Cell(result.total_useful_hours, 1),
+                      TextTable::Cell(result.total_cost, 2),
+                      std::to_string(result.preempted_slots), std::to_string(result.evictions)});
+        const std::string tag = "n" + std::to_string(n) + "_adv" +
+                                std::to_string(static_cast<int>(adv_frac * 100)) + "_" +
+                                result.allocator;
+        rows.push_back({tag + "_util", "mean_utilization", result.mean_utilization, "frac"});
+        rows.push_back({tag + "_jain", "jain_long_term", result.jain_long_term, "index"});
+        if (n == 8 && adv_frac == 0.25 && alloc == "karma" && !out_path.empty()) {
+          FILE* f = std::fopen(out_path.c_str(), "w");
+          PROTEUS_CHECK(f != nullptr) << "cannot open " << out_path;
+          const std::string csv = result.ToCsv();
+          std::fwrite(csv.data(), 1, csv.size(), f);
+          std::fclose(f);
+          std::printf("wrote %s (digest %016llx)\n", out_path.c_str(),
+                      static_cast<unsigned long long>(result.Digest()));
+        }
+      }
+    }
+  }
+  table.PrintAndMaybeExport("tab_multi_tenant");
+
+  // Twins: does inflating your report pay?
+  const std::vector<TenantSpec> twins = MakeTwinTenants();
+  FleetConfig twin_config = MakeConfig(env, 6, threads);
+  twin_config.rounds = 96;
+  twin_config.fixed_capacity = 18;
+  TextTable twin_table({"allocator", "adversary_useful_h", "honest_useful_h", "delta_h"});
+  for (const std::string& alloc : allocators) {
+    const FleetResult result = RunScenario(env, twins, alloc, twin_config, obs);
+    const double delta = AdversaryDelta(result);
+    twin_table.AddRow({result.allocator,
+                       TextTable::Cell(result.Find("adversary")->useful_hours, 1),
+                       TextTable::Cell(result.Find("honest")->useful_hours, 1),
+                       TextTable::Cell(delta, 1)});
+    rows.push_back({"twins_" + result.allocator + "_adversary_delta", "useful_hours_delta",
+                    delta, "slot_h"});
+  }
+  twin_table.PrintAndMaybeExport("tab_multi_tenant_twins");
+  std::printf(
+      "(delta > 0: over-reporting wins useful machine-hours vs a truthful twin.\n"
+      " Greedy rewards inflation; Karma makes every borrowed slot cost a credit,\n"
+      " so inflated demand burns the adversary's balance on slots it cannot use)\n\n");
+
+  if (!json_path.empty()) {
+    return WriteBenchJson(json_path, "tab_multi_tenant", rows) ? 0 : 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  const std::string threads_flag = proteus::bench::TakeFlag(argc, argv, "threads");
+  const std::string out_path = proteus::bench::TakeFlag(argc, argv, "out");
+  const std::string json_path = proteus::bench::TakeFlag(argc, argv, "bench_json");
+  const int threads = threads_flag.empty() ? 1 : std::atoi(threads_flag.c_str());
+  proteus::bench::ObsSession obs_session(argc, argv);
+  return proteus::bench::Main(threads < 0 ? 1 : threads, out_path, json_path, obs_session);
+}

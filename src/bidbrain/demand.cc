@@ -1,0 +1,83 @@
+#include "src/bidbrain/demand.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+
+namespace {
+int ClampSlots(double slots, int max_slots) {
+  if (slots <= 0.0) {
+    return 0;
+  }
+  return std::min(max_slots, static_cast<int>(std::ceil(slots - 1e-9)));
+}
+}  // namespace
+
+int TruthfulDemandReporter::Report(const TenantProgress& progress, Rng& rng) {
+  (void)rng;
+  return std::clamp(progress.true_need, 0, progress.max_slots);
+}
+
+InflateDemandReporter::InflateDemandReporter(double factor) : factor_(factor) {
+  PROTEUS_CHECK_GE(factor_, 1.0);
+}
+
+std::string InflateDemandReporter::name() const {
+  return "inflate_x" + std::to_string(factor_).substr(0, 4);
+}
+
+int InflateDemandReporter::Report(const TenantProgress& progress, Rng& rng) {
+  (void)rng;
+  // Inflated reports may exceed the tenant's own scalability cap: the
+  // whole point of misreporting is to claim more than you can use.
+  const double inflated = progress.true_need * factor_;
+  return ClampSlots(inflated, std::max(progress.max_slots * 4, progress.max_slots));
+}
+
+MaxDemandReporter::MaxDemandReporter(double factor) : factor_(factor) {
+  PROTEUS_CHECK_GE(factor_, 1.0);
+}
+
+std::string MaxDemandReporter::name() const {
+  return "always_max_x" + std::to_string(factor_).substr(0, 4);
+}
+
+int MaxDemandReporter::Report(const TenantProgress& progress, Rng& rng) {
+  (void)rng;
+  return static_cast<int>(std::ceil(progress.max_slots * factor_));
+}
+
+PolicyDemandReporter::PolicyDemandReporter(const AcquisitionPolicy* policy, MarketKey slot_market,
+                                           Money slot_bid)
+    : policy_(policy), slot_market_(std::move(slot_market)), slot_bid_(slot_bid) {
+  PROTEUS_CHECK(policy_ != nullptr);
+}
+
+std::string PolicyDemandReporter::name() const { return "policy:" + policy_->name(); }
+
+int PolicyDemandReporter::Report(const TenantProgress& progress, Rng& rng) {
+  (void)rng;
+  // Present the tenant's footprint as one live spot allocation so the
+  // policy reasons about it the way it reasons about a solo job.
+  std::vector<LiveAllocation> live;
+  constexpr AllocationId kHeldId = 0;
+  if (progress.held_slots > 0) {
+    live.push_back({kHeldId, slot_market_, progress.held_slots, slot_bid_, false,
+                    progress.now - progress.round});
+  }
+  int demand = progress.held_slots;
+  for (const BidAction& action : policy_->Decide(progress.now, live)) {
+    if (action.kind == BidAction::Kind::kAcquire) {
+      demand += action.count;
+    } else if (action.target == kHeldId && progress.held_slots > 0) {
+      demand -= progress.held_slots;
+    }
+  }
+  // A policy-driven tenant never asks for more than it can use.
+  return std::clamp(std::min(demand, progress.true_need), 0, progress.max_slots);
+}
+
+}  // namespace proteus

@@ -1,0 +1,103 @@
+// Demand-report seam: how a tenant tells a cluster-level arbiter what it
+// wants this round.
+//
+// Proteus evaluates one BidBrain bidding alone against the market; a
+// fleet of tenants competing for shared capacity needs each tenant to
+// *report* a per-round demand to the arbiter (src/cluster). Karma-style
+// credit mechanisms are interesting precisely because self-interested
+// tenants may misreport — so the seam separates a tenant's true need
+// (computed by the driver from its progress) from what it chooses to
+// report. Reporters are deterministic given (progress, rng stream): the
+// fleet driver gives every tenant its own seeded Rng so reports do not
+// depend on scheduling or thread count.
+#ifndef SRC_BIDBRAIN_DEMAND_H_
+#define SRC_BIDBRAIN_DEMAND_H_
+
+#include <memory>
+#include <string>
+
+#include "src/bidbrain/acquisition_policy.h"
+#include "src/common/rng.h"
+#include "src/common/types.h"
+
+namespace proteus {
+
+// The driver's view of one tenant at a round boundary; input to Report().
+struct TenantProgress {
+  SimTime now = 0.0;
+  SimDuration round = kHour;           // Arbitration period.
+  int held_slots = 0;                  // Slots currently allocated.
+  int true_need = 0;                   // Slots the tenant can actually use.
+  int max_slots = 0;                   // Scalability cap.
+  double remaining_slot_hours = 0.0;   // Work left.
+  SimTime deadline = 0.0;              // +inf when none.
+};
+
+// Maps a tenant's progress to the slot demand it reports to the arbiter.
+class DemandReporter {
+ public:
+  virtual ~DemandReporter() = default;
+
+  // Stable identifier for reports/CSV (no commas or newlines).
+  virtual std::string name() const = 0;
+
+  // Slots to report for the coming round. `rng` is the tenant's own
+  // seeded stream; implementations that draw from it must draw the same
+  // number of variates regardless of outcome so streams stay aligned.
+  virtual int Report(const TenantProgress& progress, Rng& rng) = 0;
+};
+
+// Reports exactly the true need.
+class TruthfulDemandReporter : public DemandReporter {
+ public:
+  std::string name() const override { return "truthful"; }
+  int Report(const TenantProgress& progress, Rng& rng) override;
+};
+
+// Adversarial: multiplies the true need by `factor` (a greedy user
+// overstating how much it could use).
+class InflateDemandReporter : public DemandReporter {
+ public:
+  explicit InflateDemandReporter(double factor);
+  std::string name() const override;
+  int Report(const TenantProgress& progress, Rng& rng) override;
+
+ private:
+  double factor_;
+};
+
+// Adversarial: always claims `factor * max_slots`, regardless of need —
+// the classic strategy against naive max-bid arbiters.
+class MaxDemandReporter : public DemandReporter {
+ public:
+  explicit MaxDemandReporter(double factor);
+  std::string name() const override;
+  int Report(const TenantProgress& progress, Rng& rng) override;
+
+ private:
+  double factor_;
+};
+
+// Bridges an AcquisitionPolicy (e.g. BidBrain) into the demand seam: the
+// tenant's held slots are presented as one live spot allocation in the
+// fleet's slot market and the policy's acquire/terminate actions are
+// folded into a slot count. Cost-aware policies thus modulate demand
+// with market conditions (demand collapses when spot is expensive).
+class PolicyDemandReporter : public DemandReporter {
+ public:
+  // `policy` must outlive the reporter. `slot_bid` is the bid the fleet
+  // uses per slot (typically the on-demand price).
+  PolicyDemandReporter(const AcquisitionPolicy* policy, MarketKey slot_market, Money slot_bid);
+
+  std::string name() const override;
+  int Report(const TenantProgress& progress, Rng& rng) override;
+
+ private:
+  const AcquisitionPolicy* policy_;
+  MarketKey slot_market_;
+  Money slot_bid_;
+};
+
+}  // namespace proteus
+
+#endif  // SRC_BIDBRAIN_DEMAND_H_

@@ -1,0 +1,98 @@
+#include "src/cluster/allocator.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+
+#include "src/cluster/karma.h"
+#include "src/common/logging.h"
+
+namespace proteus {
+namespace cluster {
+
+std::vector<int> RotatingFairShares(int round, int capacity, int n) {
+  PROTEUS_CHECK_GE(capacity, 0);
+  PROTEUS_CHECK_GT(n, 0);
+  const int base = capacity / n;
+  const int remainder = capacity % n;
+  std::vector<int> shares(static_cast<std::size_t>(n), base);
+  // Rotate the remainder across indices so every claimant sees the extra
+  // slot equally often over time.
+  for (int k = 0; k < remainder; ++k) {
+    shares[static_cast<std::size_t>((round + k) % n)] += 1;
+  }
+  return shares;
+}
+
+std::vector<SlotGrant> StaticFairShareAllocator::Allocate(int round, int capacity,
+                                                          const std::vector<SlotDemand>& demands) {
+  std::vector<SlotGrant> grants(demands.size());
+  if (demands.empty()) {
+    return grants;
+  }
+  const std::vector<int> shares =
+      RotatingFairShares(round, capacity, static_cast<int>(demands.size()));
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    grants[i].slots = std::min(demands[i].slots, shares[i]);
+  }
+  return grants;
+}
+
+std::vector<SlotGrant> GreedyMaxBidAllocator::Allocate(int round, int capacity,
+                                                       const std::vector<SlotDemand>& demands) {
+  (void)round;
+  std::vector<SlotGrant> grants(demands.size());
+  std::vector<std::size_t> order(demands.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (demands[a].slots != demands[b].slots) {
+      return demands[a].slots > demands[b].slots;
+    }
+    return demands[a].tenant < demands[b].tenant;
+  });
+  int remaining = capacity;
+  for (const std::size_t i : order) {
+    const int take = std::min(demands[i].slots, remaining);
+    grants[i].slots = take;
+    remaining -= take;
+    if (remaining == 0) {
+      break;
+    }
+  }
+  return grants;
+}
+
+std::unique_ptr<Allocator> MakeAllocator(const std::string& spec, std::string* error) {
+  auto fail = [&](const std::string& message) -> std::unique_ptr<Allocator> {
+    if (error != nullptr) {
+      *error = message;
+    }
+    return nullptr;
+  };
+  if (spec == "fair" || spec == "fair_share") {
+    return std::make_unique<StaticFairShareAllocator>();
+  }
+  if (spec == "greedy") {
+    return std::make_unique<GreedyMaxBidAllocator>();
+  }
+  if (spec == "karma") {
+    return std::make_unique<KarmaAllocator>();
+  }
+  constexpr const char* kKarmaInit = "karma:init=";
+  if (spec.rfind(kKarmaInit, 0) == 0) {
+    const std::string arg = spec.substr(std::string(kKarmaInit).size());
+    char* end = nullptr;
+    const long credits = std::strtol(arg.c_str(), &end, 10);
+    if (arg.empty() || end == nullptr || *end != '\0' || credits < 0) {
+      return fail("bad karma init credits: \"" + arg + "\"");
+    }
+    KarmaConfig config;
+    config.init_credits = credits;
+    return std::make_unique<KarmaAllocator>(config);
+  }
+  return fail("unknown allocator spec: \"" + spec +
+              "\" (want fair | greedy | karma | karma:init=<n>)");
+}
+
+}  // namespace cluster
+}  // namespace proteus

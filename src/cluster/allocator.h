@@ -1,0 +1,115 @@
+// Allocator: the per-round arbitration seam of the multi-tenant cluster
+// (DESIGN.md §14).
+//
+// Each round the ClusterScheduler samples the shared capacity, collects
+// one reported slot demand per active tenant (the bidbrain demand seam),
+// and asks an Allocator to divide the capacity. Allocators see only
+// *reported* demands — never a tenant's true need — which is exactly
+// what makes the mechanism-design question real: a greedy tenant may
+// misreport, and the allocator's structure determines whether that pays.
+//
+// Three mechanisms ship behind the interface:
+//  - StaticFairShareAllocator: everyone gets at most an equal share;
+//    unused share is wasted (the classic low-utilization baseline).
+//  - GreedyMaxBidAllocator: biggest reported demand wins (rewards
+//    inflation; the strawman a fleet of self-interested BidBrains is).
+//  - KarmaAllocator (karma.h): credit-based donor/borrower trading,
+//    strategy-proof under demand inflation.
+//
+// Determinism contract: Allocate() must be a pure function of
+// (round, capacity, demands) and the allocator's own state; ties are
+// broken by tenant id. The fleet driver relies on this for
+// byte-identical CSV output at any thread count.
+#ifndef SRC_CLUSTER_ALLOCATOR_H_
+#define SRC_CLUSTER_ALLOCATOR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace proteus {
+namespace cluster {
+
+// One tenant's reported demand for the coming round.
+struct SlotDemand {
+  int tenant = 0;  // Stable fleet-wide id (spec order). Strictly increasing.
+  int slots = 0;   // Reported demand; >= 0.
+};
+
+// One tenant's grant for the round, index-aligned with the demands.
+struct SlotGrant {
+  int slots = 0;     // Total slots granted (guaranteed + borrowed).
+  int borrowed = 0;  // Slots beyond the tenant's fair share (0 for
+                     // mechanisms without borrowing).
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Stable identifier used in reports and CSV output (no commas).
+  virtual std::string name() const = 0;
+
+  // Divides `capacity` slots among the demands. Returns grants aligned
+  // with `demands`; the sum of granted slots never exceeds capacity.
+  // `round` indexes the arbitration epoch (used for rotating-remainder
+  // fair shares and delayed credit payouts).
+  virtual std::vector<SlotGrant> Allocate(int round, int capacity,
+                                          const std::vector<SlotDemand>& demands) = 0;
+
+  // Lifecycle notifications so stateful mechanisms can mint/retire
+  // per-tenant state (Karma credits). Defaults are no-ops.
+  virtual void OnTenantAdmitted(int tenant) { (void)tenant; }
+  virtual void OnTenantRetired(int tenant) { (void)tenant; }
+
+  // Credit-flow introspection; mechanisms without credits report zeros
+  // and a vacuously-true conservation invariant.
+  virtual std::int64_t CreditBalance(int tenant) const {
+    (void)tenant;
+    return 0;
+  }
+  virtual std::int64_t SumBalances() const { return 0; }
+  virtual std::int64_t Escrow() const { return 0; }
+  virtual bool ConservationHolds() const { return true; }
+};
+
+// Equal shares with a rotating remainder; grant = min(demand, share).
+// Unused share is wasted (no trading) — the "static" baseline whose
+// poor utilization under dynamic demands motivates credit mechanisms.
+class StaticFairShareAllocator : public Allocator {
+ public:
+  std::string name() const override { return "fair_share"; }
+  std::vector<SlotGrant> Allocate(int round, int capacity,
+                                  const std::vector<SlotDemand>& demands) override;
+};
+
+// Grants the largest reported demand first (ties: lower tenant id).
+// Maximally exploitable: inflating your report strictly increases your
+// allocation whenever the cluster is contended.
+class GreedyMaxBidAllocator : public Allocator {
+ public:
+  std::string name() const override { return "greedy"; }
+  std::vector<SlotGrant> Allocate(int round, int capacity,
+                                  const std::vector<SlotDemand>& demands) override;
+};
+
+// Fair shares for `n` claimants over `capacity` slots at epoch `round`:
+// base = capacity/n each, with the remainder rotated across claimant
+// indices by round so no index is systematically favored. Returns the
+// per-index share, aligned with [0, n).
+std::vector<int> RotatingFairShares(int round, int capacity, int n);
+
+// Builds an allocator from a textual spec:
+//   "fair"                       StaticFairShareAllocator
+//   "greedy"                     GreedyMaxBidAllocator
+//   "karma"                      KarmaAllocator with default config
+//   "karma:init=<credits>"       KarmaAllocator with initial balance
+// Returns nullptr and sets *error (when non-null) on a bad spec.
+std::unique_ptr<Allocator> MakeAllocator(const std::string& spec, std::string* error = nullptr);
+
+}  // namespace cluster
+}  // namespace proteus
+
+#endif  // SRC_CLUSTER_ALLOCATOR_H_

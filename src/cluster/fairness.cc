@@ -1,0 +1,41 @@
+#include "src/cluster/fairness.h"
+
+#include <cmath>
+
+namespace proteus {
+namespace cluster {
+
+double JainIndex(const std::vector<double>& values) {
+  if (values.empty()) {
+    return 1.0;
+  }
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double v : values) {
+    sum += v;
+    sum_sq += v * v;
+  }
+  if (sum_sq <= 0.0) {
+    return 1.0;
+  }
+  return (sum * sum) / (static_cast<double>(values.size()) * sum_sq);
+}
+
+double UtilitarianWelfare(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += v;
+  }
+  return sum;
+}
+
+double NashWelfare(const std::vector<double>& values) {
+  double sum = 0.0;
+  for (const double v : values) {
+    sum += std::log1p(v < 0.0 ? 0.0 : v);
+  }
+  return sum;
+}
+
+}  // namespace cluster
+}  // namespace proteus

@@ -1,0 +1,155 @@
+#include "src/cluster/karma.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace proteus {
+namespace cluster {
+
+KarmaAllocator::KarmaAllocator(KarmaConfig config) : config_(config) {
+  PROTEUS_CHECK_GE(config_.init_credits, 0);
+}
+
+void KarmaAllocator::OnTenantAdmitted(int tenant) {
+  PROTEUS_CHECK(balances_.find(tenant) == balances_.end())
+      << "tenant " << tenant << " admitted twice";
+  balances_[tenant] = config_.init_credits;
+  minted_ += config_.init_credits;
+}
+
+void KarmaAllocator::OnTenantRetired(int tenant) {
+  const auto it = balances_.find(tenant);
+  PROTEUS_CHECK(it != balances_.end()) << "retiring unknown tenant " << tenant;
+  retired_ += it->second;
+  balances_.erase(it);
+}
+
+std::int64_t KarmaAllocator::CreditBalance(int tenant) const {
+  const auto it = balances_.find(tenant);
+  return it == balances_.end() ? 0 : it->second;
+}
+
+std::int64_t KarmaAllocator::SumBalances() const {
+  std::int64_t sum = 0;
+  for (const auto& [tenant, balance] : balances_) {
+    sum += balance;
+  }
+  return sum;
+}
+
+bool KarmaAllocator::ConservationHolds() const {
+  std::int64_t pending = 0;
+  for (const auto& [tenant, credits] : pending_payout_) {
+    pending += credits;
+  }
+  // Escrow covers exactly the pending payouts; everything else is either
+  // on a balance or retired.
+  return escrow_ == pending && SumBalances() + escrow_ + retired_ == minted_;
+}
+
+void KarmaAllocator::FlushPayouts() {
+  for (const auto& [tenant, credits] : pending_payout_) {
+    escrow_ -= credits;
+    const auto it = balances_.find(tenant);
+    if (it != balances_.end()) {
+      it->second += credits;
+    } else {
+      // Donor left before its payout landed; the credits retire rather
+      // than vanish, keeping the conservation ledger exact.
+      retired_ += credits;
+    }
+  }
+  pending_payout_.clear();
+  PROTEUS_CHECK_EQ(escrow_, 0);
+}
+
+std::vector<SlotGrant> KarmaAllocator::Allocate(int round, int capacity,
+                                                const std::vector<SlotDemand>& demands) {
+  FlushPayouts();
+  std::vector<SlotGrant> grants(demands.size());
+  if (demands.empty()) {
+    return grants;
+  }
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    PROTEUS_CHECK(balances_.find(demands[i].tenant) != balances_.end())
+        << "demand from unadmitted tenant " << demands[i].tenant;
+    if (i > 0) {
+      PROTEUS_CHECK_GT(demands[i].tenant, demands[i - 1].tenant)
+          << "demands must be sorted by tenant id";
+    }
+  }
+
+  const std::vector<int> shares =
+      RotatingFairShares(round, capacity, static_cast<int>(demands.size()));
+
+  // Guaranteed part + donation pool.
+  int pool = 0;
+  std::vector<int> want(demands.size(), 0);      // Unmet demand beyond share.
+  std::vector<int> donated(demands.size(), 0);   // Unused share, donated.
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    const int guaranteed = std::min(demands[i].slots, shares[i]);
+    grants[i].slots = guaranteed;
+    if (demands[i].slots < shares[i]) {
+      donated[i] = shares[i] - demands[i].slots;
+      pool += donated[i];
+    } else {
+      want[i] = demands[i].slots - shares[i];
+    }
+  }
+
+  // Borrow: water-fill the donation pool one slot at a time, richest
+  // borrower first (ties to the lower tenant id). Each borrowed slot
+  // spends one credit into escrow.
+  std::vector<std::int64_t> spendable(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    spendable[i] = balances_.at(demands[i].tenant);
+  }
+  int borrowed_total = 0;
+  while (pool > 0) {
+    std::size_t best = demands.size();
+    for (std::size_t i = 0; i < demands.size(); ++i) {
+      if (want[i] <= 0 || spendable[i] <= 0) {
+        continue;
+      }
+      if (best == demands.size() || spendable[i] > spendable[best]) {
+        best = i;
+      }
+    }
+    if (best == demands.size()) {
+      break;  // No borrower can pay (or none wants more).
+    }
+    want[best] -= 1;
+    spendable[best] -= 1;
+    grants[best].slots += 1;
+    grants[best].borrowed += 1;
+    pool -= 1;
+    borrowed_total += 1;
+  }
+
+  // Settle borrower payments into escrow...
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (grants[i].borrowed > 0) {
+      balances_[demands[i].tenant] -= grants[i].borrowed;
+      escrow_ += grants[i].borrowed;
+    }
+  }
+  // ...and earmark them for the donors whose slots were consumed,
+  // slot-matched round-robin in tenant-id order. Paid out next round.
+  std::size_t donor = 0;
+  int to_assign = borrowed_total;
+  while (to_assign > 0) {
+    if (donated[donor] > 0) {
+      donated[donor] -= 1;
+      pending_payout_[demands[donor].tenant] += 1;
+      to_assign -= 1;
+    }
+    donor = (donor + 1) % demands.size();
+  }
+
+  PROTEUS_DCHECK(ConservationHolds());
+  return grants;
+}
+
+}  // namespace cluster
+}  // namespace proteus

@@ -1,0 +1,86 @@
+// KarmaAllocator: credit-based fair division with donors and borrowers,
+// after Karma (Vuppalapati et al.; see SNIPPETS.md "Fair Shares" entry
+// and PAPERS.md).
+//
+// Mechanism, per round:
+//  1. Every active tenant owns an equal fair share of the round's
+//     capacity (rotating remainder, allocator.h).
+//  2. A tenant demanding less than its share is a *donor*: it receives
+//     its demand, and its unused share enters the donation pool.
+//  3. A tenant demanding more is a *borrower*: beyond its share it may
+//     take donated slots, paying one credit per borrowed slot-round.
+//     Contested donations go to the borrowers with the most credits
+//     (water-filling, richest first, ties to the lower tenant id) —
+//     Karma's rule, which is what makes over-reporting unprofitable:
+//     every borrowed slot costs a credit whether or not the borrower
+//     can actually use it.
+//  4. Borrowed-slot payments land in an escrow and are paid out to the
+//     round's donors (slot-matched, round-robin by tenant id) at the
+//     START of the next round — so between rounds the in-flight credits
+//     are visible in Escrow().
+//
+// Credit conservation is exact and audited: credits are minted only at
+// admission (init_credits per tenant), retired when a tenant leaves
+// (its balance, plus any later payout it can no longer receive), and
+//     sum(balances) + escrow + retired == minted
+// holds after every Allocate() call. tests/allocator_test.cc and the
+// fleet driver both assert it every round.
+#ifndef SRC_CLUSTER_KARMA_H_
+#define SRC_CLUSTER_KARMA_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/cluster/allocator.h"
+
+namespace proteus {
+namespace cluster {
+
+struct KarmaConfig {
+  // Credits minted for each tenant at admission. Non-zero lets young
+  // tenants borrow before they have donated anything (Karma's
+  // bootstrap); small relative to the run length so it cannot dominate
+  // long-run accounting.
+  std::int64_t init_credits = 32;
+};
+
+class KarmaAllocator : public Allocator {
+ public:
+  explicit KarmaAllocator(KarmaConfig config = {});
+
+  std::string name() const override { return "karma"; }
+
+  std::vector<SlotGrant> Allocate(int round, int capacity,
+                                  const std::vector<SlotDemand>& demands) override;
+
+  void OnTenantAdmitted(int tenant) override;
+  void OnTenantRetired(int tenant) override;
+
+  std::int64_t CreditBalance(int tenant) const override;
+  std::int64_t SumBalances() const override;
+  std::int64_t Escrow() const override { return escrow_; }
+  bool ConservationHolds() const override;
+
+  std::int64_t minted() const { return minted_; }
+  std::int64_t retired() const { return retired_; }
+  const KarmaConfig& config() const { return config_; }
+
+ private:
+  // Pays the previous round's escrowed credits out to their donors
+  // (or retires them when the donor has since left).
+  void FlushPayouts();
+
+  KarmaConfig config_;
+  std::map<int, std::int64_t> balances_;        // Active tenants only.
+  std::map<int, std::int64_t> pending_payout_;  // Donor -> credits owed.
+  std::int64_t escrow_ = 0;
+  std::int64_t minted_ = 0;
+  std::int64_t retired_ = 0;
+};
+
+}  // namespace cluster
+}  // namespace proteus
+
+#endif  // SRC_CLUSTER_KARMA_H_

@@ -1,0 +1,103 @@
+// TenantSpec: one job in the multi-tenant fleet (DESIGN.md §14).
+//
+// A tenant is a slot-hours-sized job with an arrival time, an optional
+// deadline and cancellation point, a scalability cap, a duty cycle
+// (dynamic demand: active bursts separated by idle rounds, drawn from
+// the tenant's own seeded stream), and a demand-reporting strategy —
+// truthful, adversarial (inflating or always-max), or policy-driven
+// through a per-tenant BidBrain over the shared price trace (the
+// src/bidbrain demand seam).
+#ifndef SRC_CLUSTER_TENANT_H_
+#define SRC_CLUSTER_TENANT_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/bidbrain/bidbrain.h"
+#include "src/bidbrain/demand.h"
+#include "src/common/types.h"
+
+namespace proteus {
+namespace cluster {
+
+inline constexpr SimTime kNoDeadline = std::numeric_limits<SimTime>::infinity();
+
+enum class DemandStrategy {
+  kTruthful,   // Reports exactly what it can use.
+  kInflate,    // Reports inflate_factor x true need.
+  kAlwaysMax,  // Reports inflate_factor x max_slots every round.
+  kBidBrain,   // Policy-driven through a per-tenant BidBrain.
+};
+
+const char* DemandStrategyName(DemandStrategy strategy);
+
+struct TenantSpec {
+  std::string name;
+  // Total work, in slot-hours (one slot running one hour = one unit).
+  double slot_hours = 16.0;
+  // Absolute simulation times. A tenant is admitted at the first round
+  // boundary at or after `arrival` and retired at the first boundary at
+  // or after `cancel_at` (work stops at cancel_at itself).
+  SimTime arrival = 0.0;
+  SimTime deadline = kNoDeadline;
+  std::optional<SimTime> cancel_at;
+  // Scalability cap: the most slots the tenant can use in one round.
+  int max_slots = 16;
+  // Demand floor during idle duty-cycle rounds.
+  int idle_slots = 0;
+  // Fraction of rounds the tenant is active (Bernoulli per round from
+  // the tenant's stream). 1.0 = always active.
+  double active_fraction = 1.0;
+  DemandStrategy strategy = DemandStrategy::kTruthful;
+  double inflate_factor = 2.0;
+  // Seed salt for the tenant's private stream; 0 derives it from the
+  // name. Adversarial/truthful twins share a salt so their true demand
+  // trajectories are identical.
+  std::uint64_t demand_seed = 0;
+};
+
+struct TenantResult {
+  std::string name;
+  std::string strategy;
+  int tenant = 0;
+  bool admitted = false;
+  bool completed = false;
+  bool cancelled = false;
+  bool deadline_met = false;
+  SimTime completion_time = 0.0;  // Valid when completed.
+  double allocated_hours = 0.0;   // Slot-hours granted (held x time).
+  double useful_hours = 0.0;      // Slot-hours that produced work.
+  double borrowed_hours = 0.0;    // Slot-hours beyond fair share.
+  double reported_slot_rounds = 0.0;
+  double true_slot_rounds = 0.0;
+  Money cost = 0.0;               // This tenant's share of the market bill.
+  int preempted_slots = 0;        // Slots reclaimed while still wanted.
+  int evictions = 0;              // Mid-round market evictions suffered.
+  std::int64_t credits_final = 0; // Balance at retirement/horizon (Karma).
+};
+
+// Builds the reporter implementing the spec's strategy. For kBidBrain,
+// `policy` must be the tenant's acquisition policy (non-null, outliving
+// the reporter); other strategies ignore it.
+std::unique_ptr<DemandReporter> MakeDemandReporter(const TenantSpec& spec,
+                                                   const AcquisitionPolicy* policy,
+                                                   const MarketKey& slot_market, Money slot_bid);
+
+// The tenant's true need for the coming round: enough slots to finish
+// the remaining work this round, clamped to the scalability cap —
+// or the idle floor when the duty cycle has the tenant idle.
+int TrueNeedSlots(const TenantSpec& spec, double remaining_slot_hours, SimDuration round,
+                  double phi, bool active);
+
+// Per-tenant stream seed: FNV-1a over the fleet seed and the spec's
+// demand_seed (or name when 0), so a tenant's randomness is independent
+// of fleet composition, scheduling, and thread count.
+std::uint64_t TenantStreamSeed(std::uint64_t fleet_seed, const TenantSpec& spec);
+
+}  // namespace cluster
+}  // namespace proteus
+
+#endif  // SRC_CLUSTER_TENANT_H_

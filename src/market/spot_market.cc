@@ -34,6 +34,10 @@ std::optional<AllocationId> SpotMarket::RequestSpot(const MarketKey& key, int co
   if (series.PriceAt(t) > bid) {
     return std::nullopt;  // Bid below market: not granted.
   }
+  const auto cap = capacity_.find(key);
+  if (cap != capacity_.end() && RunningCount(key) + count > cap->second) {
+    return std::nullopt;  // Finite market: not enough capacity left.
+  }
   Allocation alloc;
   alloc.id = static_cast<AllocationId>(allocations_.size());
   alloc.kind = AllocationKind::kSpot;
@@ -45,7 +49,36 @@ std::optional<AllocationId> SpotMarket::RequestSpot(const MarketKey& key, int co
   alloc.eviction_time =
       series.FirstTimeAbove(bid, t, std::numeric_limits<SimTime>::infinity());
   allocations_.push_back(alloc);
+  running_spot_[key] += count;
   return alloc.id;
+}
+
+void SpotMarket::SetCapacity(const MarketKey& key, int max_instances) {
+  PROTEUS_CHECK_GE(max_instances, 0);
+  capacity_[key] = max_instances;
+}
+
+std::optional<int> SpotMarket::CapacityOf(const MarketKey& key) const {
+  const auto it = capacity_.find(key);
+  if (it == capacity_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+int SpotMarket::RunningCount(const MarketKey& key) const {
+  const auto it = running_spot_.find(key);
+  return it == running_spot_.end() ? 0 : it->second;
+}
+
+void SpotMarket::Release(const Allocation& alloc) {
+  if (alloc.kind != AllocationKind::kSpot) {
+    return;
+  }
+  auto it = running_spot_.find(alloc.market);
+  PROTEUS_CHECK(it != running_spot_.end());
+  it->second -= alloc.count;
+  PROTEUS_CHECK_GE(it->second, 0);
 }
 
 AllocationId SpotMarket::RequestOnDemand(const MarketKey& key, int count, SimTime t) {
@@ -65,6 +98,7 @@ void SpotMarket::Terminate(AllocationId id, SimTime t) {
   Allocation& alloc = GetMutable(id);
   PROTEUS_CHECK(alloc.running()) << "terminating non-running allocation " << id;
   PROTEUS_CHECK_GE(t, alloc.start);
+  Release(alloc);
   if (alloc.eviction_time.has_value() && *alloc.eviction_time <= t) {
     // The market got there first; the caller should have observed the
     // eviction. Treat as evicted at the earlier instant.
@@ -80,8 +114,18 @@ void SpotMarket::MarkEvicted(AllocationId id) {
   Allocation& alloc = GetMutable(id);
   PROTEUS_CHECK(alloc.running());
   PROTEUS_CHECK(alloc.eviction_time.has_value());
+  Release(alloc);
   alloc.state = AllocationState::kEvicted;
   alloc.end = *alloc.eviction_time;
+}
+
+void SpotMarket::Revoke(AllocationId id, SimTime t) {
+  Allocation& alloc = GetMutable(id);
+  PROTEUS_CHECK(alloc.running()) << "revoking non-running allocation " << id;
+  PROTEUS_CHECK_GE(t, alloc.start);
+  Release(alloc);
+  alloc.state = AllocationState::kEvicted;
+  alloc.end = t;
 }
 
 const Allocation& SpotMarket::Get(AllocationId id) const {

@@ -16,6 +16,7 @@
 #ifndef SRC_MARKET_SPOT_MARKET_H_
 #define SRC_MARKET_SPOT_MARKET_H_
 
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -77,11 +78,30 @@ class SpotMarket {
   Money PriceAt(const MarketKey& key, SimTime t) const;
 
   // Requests a spot allocation at time t. Returns nullopt when the
-  // current market price exceeds the bid (request not granted).
+  // current market price exceeds the bid (request not granted), or when
+  // the market has a finite capacity and granting `count` more instances
+  // would exceed it (capacity contention between concurrent claimants).
   std::optional<AllocationId> RequestSpot(const MarketKey& key, int count, Money bid, SimTime t);
 
   // Launches on-demand instances (always granted).
   AllocationId RequestOnDemand(const MarketKey& key, int count, SimTime t);
+
+  // --- Finite capacity (multi-tenant contention) ---
+  //
+  // By default every spot market has unlimited supply: any bid at or
+  // above the market price is granted, which is the right model for one
+  // job bidding alone (§2). A fleet of concurrent claimants shares a
+  // finite pool, so a market may be given a capacity: RequestSpot then
+  // declines once running spot instances would exceed it. The running
+  // count tracks state transitions (Terminate / MarkEvicted / Revoke
+  // release instances); drivers that advance simulated time are
+  // responsible for applying due price evictions via MarkEvicted, as
+  // before.
+  void SetCapacity(const MarketKey& key, int max_instances);
+  // Capacity for the market; nullopt = unlimited.
+  std::optional<int> CapacityOf(const MarketKey& key) const;
+  // Spot instances currently running in the market.
+  int RunningCount(const MarketKey& key) const;
 
   // User-initiated termination at time t.
   void Terminate(AllocationId id, SimTime t);
@@ -89,6 +109,11 @@ class SpotMarket {
   // Marks an allocation evicted at its precomputed eviction time. Called
   // by drivers once simulated time passes the eviction instant.
   void MarkEvicted(AllocationId id);
+
+  // Provider-side revocation at an arbitrary time t (capacity reclaim in
+  // a finite-capacity market, as opposed to the trace's price crossing).
+  // Eviction billing semantics apply: the in-progress hour is refunded.
+  void Revoke(AllocationId id, SimTime t);
 
   const Allocation& Get(AllocationId id) const;
   Allocation& GetMutable(AllocationId id);
@@ -109,9 +134,13 @@ class SpotMarket {
   const TraceStore& traces() const { return traces_; }
 
  private:
+  void Release(const Allocation& alloc);
+
   const InstanceTypeCatalog& catalog_;
   const TraceStore& traces_;
   std::vector<Allocation> allocations_;
+  std::map<MarketKey, int> capacity_;  // Absent key = unlimited.
+  std::map<MarketKey, int> running_spot_;
 };
 
 }  // namespace proteus

@@ -54,7 +54,9 @@ JobQueueSimulator::JobQueueSimulator(const InstanceTypeCatalog* catalog, const T
 
 JobQueueResult JobQueueSimulator::Run(const std::vector<QueuedJob>& jobs,
                                       const SchemeConfig& config, SimTime start) const {
-  PROTEUS_CHECK(!jobs.empty());
+  if (jobs.empty()) {
+    return {};  // Nothing queued: no footprint, no cost, zero makespan.
+  }
   SpotMarket market(*catalog_, *traces_);
   BidBrain bidbrain(catalog_, traces_, estimator_, config.bidbrain);
   const AppProfile& profile = config.agileml_profile;

@@ -85,5 +85,13 @@ TEST_F(JobQueueTest, ShutdownWaitsForBillingHours) {
   EXPECT_GE(result.shutdown_refunds, 0.0);
 }
 
+TEST_F(JobQueueTest, EmptyQueueHasNoFootprintAndNoCost) {
+  const JobQueueResult result = sim_->Run({}, Config(), 16 * kDay);
+  EXPECT_TRUE(result.jobs.empty());
+  EXPECT_DOUBLE_EQ(result.total_cost, 0.0);
+  EXPECT_DOUBLE_EQ(result.shutdown_refunds, 0.0);
+  EXPECT_DOUBLE_EQ(result.makespan, 0.0);
+}
+
 }  // namespace
 }  // namespace proteus

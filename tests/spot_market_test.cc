@@ -113,5 +113,54 @@ TEST_F(SpotMarketTest, TotalBillAggregates) {
   EXPECT_NEAR(bill.charged, 0.05 + 0.209, 1e-9);
 }
 
+TEST_F(SpotMarketTest, UnlimitedCapacityByDefault) {
+  EXPECT_FALSE(market_->CapacityOf(key_).has_value());
+  EXPECT_TRUE(market_->RequestSpot(key_, 10000, 0.10, 0.0).has_value());
+}
+
+TEST_F(SpotMarketTest, FiniteCapacityLimitsConcurrentClaimants) {
+  market_->SetCapacity(key_, 5);
+  ASSERT_EQ(market_->CapacityOf(key_), 5);
+  const auto a = market_->RequestSpot(key_, 3, 0.10, 0.0);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(market_->RunningCount(key_), 3);
+  // A request that would overdraw the pool is denied whole.
+  EXPECT_FALSE(market_->RequestSpot(key_, 3, 0.10, 0.0).has_value());
+  const auto b = market_->RequestSpot(key_, 2, 0.10, 0.0);
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(market_->RunningCount(key_), 5);
+  EXPECT_FALSE(market_->RequestSpot(key_, 1, 0.10, 0.0).has_value());
+}
+
+TEST_F(SpotMarketTest, TerminateAndEvictReleaseCapacity) {
+  market_->SetCapacity(key_, 2);
+  const auto a = market_->RequestSpot(key_, 2, 0.10, 0.0);
+  ASSERT_TRUE(a.has_value());
+  market_->Terminate(*a, 1.0 * kHour);
+  EXPECT_EQ(market_->RunningCount(key_), 0);
+  const auto b = market_->RequestSpot(key_, 2, 0.10, 1.0 * kHour);
+  ASSERT_TRUE(b.has_value());
+  market_->MarkEvicted(*b);  // Price crossing at 2.5h.
+  EXPECT_EQ(market_->RunningCount(key_), 0);
+  EXPECT_TRUE(market_->RequestSpot(key_, 2, 0.10, 3.0 * kHour).has_value());
+}
+
+TEST_F(SpotMarketTest, RevokeReleasesCapacityAndBillsAsEviction) {
+  market_->SetCapacity(key_, 4);
+  const auto id = market_->RequestSpot(key_, 2, 2.0, 0.0);
+  ASSERT_TRUE(id.has_value());
+  // Provider-side reclaim (capacity shrank), distinct from the price
+  // crossing: the allocation had no precomputed eviction time.
+  market_->Revoke(*id, 1.5 * kHour);
+  EXPECT_EQ(market_->RunningCount(key_), 0);
+  const Allocation& alloc = market_->Get(*id);
+  EXPECT_EQ(alloc.state, AllocationState::kEvicted);
+  EXPECT_DOUBLE_EQ(alloc.end, 1.5 * kHour);
+  // Eviction billing: hour 0 charged, the in-progress hour refunded.
+  const BillingBreakdown bill = market_->Bill(*id, 10 * kHour);
+  EXPECT_NEAR(bill.charged, 0.05 * 2, 1e-9);
+  EXPECT_NEAR(bill.refunded, 0.05 * 2, 1e-9);
+}
+
 }  // namespace
 }  // namespace proteus
