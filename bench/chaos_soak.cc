@@ -30,6 +30,7 @@
 #include "src/chaos/crash_restart.h"
 #include "src/chaos/harness.h"
 #include "src/chaos/lossy_link.h"
+#include "src/chaos/tier_storm.h"
 
 namespace proteus {
 namespace {
@@ -46,12 +47,18 @@ ChaosConfig MakeConfig(std::uint64_t seed) {
   config.schedule.horizon = 40;
   config.schedule.events = 10;
   config.schedule.zones = 3;
+  // An ultra-transient serverless worker pool so kTierStorm events have
+  // victims; thinned capacity is replenished like BidBrain would.
+  config.initial_serverless_allocations = 2;
+  config.serverless_nodes_per_allocation = 2;
+  config.min_serverless = 2;
   config.seed = seed;
   return config;
 }
 
 int RunLossyLinkSection(int schedules, std::uint64_t base_seed, MLApp* app);
 int RunCrashRestartSection(int seeds, std::uint64_t base_seed, MLApp* app);
+int RunTierStormSection(int seeds, std::uint64_t base_seed, MLApp* app);
 
 int RunSoak(int schedules, std::uint64_t base_seed) {
   RatingsConfig rc;
@@ -179,12 +186,17 @@ int RunSoak(int schedules, std::uint64_t base_seed) {
   // schedule counts stay dominated by the chaos sweep.
   const int crash_rc =
       RunCrashRestartSection(schedules < 10 ? schedules : 10, base_seed, &app);
+  const int storm_rc =
+      RunTierStormSection(schedules < 10 ? schedules : 10, base_seed, &app);
   const int lossy_rc =
       RunLossyLinkSection(schedules < 10 ? schedules : 10, base_seed, &app);
   if (chaos_rc != 0) {
     return chaos_rc;
   }
-  return crash_rc != 0 ? crash_rc : lossy_rc;
+  if (crash_rc != 0) {
+    return crash_rc;
+  }
+  return storm_rc != 0 ? storm_rc : lossy_rc;
 }
 
 // Crash/restart section: for every rung of the escalation ladder, crash
@@ -235,6 +247,74 @@ int RunCrashRestartSection(int seeds, std::uint64_t base_seed, MLApp* app) {
   std::printf("byte-identical recoveries: %d/%d\n", runs - digest_mismatches, runs);
   std::printf("clocks of work lost:       %d total\n", total_lost);
   std::printf("auditor violations:        %zu\n", violations);
+  return (digest_mismatches == 0 && violations == 0) ? 0 : 1;
+}
+
+// Tier-storm section (ISSUE 10): zero-warning mass revocations of the
+// serverless tier — alone, crossing into the spot tier, overlapping a
+// reliable backup-holder loss, or wiping both lower tiers mid-round —
+// each must recover to a byte-identical digest at its depth of the
+// ladder, with the TierGuard exposure bound audited at every clock.
+int RunTierStormSection(int seeds, std::uint64_t base_seed, MLApp* app) {
+  constexpr TierStormScenario kScenarios[] = {
+      TierStormScenario::kServerlessWipe, TierStormScenario::kCrossTierSpot,
+      TierStormScenario::kBackupHolderOverlap, TierStormScenario::kFullWipe};
+  int digest_mismatches = 0;
+  std::size_t violations = 0;
+  int runs = 0;
+  std::array<long long, 4> depth_totals{};
+  std::array<int, 4> depth_lost{};
+  long long serverless_revoked = 0;
+  for (const TierStormScenario scenario : kScenarios) {
+    for (int s = 0; s < seeds; ++s) {
+      const std::uint64_t seed = base_seed + static_cast<std::uint64_t>(s);
+      TierStormConfig config;
+      config.agileml.num_partitions = 16;
+      config.agileml.data_blocks = 128;
+      config.agileml.parallel_execution = false;
+      config.agileml.backup_sync_every = 3;
+      config.agileml.seed = seed;
+      config.scenario = scenario;
+      config.horizon = 24;
+      config.checkpoint_every = 4;
+      config.storm_at = 11;
+      config.seed = seed;
+      const TierStormResult result = RunTierStorm(app, config);
+      ++runs;
+      const auto depth = static_cast<std::size_t>(result.depth);
+      depth_totals[depth] += 1;
+      depth_lost[depth] += result.lost_clocks;
+      serverless_revoked += result.storm_victims;
+      if (!result.digest_match) {
+        ++digest_mismatches;
+        std::fprintf(stderr, "tier_storm %s seed %llu: digest mismatch\n",
+                     TierStormScenarioName(scenario),
+                     static_cast<unsigned long long>(seed));
+      }
+      for (const auto& violation : result.violations) {
+        ++violations;
+        std::fprintf(stderr, "tier_storm %s seed %llu: %s — %s\n",
+                     TierStormScenarioName(scenario),
+                     static_cast<unsigned long long>(seed),
+                     violation.invariant.c_str(), violation.detail.c_str());
+      }
+    }
+  }
+  std::printf("\ntier storms (zero-warning serverless evictions): %d runs "
+              "(4 scenarios x %d seeds)\n", runs, seeds);
+  std::printf("serverless nodes revoked:  %lld (all with zero warning; every loss\n"
+              "                           detector-confirmed, never drained)\n",
+              serverless_revoked);
+  std::printf("byte-identical recoveries: %d/%d\n", runs - digest_mismatches, runs);
+  std::printf("per-depth recovery breakdown:\n");
+  std::printf("%-22s %8s %12s\n", "depth", "storms", "lost clocks");
+  for (std::size_t d = 0; d < depth_totals.size(); ++d) {
+    std::printf("%-22s %8lld %12d\n",
+                RecoveryDepthName(static_cast<RecoveryDepth>(d)), depth_totals[d],
+                depth_lost[d]);
+  }
+  std::printf("auditor violations:        %zu (TierGuard bound re-checked every clock)\n",
+              violations);
   return (digest_mismatches == 0 && violations == 0) ? 0 : 1;
 }
 

@@ -1,0 +1,145 @@
+// Three-tier sweep (ISSUE 10): cost and damage across the
+// serverless-fraction x storm-rate x checkpoint-cadence grid.
+//
+// Each cell runs real MF training under live market management with a
+// third ultra-transient serverless worker tier enrolled. Serverless
+// slots are far cheaper than spot but give ZERO eviction warning and
+// suffer correlated revocation storms; the sweep shows where the cheap
+// tier pays for itself and where storm damage (silent losses, rolled
+// back clocks) eats the savings — and how the active->backup sync
+// cadence bounds that damage.
+//
+// Flags:
+//   --bench_json=PATH Emit the headline numbers as a CI artifact.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/support.h"
+#include "src/common/table.h"
+#include "src/proteus/proteus_runtime.h"
+
+namespace proteus {
+namespace bench {
+namespace {
+
+struct Cell {
+  int serverless_target = 0;  // Worker slots kept enrolled (0 = off).
+  double storms_per_day = 0.0;
+  int sync_every = 1;  // Active->backup checkpoint cadence, clocks.
+};
+
+struct CellResult {
+  Cell cell;
+  ProteusRunSummary summary;
+};
+
+std::string CellName(const Cell& cell) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "sls%d_storm%.0f_sync%d",
+                cell.serverless_target, cell.storms_per_day, cell.sync_every);
+  return buf;
+}
+
+int Main(const std::string& json_path) {
+  std::printf("=== Tier sweep: serverless fraction x storm rate x sync cadence ===\n");
+  const MarketEnv env = MakeMarketEnv();
+
+  RatingsConfig rc;
+  rc.users = 2000;
+  rc.items = 400;
+  rc.ratings = 60000;
+  const RatingsDataset data = GenerateRatings(rc);
+  MfConfig mc;
+  mc.rank = 16;
+  constexpr int kClocks = 24;
+
+  // serverless_target 0 is the two-tier baseline: the storm rate is
+  // moot there, so the grid only varies it where the tier is live.
+  std::vector<Cell> cells;
+  for (const int sync_every : {1, 4}) {
+    cells.push_back({0, 12.0, sync_every});
+  }
+  for (const int target : {8, 16}) {
+    for (const double storms : {12.0, 96.0}) {
+      for (const int sync_every : {1, 4}) {
+        cells.push_back({target, storms, sync_every});
+      }
+    }
+  }
+
+  std::vector<CellResult> results;
+  for (const Cell& cell : cells) {
+    MatrixFactorizationApp app(&data, mc);
+    ProteusConfig config;
+    config.agileml.num_partitions = 32;
+    config.agileml.core_speed = 1.5e3;  // Minutes-long clocks.
+    config.agileml.backup_sync_every = cell.sync_every;
+    // Zero-warning losses are only observable through the detector.
+    config.agileml.detector.enabled = true;
+    config.agileml.detector.suspect_after = 1;
+    config.agileml.detector.confirm_after = 3;
+    config.bidbrain.max_spot_instances = 48;
+    config.bidbrain.allocation_quantum = 16;
+    config.on_demand_count = 3;
+    config.serverless_target = cell.serverless_target;
+    config.serverless_nodes_per_allocation = 4;
+    config.serverless.storms_per_day = cell.storms_per_day;
+    // The tier's capacity/storm timeline must span the market clock,
+    // which starts deep into the eval window; a tight burst cap makes
+    // even storm-free cells churn through zero-warning reclaims.
+    config.serverless.horizon = env.eval_begin + 2 * kDay;
+    config.serverless.max_burst = 12 * kMinute;
+    ProteusRuntime runtime(&app, &env.catalog, &env.traces, &env.estimator,
+                           config, env.eval_begin + kDay);
+    if (ObsSession* session = CurrentObsSession()) {
+      session->Attach(runtime);
+    }
+    results.push_back({cell, runtime.Train(kClocks)});
+  }
+
+  TextTable table({"cell", "runtime", "cost", "sls cost", "sls losses",
+                   "silent", "lost clocks", "RMSE"});
+  for (const CellResult& r : results) {
+    table.AddRow({CellName(r.cell), FormatDuration(r.summary.runtime),
+                  FormatMoney(r.summary.bill.cost),
+                  FormatMoney(r.summary.tier_serverless.cost),
+                  std::to_string(r.summary.tier_serverless.silent_losses),
+                  std::to_string(r.summary.silent_failures),
+                  std::to_string(r.summary.lost_clocks),
+                  TextTable::Cell(r.summary.final_objective, 4)});
+  }
+  table.PrintAndMaybeExport("tab_tier_sweep");
+  std::printf("(every serverless loss above is silent by construction — the tier\n"
+              " has no warning window; a tighter sync cadence caps the clocks a\n"
+              " storm can roll back)\n\n");
+
+  if (!json_path.empty()) {
+    std::vector<BenchJsonRow> rows;
+    for (const CellResult& r : results) {
+      const std::string name = CellName(r.cell);
+      rows.push_back({name, "cost", r.summary.bill.cost, "usd"});
+      rows.push_back({name, "serverless_cost", r.summary.tier_serverless.cost, "usd"});
+      rows.push_back({name, "serverless_silent_losses",
+                      static_cast<double>(r.summary.tier_serverless.silent_losses),
+                      "count"});
+      rows.push_back({name, "lost_clocks",
+                      static_cast<double>(r.summary.lost_clocks), "count"});
+      rows.push_back({name, "runtime", r.summary.runtime, "seconds"});
+    }
+    if (!WriteBenchJson(json_path, "tab_tier_sweep", rows)) {
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  const std::string json_path = proteus::bench::TakeFlag(argc, argv, "bench_json");
+  proteus::bench::ObsSession obs_session(argc, argv);
+  return proteus::bench::Main(json_path);
+}

@@ -14,10 +14,16 @@ double TierCounts::Ratio() const {
 TierCounts CountTiers(const std::vector<NodeInfo>& nodes) {
   TierCounts counts;
   for (const auto& node : nodes) {
-    if (node.reliable()) {
-      ++counts.reliable;
-    } else {
-      ++counts.transient;
+    switch (node.tier) {
+      case Tier::kReliable:
+        ++counts.reliable;
+        break;
+      case Tier::kTransient:
+        ++counts.transient;
+        break;
+      case Tier::kServerless:
+        ++counts.serverless;
+        break;
     }
   }
   return counts;

@@ -10,14 +10,26 @@
 namespace proteus {
 
 // Reliability tiers (§3): reliable nodes (e.g. EC2 on-demand) hold durable
-// solution state; transient nodes (e.g. spot) may be revoked in bulk.
+// solution state; transient nodes (e.g. spot) may be revoked in bulk but
+// come with a short eviction warning; serverless nodes (burstable
+// function-style capacity) are ultra-transient — revocable at any instant
+// with *zero* warning, so they may never hold parameter-server state.
 enum class Tier {
   kReliable,
   kTransient,
+  kServerless,
 };
 
 inline const char* TierName(Tier tier) {
-  return tier == Tier::kReliable ? "reliable" : "transient";
+  switch (tier) {
+    case Tier::kReliable:
+      return "reliable";
+    case Tier::kTransient:
+      return "transient";
+    case Tier::kServerless:
+      return "serverless";
+  }
+  return "?";
 }
 
 struct NodeInfo {
@@ -33,15 +45,20 @@ struct NodeInfo {
   double speed = 1.0;
 
   bool reliable() const { return tier == Tier::kReliable; }
+  bool serverless() const { return tier == Tier::kServerless; }
 };
 
 // Convenience counters over a membership list.
 struct TierCounts {
   int reliable = 0;
   int transient = 0;
+  int serverless = 0;
 
-  int total() const { return reliable + transient; }
+  int total() const { return reliable + transient + serverless; }
   // Transient-to-reliable ratio; infinity when no reliable nodes.
+  // Serverless nodes are excluded: they can never host ActivePSs, so
+  // they must not push the stage decision (§3.3 ratio thresholds are
+  // about where parameter state can live, not raw worker count).
   double Ratio() const;
 };
 

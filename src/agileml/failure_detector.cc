@@ -1,5 +1,7 @@
 #include "src/agileml/failure_detector.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace proteus {
@@ -54,6 +56,12 @@ FailureDetectorReport FailureDetector::Poll(std::int64_t now_clock) {
     ++it;
   }
   return report;
+}
+
+void FailureDetector::RewindTo(std::int64_t now_clock) {
+  for (auto& [node, lease] : leases_) {
+    lease.last_heartbeat = std::min(lease.last_heartbeat, now_clock);
+  }
 }
 
 bool FailureDetector::IsTracked(NodeId node) const { return leases_.count(node) > 0; }

@@ -71,6 +71,15 @@ class FailureDetector {
   // nodes leave the tracked set.
   FailureDetectorReport Poll(std::int64_t now_clock);
 
+  // Clamps every lease's renewal clock to `now_clock`. Must be called
+  // when the runtime clock rewinds (rollback / checkpoint restore):
+  // leases renewed at now-discarded future clocks would otherwise defer
+  // suspicion of an already-dead node by the rewind distance, stretching
+  // detection latency — and the backup-sync suppression window — far
+  // past confirm_after. Live nodes renew on the next re-executed clock,
+  // so clamping costs them nothing.
+  void RewindTo(std::int64_t now_clock);
+
   bool IsTracked(NodeId node) const;
   bool IsSuspected(NodeId node) const;
   // Clock of the node's last lease renewal; kInvalidClock semantics do

@@ -118,10 +118,15 @@ RoleAssignment RolePlanner::Plan(const std::vector<NodeInfo>& nodes, int num_par
     PROTEUS_LOG(Fatal) << "stage 1 requires at least one reliable node";
   }
 
+  // Serverless nodes are tracked separately: they are workers only.
+  // Ultra-transient capacity vanishes with zero warning, so it can never
+  // host an ActivePS (or any parameter-server state).
   std::vector<NodeId> reliable;
   std::vector<NodeId> transient;
+  std::vector<NodeId> serverless;
   for (const auto& node : nodes) {
-    (node.reliable() ? reliable : transient).push_back(node.id);
+    (node.reliable() ? reliable : node.serverless() ? serverless : transient)
+        .push_back(node.id);
   }
 
   if (roles.stage == Stage::kStage1) {
@@ -170,6 +175,9 @@ RoleAssignment RolePlanner::Plan(const std::vector<NodeInfo>& nodes, int num_par
                                  previous != nullptr ? &previous->backup : nullptr);
 
   for (const NodeId n : transient) {
+    roles.worker_nodes.insert(n);
+  }
+  for (const NodeId n : serverless) {
     roles.worker_nodes.insert(n);
   }
   if (roles.stage == Stage::kStage2) {

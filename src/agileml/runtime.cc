@@ -24,7 +24,8 @@ AgileMLRuntime::AgileMLRuntime(MLApp* app, AgileMLConfig config,
       data_(app->NumItems(), config.data_blocks),
       planner_(config.planner),
       clocks_(config.staleness),
-      detector_(config.detector) {
+      detector_(config.detector),
+      guard_(config.tier_guard) {
   PROTEUS_CHECK(app_ != nullptr);
   PROTEUS_CHECK(!initial_nodes.empty());
   if (config_.parallel_execution) {
@@ -376,6 +377,9 @@ void AgileMLRuntime::Evict(const std::vector<NodeId>& node_ids) {
       continue;
     }
     PROTEUS_CHECK(IsReady(id)) << "evicting unknown node " << id;
+    PROTEUS_CHECK(revoked_.count(id) == 0)
+        << "warned drain of zero-warning node " << id
+        << "; revoked nodes go through the detector-confirmed Fail path only";
     leaving.insert(id);
     ready_.erase(id);
     silenced_.erase(id);
@@ -421,6 +425,7 @@ int AgileMLRuntime::FailInternal(const std::vector<NodeId>& node_ids, bool durab
   std::set<NodeId> dead;
   bool lost_server_state = false;
   bool lost_reliable_ps = false;
+  bool revoked_victim = false;
   for (const NodeId id : node_ids) {
     if (preparing_.erase(id) > 0) {
       fabric_.RemoveNode(id);
@@ -433,6 +438,9 @@ int AgileMLRuntime::FailInternal(const std::vector<NodeId>& node_ids, bool durab
     dead.insert(id);
     ready_.erase(id);
     silenced_.erase(id);
+    if (revoked_.erase(id) > 0) {
+      revoked_victim = true;
+    }
     detector_.Unregister(id);
     for (const auto& [part, server] : roles_.server) {
       if (server == id) {
@@ -447,6 +455,14 @@ int AgileMLRuntime::FailInternal(const std::vector<NodeId>& node_ids, bool durab
   }
   if (dead.empty()) {
     return 0;
+  }
+  // Taint rollback: a zero-warning (revoked) victim stopped contributing
+  // the instant it was revoked, so every clock completed since then is
+  // missing its updates. Roll back to the last backup sync even when the
+  // victims were pure workers — the backup copy is the newest state
+  // guaranteed untainted.
+  if (revoked_victim && roles_.UsesBackups()) {
+    lost_server_state = true;
   }
   if (tracer_ != nullptr) {
     tracer_->InstantAt(total_time_, "nodes.fail", "agileml",
@@ -483,6 +499,9 @@ int AgileMLRuntime::FailInternal(const std::vector<NodeId>& node_ids, bool durab
     lost_clocks = static_cast<int>(clock_ - last_sync_clock_);
     model_.RollbackAllToBackup();
     clock_ = last_sync_clock_;
+    // Leases renewed at the discarded clocks would defer detection of
+    // nodes that die during the re-executed window.
+    detector_.RewindTo(clock_);
     lost_clocks_total_ += lost_clocks;
     if (lost_clocks > 0) {
       control_log_.Record(ControlMessage::kRollbackNotice,
@@ -546,6 +565,22 @@ void AgileMLRuntime::SetNodeSilent(NodeId id, bool silent) {
   silenced_.insert(id);
 }
 
+void AgileMLRuntime::SetNodeRevoked(NodeId id) {
+  PROTEUS_CHECK(IsReady(id)) << "revoking unknown node " << id;
+  revoked_.insert(id);
+  silenced_.insert(id);  // Heartbeats stop the same instant.
+  if (ledger_ != nullptr) {
+    ledger_->Record("nodes.revoked", "agileml", total_time_,
+                    {{"node", static_cast<std::int64_t>(id)},
+                     {"clock", static_cast<std::int64_t>(clock_)}});
+  }
+}
+
+TierGuardReport AgileMLRuntime::AuditTierGuard() const {
+  const int extra = revoked_.empty() ? 0 : config_.detector.confirm_after;
+  return guard_.Audit(ReadyNodes(), roles_, clock_, last_sync_clock_, extra);
+}
+
 void AgileMLRuntime::CheckpointReliable() {
   // Shard-granular snapshot: each stripe serializes independently, so a
   // future partial restore touches only the stripes it needs.
@@ -600,6 +635,7 @@ int AgileMLRuntime::RestoreFromCheckpoint() {
   const int delta = static_cast<int>(clock_ - checkpoint_->clock);
   const int lost = std::max(0, delta);
   clock_ = checkpoint_->clock;
+  detector_.RewindTo(clock_);
   checkpoint_bytes_restored_total_ += restored_bytes;
   restore_clocks_lost_total_ += lost;
   if (checkpoint_bytes_restored_counter_ != nullptr) {
@@ -617,6 +653,8 @@ int AgileMLRuntime::RestoreFromCheckpoint() {
   } else {
     last_sync_clock_ = std::min(last_sync_clock_, clock_);
   }
+  restore_clocks_credited_total_ +=
+      lost_clocks_total_ - std::max(0, lost_clocks_total_ + delta) + lost;
   lost_clocks_total_ = std::max(0, lost_clocks_total_ + delta);
   if (lost > 0) {
     // Workers restart from the checkpointed clock.
@@ -752,6 +790,9 @@ IterationReport AgileMLRuntime::RunClock() {
   auto run_node = [&](const NodeId w) {
     AccessTracker& tracker = trackers[w];
     tracker.Clear();
+    if (revoked_.count(w) > 0) {
+      return;  // Revoked with zero warning: the node executes nothing.
+    }
     const std::uint64_t stream =
         HashCombine(config_.seed, HashCombine(static_cast<std::uint64_t>(w),
                                               static_cast<std::uint64_t>(clock_)));
@@ -845,7 +886,12 @@ IterationReport AgileMLRuntime::RunClock() {
   }
 
   // --- Active -> Backup streaming (stages 2/3) ---
-  if (roles_.UsesBackups() && (clock_ + 1) % config_.backup_sync_every == 0) {
+  // Suppressed while any revoked node is unconfirmed: a zero-warning
+  // victim never reaches the clock barrier, so clocks completed since
+  // the revocation are missing its updates (tainted) and must not be
+  // captured as the rollback target.
+  if (roles_.UsesBackups() && revoked_.empty() &&
+      (clock_ + 1) % config_.backup_sync_every == 0) {
     SyncAllToBackups(TrafficClass::kBackground);
     last_sync_clock_ = clock_ + 1;
     if (ledger_ != nullptr) {
@@ -861,17 +907,20 @@ IterationReport AgileMLRuntime::RunClock() {
   SimDuration gate_comm = 0.0;
   std::int64_t ready_reliable = 0;
   std::int64_t ready_transient = 0;
+  std::int64_t ready_serverless = 0;
   for (const auto& node : nodes_) {
     if (!IsReady(node.id)) {
       continue;
     }
     if (node.reliable()) {
       ++ready_reliable;
+    } else if (node.serverless()) {
+      ++ready_serverless;
     } else {
       ++ready_transient;
     }
     SimDuration compute = 0.0;
-    if (roles_.worker_nodes.count(node.id) > 0) {
+    if (roles_.worker_nodes.count(node.id) > 0 && revoked_.count(node.id) == 0) {
       double items = 0.0;
       for (const ItemRange& range : data_.RangesOf(node.id)) {
         items += static_cast<double>(clock_slice(range).size());
@@ -1021,14 +1070,17 @@ IterationReport AgileMLRuntime::RunClock() {
       }
     }
     if (!fd.confirmed_dead.empty()) {
+      // The latency gauge reports the batch maximum: when many nodes are
+      // confirmed in the same clock (an eviction storm), per-death Set()
+      // calls would leave whichever node happened to be last — the gauge
+      // must reflect the slowest confirmation of the batch.
+      double batch_latency = 0.0;
       for (const ConfirmedDeath& death : fd.confirmed_dead) {
         report.confirmed_dead.push_back(death.node);
         silenced_.erase(death.node);
+        batch_latency = std::max(batch_latency, static_cast<double>(death.missed_clocks));
         if (detector_confirmed_counter_ != nullptr) {
           detector_confirmed_counter_->Increment();
-        }
-        if (detector_latency_gauge_ != nullptr) {
-          detector_latency_gauge_->Set(static_cast<double>(death.missed_clocks));
         }
         if (tracer_ != nullptr) {
           tracer_->InstantAt(total_time_, "detector.confirmed_dead", "agileml",
@@ -1043,6 +1095,9 @@ IterationReport AgileMLRuntime::RunClock() {
                            {"clock", static_cast<std::int64_t>(clock_)}});
         }
       }
+      if (detector_latency_gauge_ != nullptr) {
+        detector_latency_gauge_->Set(batch_latency);
+      }
       Fail(report.confirmed_dead);
     }
   }
@@ -1054,6 +1109,7 @@ IterationReport AgileMLRuntime::RunClock() {
                     {"workers", static_cast<std::int64_t>(report.worker_nodes)},
                     {"reliable_nodes", ready_reliable},
                     {"transient_nodes", ready_transient},
+                    {"serverless_nodes", ready_serverless},
                     {"t_compute", report.critical_compute},
                     {"t_transport", report.critical_transport},
                     {"stall", report.stall},

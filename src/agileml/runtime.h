@@ -30,6 +30,7 @@
 #include "src/agileml/data_assignment.h"
 #include "src/agileml/failure_detector.h"
 #include "src/agileml/roles.h"
+#include "src/agileml/tier_guard.h"
 #include "src/common/thread_pool.h"
 #include "src/common/types.h"
 #include "src/net/fabric.h"
@@ -88,6 +89,10 @@ struct AgileMLConfig {
   // nodes are confirmed dead — and Fail()ed internally — after
   // detector.confirm_after missed clocks).
   FailureDetectorConfig detector;
+  // Placement bounds for the ultra-transient (serverless) tier. The
+  // zero-PS invariant is audited even when disabled; the fraction and
+  // sync-lag bounds apply only when enabled.
+  TierGuardConfig tier_guard;
   std::uint64_t seed = 1;
   // Run per-node work on a thread pool (true) or sequentially (for
   // deterministic tests).
@@ -181,6 +186,28 @@ class AgileMLRuntime {
   void SetNodeSilent(NodeId id, bool silent);
   bool IsSilencedNode(NodeId id) const { return silenced_.count(id) > 0; }
 
+  // Zero-warning revocation (the serverless tier's only failure mode):
+  // the node's data plane AND control plane die in the same instant — it
+  // stops executing work and stops heartbeating, but remains in the
+  // membership until the detector confirms the death and Fail()s it
+  // internally. Unlike SetNodeSilent (gray failure: compute keeps
+  // running), a revoked node contributes nothing from this moment on,
+  // so every clock completed before confirmation is missing its
+  // updates; FailInternal therefore treats any revoked victim as a
+  // solution-state loss and rolls back to the last backup sync even
+  // when the victims held no parameter-server roles ("taint rollback").
+  void SetNodeRevoked(NodeId id);
+  bool IsRevokedNode(NodeId id) const { return revoked_.count(id) > 0; }
+  // Revoked nodes still awaiting detector confirmation. While nonzero,
+  // backup syncs are suppressed (they would capture tainted clocks), so
+  // lag auditors must widen their bound by the detector confirm window.
+  int RevokedCount() const { return static_cast<int>(revoked_.size()); }
+
+  // Runs the TierGuard invariants against the current placement (the
+  // ConsistencyAuditor calls this at every clock boundary).
+  TierGuardReport AuditTierGuard() const;
+  const TierGuard& tier_guard() const { return guard_; }
+
   // Checkpoint of the reliable tier (§3.3: insures against reliable-node
   // failure; free in stage 3 because reliable nodes run no workers).
   void CheckpointReliable();
@@ -230,6 +257,10 @@ class AgileMLRuntime {
   std::uint64_t checkpoint_bytes_written_total() const { return checkpoint_bytes_written_total_; }
   std::uint64_t checkpoint_bytes_restored_total() const { return checkpoint_bytes_restored_total_; }
   int restore_clocks_lost_total() const { return restore_clocks_lost_total_; }
+  // Clocks credited back against lost_clocks_total_ by forward restores
+  // (a durable epoch newer than the last backup sync). The lost-clock
+  // counter may only decrease by exactly this credit.
+  int restore_clocks_credited_total() const { return restore_clocks_credited_total_; }
 
  private:
   struct QueuedTransfer {
@@ -292,6 +323,10 @@ class AgileMLRuntime {
 
   FailureDetector detector_;
   std::set<NodeId> silenced_;  // Ready nodes with heartbeats cut.
+  // Ready nodes revoked with zero warning: no work, no heartbeats; still
+  // in the membership until the detector confirms them dead.
+  std::set<NodeId> revoked_;
+  TierGuard guard_;
 
   ControlPlaneLog control_log_;
   std::vector<QueuedTransfer> queued_;
@@ -311,6 +346,7 @@ class AgileMLRuntime {
   std::uint64_t checkpoint_bytes_written_total_ = 0;
   std::uint64_t checkpoint_bytes_restored_total_ = 0;
   int restore_clocks_lost_total_ = 0;
+  int restore_clocks_credited_total_ = 0;
 
   // Observability sinks (optional) and cached metric handles. All
   // recording happens on the serial control path, never inside the

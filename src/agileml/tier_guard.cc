@@ -1,0 +1,94 @@
+#include "src/agileml/tier_guard.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+namespace proteus {
+
+int TierGuard::AdmissionHeadroom(const TierCounts& ready, int pending) const {
+  if (!config_.enabled) {
+    return std::numeric_limits<int>::max() / 2;
+  }
+  // Solve for the largest s such that
+  //   (serverless + pending + s) / (total + pending + s) <= max_fraction.
+  const double f = config_.max_worker_fraction;
+  if (f >= 1.0) {
+    return std::numeric_limits<int>::max() / 2;
+  }
+  const double exposed = static_cast<double>(ready.serverless + pending);
+  const double others = static_cast<double>(ready.reliable + ready.transient);
+  // exposed + s <= f * (others + exposed + s)  =>  s <= (f*others - (1-f)*exposed) / (1-f).
+  const double s = (f * others - (1.0 - f) * exposed) / (1.0 - f);
+  return std::max(0, static_cast<int>(std::floor(s)));
+}
+
+TierGuardReport TierGuard::Audit(const std::vector<NodeInfo>& ready_nodes,
+                                 const RoleAssignment& roles, Clock clock,
+                                 Clock last_sync_clock, int extra_lag_allowance) const {
+  TierGuardReport report;
+  const TierCounts counts = CountTiers(ready_nodes);
+  report.worker_fraction =
+      counts.total() > 0
+          ? static_cast<double>(counts.serverless) / static_cast<double>(counts.total())
+          : 0.0;
+  report.unsynced_clocks =
+      roles.UsesBackups() ? static_cast<int>(clock - last_sync_clock) : 0;
+
+  // Invariant 1 (always on): zero parameter-server exposure.
+  for (const auto& node : ready_nodes) {
+    if (!node.serverless()) {
+      continue;
+    }
+    bool holds_ps = roles.active_ps_nodes.count(node.id) > 0;
+    for (const auto& [part, owner] : roles.server) {
+      holds_ps = holds_ps || owner == node.id;
+    }
+    for (const auto& [part, owner] : roles.backup) {
+      holds_ps = holds_ps || owner == node.id;
+    }
+    if (holds_ps) {
+      ++report.serverless_ps_roles;
+    }
+  }
+  if (report.serverless_ps_roles > 0) {
+    report.ok = false;
+    std::ostringstream oss;
+    oss << report.serverless_ps_roles
+        << " serverless node(s) hold parameter-server roles (must be zero)";
+    report.detail = oss.str();
+    return report;
+  }
+
+  if (!config_.enabled) {
+    return report;
+  }
+
+  // Invariant 2: bounded worker exposure. A strict epsilon absorbs
+  // floating-point noise at the exact bound.
+  if (report.worker_fraction > config_.max_worker_fraction + 1e-9) {
+    report.ok = false;
+    std::ostringstream oss;
+    oss << "serverless worker fraction " << report.worker_fraction << " exceeds bound "
+        << config_.max_worker_fraction << " (" << counts.serverless << "/" << counts.total()
+        << " ready nodes)";
+    report.detail = oss.str();
+    return report;
+  }
+
+  // Invariant 3: bounded un-checkpointed work while exposed.
+  const int lag_bound = config_.max_unsynced_clocks_exposed + extra_lag_allowance;
+  if (counts.serverless > 0 && config_.max_unsynced_clocks_exposed > 0 &&
+      report.unsynced_clocks > lag_bound) {
+    report.ok = false;
+    std::ostringstream oss;
+    oss << "backup-sync lag " << report.unsynced_clocks << " clocks exceeds bound "
+        << lag_bound << " while " << counts.serverless
+        << " serverless worker(s) are exposed";
+    report.detail = oss.str();
+  }
+  return report;
+}
+
+}  // namespace proteus

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "src/bidbrain/bidbrain.h"
+#include "src/bidbrain/tier_policy.h"
 #include "src/common/logging.h"
 
 namespace proteus {
@@ -185,11 +186,33 @@ PolicyFactory MakePolicyFactory(const std::string& spec, const PolicyEnv& env,
       return std::make_unique<OracleNextPricePolicy>(env.catalog, env.traces, target, lookahead);
     };
   }
+  if (spec == "tiered" || spec.rfind("tiered:", 0) == 0) {
+    if (env.estimator == nullptr) {
+      return fail("tiered policy needs a trained EvictionModel in PolicyEnv");
+    }
+    TieredPolicyConfig config;
+    config.target_vcpus = scheme.standard_target_vcpus;
+    config.reliable_type = scheme.on_demand_type;
+    if (spec != "tiered") {
+      char* end = nullptr;
+      const std::string arg = spec.substr(7);
+      const double beta = std::strtod(arg.c_str(), &end);
+      if (arg.empty() || end == nullptr || *end != '\0' || beta < 0.0 || beta > 1.0) {
+        return fail("bad tiered spec '" + spec + "' (want tiered[:<serverless beta in [0,1]>])");
+      }
+      config.serverless_beta = beta;
+    }
+    return [env, config] {
+      return std::make_unique<TieredAcquisitionPolicy>(env.catalog, env.traces, env.estimator,
+                                                       config);
+    };
+  }
   return fail("unknown policy spec '" + spec + "'");
 }
 
 std::vector<std::string> KnownPolicySpecs() {
-  return {"bidbrain", "on_demand", "fixed_delta:<dollars>", "oracle[:<lookahead hours>]"};
+  return {"bidbrain", "on_demand", "fixed_delta:<dollars>", "oracle[:<lookahead hours>]",
+          "tiered[:<serverless beta>]"};
 }
 
 }  // namespace backtest

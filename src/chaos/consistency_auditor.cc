@@ -59,8 +59,10 @@ void ConsistencyAuditor::ObserveClock() {
   CheckProgressAccounting();
   CheckMembership();
   CheckDetector();
+  CheckTierGuard();
   prev_clock_ = runtime_->clock();
   prev_lost_ = runtime_->lost_clocks_total();
+  prev_credited_ = runtime_->restore_clocks_credited_total();
   has_prev_ = true;
 }
 
@@ -166,11 +168,17 @@ void ConsistencyAuditor::CheckBackupLag() {
   if (!runtime_->roles().UsesBackups()) {
     return;
   }
+  // While zero-warning revocations await detector confirmation, backup
+  // syncs are suppressed (they would capture clocks missing the revoked
+  // nodes' updates); the bound widens by the confirm window.
+  Clock allowed = runtime_->config().backup_sync_every;
+  if (runtime_->RevokedCount() > 0) {
+    allowed += runtime_->config().detector.confirm_after;
+  }
   const Clock lag = runtime_->clock() - runtime_->last_sync_clock();
-  if (lag < 0 || lag > runtime_->config().backup_sync_every) {
+  if (lag < 0 || lag > allowed) {
     std::ostringstream out;
-    out << "backup lag " << lag << " outside [0, "
-        << runtime_->config().backup_sync_every << "]";
+    out << "backup lag " << lag << " outside [0, " << allowed << "]";
     Add("backup-lag", out.str());
   }
 }
@@ -180,10 +188,16 @@ void ConsistencyAuditor::CheckProgressAccounting() {
   if (!has_prev_) {
     return;
   }
-  if (runtime_->lost_clocks_total() < prev_lost_) {
+  // The counter may only decrease by the clocks a forward restore (a
+  // durable epoch newer than the last backup sync) credited back; any
+  // larger drop is a reset or double-credit.
+  const int credited =
+      runtime_->restore_clocks_credited_total() - prev_credited_;
+  if (runtime_->lost_clocks_total() < prev_lost_ - std::max(0, credited)) {
     std::ostringstream out;
     out << "lost-clock counter went backwards: " << prev_lost_ << " -> "
-        << runtime_->lost_clocks_total();
+        << runtime_->lost_clocks_total() << " (forward-restore credit "
+        << credited << ")";
     Add("progress-accounting", out.str());
   }
   // Rollbacks move clocks from `clock` to `lost`; one RunClock adds one.
@@ -245,6 +259,13 @@ void ConsistencyAuditor::CheckDetector() {
           << " clocks, past the confirm bound " << detector.config().confirm_after;
       Add("detector-bound", out.str());
     }
+  }
+}
+
+void ConsistencyAuditor::CheckTierGuard() {
+  const TierGuardReport report = runtime_->AuditTierGuard();
+  if (!report.ok) {
+    Add("tier-guard", report.detail);
   }
 }
 

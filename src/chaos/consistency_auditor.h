@@ -31,6 +31,11 @@
 //      either recovers (lease renewed) or is confirmed dead and rolled
 //      back within confirm_after clocks — no node lingers suspected past
 //      the configured bound.
+//   9. Tier guard: no serverless node ever holds a parameter-server
+//      role, the serverless worker fraction stays within the configured
+//      exposure bound, and (stages 2/3) the backup-sync lag stays
+//      bounded while serverless workers are exposed — the TierGuard
+//      invariants re-checked every clock (zero-warning tier, PR 10).
 #ifndef SRC_CHAOS_CONSISTENCY_AUDITOR_H_
 #define SRC_CHAOS_CONSISTENCY_AUDITOR_H_
 
@@ -93,6 +98,7 @@ class ConsistencyAuditor {
   void CheckProgressAccounting();
   void CheckMembership();
   void CheckDetector();
+  void CheckTierGuard();
 
   const AgileMLRuntime* runtime_;
   obs::Tracer* tracer_ = nullptr;
@@ -104,6 +110,7 @@ class ConsistencyAuditor {
   bool has_prev_ = false;
   Clock prev_clock_ = 0;
   int prev_lost_ = 0;
+  int prev_credited_ = 0;
 };
 
 }  // namespace proteus

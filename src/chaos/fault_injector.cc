@@ -33,6 +33,8 @@ const char* FaultClassName(FaultClass cls) {
       return "checkpoint-corruption";
     case FaultClass::kTornCheckpoint:
       return "torn-checkpoint";
+    case FaultClass::kTierStorm:
+      return "tier-storm";
   }
   return "?";
 }
@@ -93,6 +95,12 @@ FaultInjector::FaultInjector(std::uint64_t seed, FaultScheduleConfig config)
       case FaultClass::kTornCheckpoint:
         // 0 = torn chunk write, 1 = manifest rename never commits.
         event.magnitude = static_cast<int>(rng_.UniformInt(0, 1));
+        break;
+      case FaultClass::kTierStorm:
+        // Victim permille of the serverless tier; >= 1000 wipes the
+        // whole tier. A second die inside the harness decides whether
+        // the storm also crosses into the spot tier.
+        event.magnitude = static_cast<int>(rng_.UniformInt(400, 1000));
         break;
       case FaultClass::kReliableFailure:
       case FaultClass::kTransientWipeout:

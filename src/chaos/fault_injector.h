@@ -43,6 +43,16 @@
 //                          write: either the chunk write tears or the
 //                          manifest rename never commits
 //
+// One ultra-transient-tier class completes the set (PR 10):
+//
+//   kTierStorm             a correlated serverless eviction storm: a
+//                          fraction (possibly all) of the zero-warning
+//                          serverless nodes vanish in the same instant
+//                          with NO notice of any kind — no drain, no
+//                          warning window — optionally taking transient
+//                          spot nodes with it (the storm that crosses
+//                          tiers). Only the failure detector notices.
+//
 // A schedule with >= kNumFaultClasses events is guaranteed to contain
 // every class at least once (the first kNumFaultClasses draws cycle
 // through a shuffled permutation of the classes).
@@ -71,9 +81,10 @@ enum class FaultClass : int {
   kCorrelatedWipeout = 9,
   kCheckpointCorruption = 10,
   kTornCheckpoint = 11,
+  kTierStorm = 12,
 };
 
-inline constexpr int kNumFaultClasses = 12;
+inline constexpr int kNumFaultClasses = 13;
 
 const char* FaultClassName(FaultClass cls);
 

@@ -39,6 +39,13 @@ std::vector<NodeInfo> InitialNodes(const ChaosConfig& config) {
       nodes.push_back({id++, Tier::kTransient, 8, static_cast<AllocationId>(a)});
     }
   }
+  for (int a = 0; a < config.initial_serverless_allocations; ++a) {
+    const AllocationId alloc =
+        static_cast<AllocationId>(config.initial_transient_allocations + a);
+    for (int i = 0; i < config.serverless_nodes_per_allocation; ++i) {
+      nodes.push_back({id++, Tier::kServerless, 2, alloc});
+    }
+  }
   return nodes;
 }
 
@@ -88,6 +95,7 @@ std::uint64_t ChaosRunResult::Digest() const {
   h = HashCombine(h, static_cast<std::uint64_t>(torn_checkpoints_armed));
   h = HashCombine(h, scrubs_run);
   h = HashCombine(h, scrub_corruptions_found);
+  h = HashCombine(h, serverless_nodes_revoked);
   return h;
 }
 
@@ -106,6 +114,14 @@ ChaosHarness::ChaosHarness(MLApp* app, ChaosConfig config)
     ChaosAllocation alloc;
     alloc.zone = a % config_.schedule.zones;
     for (int i = 0; i < config_.nodes_per_allocation; ++i) {
+      alloc.nodes.push_back(id++);
+    }
+    allocations_[next_allocation_++] = std::move(alloc);
+  }
+  for (int a = 0; a < config_.initial_serverless_allocations; ++a) {
+    ChaosAllocation alloc;
+    alloc.serverless = true;
+    for (int i = 0; i < config_.serverless_nodes_per_allocation; ++i) {
       alloc.nodes.push_back(id++);
     }
     allocations_[next_allocation_++] = std::move(alloc);
@@ -152,7 +168,7 @@ void ChaosHarness::SetLedger(obs::EventLedger* ledger, obs::FlightRecorder* reco
 std::vector<NodeId> ChaosHarness::ReadyTransientIds() const {
   std::vector<NodeId> out;
   for (const NodeInfo& node : runtime_->ReadyNodes()) {
-    if (!node.reliable()) {
+    if (node.tier == Tier::kTransient) {
       out.push_back(node.id);
     }
   }
@@ -162,7 +178,17 @@ std::vector<NodeId> ChaosHarness::ReadyTransientIds() const {
 std::vector<NodeId> ChaosHarness::AllTransientIds() const {
   std::vector<NodeId> out;
   for (const NodeInfo& node : runtime_->nodes()) {
-    if (!node.reliable()) {
+    if (node.tier == Tier::kTransient) {
+      out.push_back(node.id);
+    }
+  }
+  return out;
+}
+
+std::vector<NodeId> ChaosHarness::ReadyServerlessIds() const {
+  std::vector<NodeId> out;
+  for (const NodeInfo& node : runtime_->ReadyNodes()) {
+    if (node.serverless()) {
       out.push_back(node.id);
     }
   }
@@ -191,6 +217,28 @@ AllocationId ChaosHarness::AddAllocation(int zone, int count) {
   return id;
 }
 
+AllocationId ChaosHarness::AddServerlessAllocation(int count) {
+  const AllocationId id = next_allocation_++;
+  ChaosAllocation alloc;
+  alloc.serverless = true;
+  std::vector<NodeInfo> nodes;
+  for (int i = 0; i < count; ++i) {
+    const NodeId node = next_node_++;
+    alloc.nodes.push_back(node);
+    nodes.push_back({node, Tier::kServerless, 2, id});
+  }
+  control_channel_.Send(Message(AllocationGrantMsg{id, alloc.nodes, 2}));
+  runtime_->AddNodes(nodes);
+  allocations_[id] = std::move(alloc);
+  return id;
+}
+
+void ChaosHarness::ClearTransientAllocations() {
+  for (auto it = allocations_.begin(); it != allocations_.end();) {
+    it = it->second.serverless ? ++it : allocations_.erase(it);
+  }
+}
+
 void ChaosHarness::ForgetNodes(const std::vector<NodeId>& nodes) {
   for (auto it = allocations_.begin(); it != allocations_.end();) {
     auto& held = it->second.nodes;
@@ -216,14 +264,19 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
       int zone = event.magnitude % config_.schedule.zones;
       std::vector<AllocationId> victims;
       for (const auto& [id, alloc] : allocations_) {
-        if (alloc.zone == zone) {
+        if (!alloc.serverless && alloc.zone == zone) {
           victims.push_back(id);
         }
       }
       if (victims.empty()) {
         std::map<int, int> per_zone;
         for (const auto& [id, alloc] : allocations_) {
-          ++per_zone[alloc.zone];
+          if (!alloc.serverless) {
+            ++per_zone[alloc.zone];
+          }
+        }
+        if (per_zone.empty()) {
+          return false;  // Only serverless allocations left; no zones.
         }
         zone = per_zone.begin()->first;
         for (const auto& [z, n] : per_zone) {
@@ -232,7 +285,7 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
           }
         }
         for (const auto& [id, alloc] : allocations_) {
-          if (alloc.zone == zone) {
+          if (!alloc.serverless && alloc.zone == zone) {
             victims.push_back(id);
           }
         }
@@ -313,7 +366,9 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
         return false;
       }
       for (const auto& [id, alloc] : allocations_) {
-        SendEvictionNotice(id, alloc.nodes, /*warned=*/false);
+        if (!alloc.serverless) {
+          SendEvictionNotice(id, alloc.nodes, /*warned=*/false);
+        }
       }
       // Half the wipeouts are warned (graceful stage fallback), half are
       // simultaneous unwarned failures (rollback under total loss).
@@ -322,7 +377,7 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
       } else {
         runtime_->Fail(all);
       }
-      allocations_.clear();
+      ClearTransientAllocations();
       pending_preload_evictions_.clear();
       return true;
     }
@@ -435,7 +490,9 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
       victims.insert(victims.end(), reliable.begin(),
                      reliable.begin() + static_cast<std::ptrdiff_t>(reliable_victims));
       for (const auto& [id, alloc] : allocations_) {
-        SendEvictionNotice(id, alloc.nodes, /*warned=*/false);
+        if (!alloc.serverless) {
+          SendEvictionNotice(id, alloc.nodes, /*warned=*/false);
+        }
       }
       SendEvictionNotice(kInvalidAllocation,
                          {reliable.begin(),
@@ -454,7 +511,7 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
           static_cast<std::int64_t>(outcome.restored_clock),
           static_cast<std::int32_t>(outcome.lost_clocks), outcome.durable_epoch}));
       ForgetNodes(victims);
-      allocations_.clear();
+      ClearTransientAllocations();
       pending_preload_evictions_.clear();
       // The operator replaces the dead on-demand machines; they preload
       // and rejoin like any addition.
@@ -531,6 +588,56 @@ bool ChaosHarness::Apply(const FaultEvent& event) {
         device_.ArmDropRename();
       }
       ++torn_checkpoints_armed_;
+      return true;
+    }
+    case FaultClass::kTierStorm: {
+      // Correlated serverless eviction storm: `magnitude` permille of
+      // the ready serverless tier vanishes in the same instant with no
+      // notice of any kind — no warning window, no drain, no Fail()
+      // call. The victims' control AND data planes die together
+      // (SetNodeRevoked); only the failure detector ever learns. A
+      // second die decides whether the storm crosses tiers and takes
+      // ready spot node(s) down with it, equally unannounced.
+      std::vector<NodeId> ready = ReadyServerlessIds();
+      ready.erase(std::remove_if(ready.begin(), ready.end(),
+                                 [this](NodeId id) {
+                                   return silenced_cause_.count(id) > 0;
+                                 }),
+                  ready.end());
+      if (ready.empty()) {
+        return false;
+      }
+      injector_.rng().Shuffle(ready);
+      const int permille = std::min(event.magnitude, 1000);
+      const std::size_t count = std::min(
+          ready.size(),
+          std::max<std::size_t>(
+              1, (ready.size() * static_cast<std::size_t>(permille) + 999) / 1000));
+      for (std::size_t i = 0; i < count; ++i) {
+        runtime_->SetNodeRevoked(ready[i]);
+        silenced_cause_[ready[i]] = FaultClass::kTierStorm;
+        ++serverless_nodes_revoked_;
+      }
+      if (injector_.rng().Bernoulli(0.5)) {
+        // The storm crosses into the spot tier: up to two ready spot
+        // nodes — preferring ActivePS hosts for maximum damage — go
+        // permanently dark alongside the serverless victims.
+        std::vector<NodeId> spot = ReadyTransientIds();
+        spot.erase(std::remove_if(spot.begin(), spot.end(),
+                                  [this](NodeId id) {
+                                    return silenced_cause_.count(id) > 0;
+                                  }),
+                   spot.end());
+        std::stable_sort(spot.begin(), spot.end(), [this](NodeId a, NodeId b) {
+          const auto& actives = runtime_->roles().active_ps_nodes;
+          return actives.count(a) > actives.count(b);
+        });
+        const std::size_t spot_victims = std::min<std::size_t>(spot.size(), 2);
+        for (std::size_t i = 0; i < spot_victims; ++i) {
+          runtime_->SetNodeSilent(spot[i], true);
+          silenced_cause_[spot[i]] = FaultClass::kTierStorm;
+        }
+      }
       return true;
     }
   }
@@ -656,6 +763,19 @@ ChaosRunResult ChaosHarness::Run() {
           static_cast<int>(injector_.rng().UniformInt(0, config_.schedule.zones - 1));
       AddAllocation(zone, config_.nodes_per_allocation);
     }
+    if (config_.min_serverless > 0) {
+      // Revoked nodes are walking dead — still members until the
+      // detector confirms, but not capacity.
+      int serverless_count = 0;
+      for (const NodeInfo& node : runtime_->nodes()) {
+        if (node.serverless() && !runtime_->IsRevokedNode(node.id)) {
+          ++serverless_count;
+        }
+      }
+      if (serverless_count < config_.min_serverless) {
+        AddServerlessAllocation(config_.serverless_nodes_per_allocation);
+      }
+    }
 
     const int lost_before_clock = runtime_->lost_clocks_total();
     const std::int64_t notices_before_clock =
@@ -758,6 +878,7 @@ ChaosRunResult ChaosHarness::Run() {
   result.torn_checkpoints_armed = torn_checkpoints_armed_;
   result.scrubs_run = recovery_->scrubs_run();
   result.scrub_corruptions_found = recovery_->scrub_corruptions_found();
+  result.serverless_nodes_revoked = serverless_nodes_revoked_;
   return result;
 }
 

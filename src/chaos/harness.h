@@ -43,6 +43,13 @@ struct ChaosConfig {
   // Replenish (as BidBrain would) when ready+preparing transient nodes
   // drop below this.
   int min_transient = 4;
+  // Ultra-transient serverless tier (zero eviction warning, PR 10).
+  // Serverless allocations hold worker-only burstable slots; the
+  // kTierStorm fault class revokes them with no notice of any kind.
+  // Thinned capacity is replenished back toward `min_serverless`.
+  int initial_serverless_allocations = 0;
+  int serverless_nodes_per_allocation = 2;
+  int min_serverless = 0;
   // Checkpoint the reliable tier every this many clock boundaries (also
   // once at start-up, so a stage-1 reliable failure is always
   // survivable). Every in-memory checkpoint is mirrored to the durable
@@ -98,6 +105,9 @@ struct ChaosRunResult {
   int torn_checkpoints_armed = 0;
   std::uint64_t scrubs_run = 0;
   std::uint64_t scrub_corruptions_found = 0;
+  // Ultra-transient-tier accounting (PR 10): serverless nodes revoked
+  // with zero warning by tier storms (all of them silent by definition).
+  std::uint64_t serverless_nodes_revoked = 0;
 
   bool ok() const { return violations.empty(); }
   // Order-sensitive fingerprint of every numeric field; equal digests
@@ -145,6 +155,7 @@ class ChaosHarness {
  private:
   struct ChaosAllocation {
     int zone = 0;
+    bool serverless = false;  // Serverless allocations have no zone.
     std::vector<NodeId> nodes;
   };
 
@@ -153,10 +164,14 @@ class ChaosHarness {
   bool Apply(const FaultEvent& event);
 
   AllocationId AddAllocation(int zone, int count);
+  AllocationId AddServerlessAllocation(int count);
   // Removes the given nodes from allocation bookkeeping.
   void ForgetNodes(const std::vector<NodeId>& nodes);
-  std::vector<NodeId> ReadyTransientIds() const;
-  std::vector<NodeId> AllTransientIds() const;  // Ready + preparing.
+  // Drops every spot allocation from bookkeeping; serverless ones stay.
+  void ClearTransientAllocations();
+  std::vector<NodeId> ReadyTransientIds() const;   // Spot only.
+  std::vector<NodeId> AllTransientIds() const;     // Spot, ready + preparing.
+  std::vector<NodeId> ReadyServerlessIds() const;
   void SendEvictionNotice(AllocationId id, const std::vector<NodeId>& nodes,
                           bool warned);
 
@@ -175,6 +190,7 @@ class ChaosHarness {
   int corrupt_frames_injected_ = 0;
   int torn_checkpoints_armed_ = 0;
   int corrupt_epochs_skipped_ = 0;
+  std::uint64_t serverless_nodes_revoked_ = 0;
 
   std::map<AllocationId, ChaosAllocation> allocations_;
   AllocationId next_allocation_ = 0;

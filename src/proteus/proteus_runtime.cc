@@ -25,6 +25,12 @@ ProteusRuntime::ProteusRuntime(MLApp* app, const InstanceTypeCatalog* catalog,
     PROTEUS_CHECK(config_.agileml.detector.enabled)
         << "silent failures need the heartbeat detector to be caught";
   }
+  if (config_.serverless_target > 0) {
+    PROTEUS_CHECK(config_.agileml.detector.enabled)
+        << "the serverless tier gives zero eviction warning; only the "
+           "heartbeat detector can catch its losses";
+    serverless_ = std::make_unique<ServerlessTier>(config_.serverless);
+  }
   if (config_.on_demand_zone.empty()) {
     config_.on_demand_zone = traces->Keys().front().zone;
   }
@@ -96,8 +102,10 @@ void ProteusRuntime::RecordAllocEvent(const char* event, const TrackedAllocation
 }
 
 void ProteusRuntime::UpdateCostGauges() {
+  const Money serverless_cost =
+      serverless_ != nullptr ? serverless_->TotalBill(now_) : 0.0;
   if (ledger_ != nullptr || tracer_ != nullptr) {
-    const Money total = ComputeTotalJobBill(market_, now_).cost;
+    const Money total = ComputeTotalJobBill(market_, now_).cost + serverless_cost;
     if (ledger_ != nullptr) {
       ledger_->Record("cost.sample", "proteus", now_, {{"dollars", total}});
     }
@@ -109,8 +117,15 @@ void ProteusRuntime::UpdateCostGauges() {
     return;
   }
   if (total_cost_gauge_ != nullptr) {
-    total_cost_gauge_->Set(ComputeTotalJobBill(market_, now_).cost);
+    total_cost_gauge_->Set(ComputeTotalJobBill(market_, now_).cost + serverless_cost);
   }
+  // Per-tier cost attribution (the tab_* benches and proteus_analyze
+  // read these to attribute damage and spend by reliability tier).
+  const Money reliable_cost = ComputeJobBill(market_, on_demand_allocation_, now_).cost;
+  const Money transient_cost = ComputeTotalJobBill(market_, now_).cost - reliable_cost;
+  metrics_->GetGauge("proteus.tier.cost", {{"tier", "reliable"}})->Set(reliable_cost);
+  metrics_->GetGauge("proteus.tier.cost", {{"tier", "transient"}})->Set(transient_cost);
+  metrics_->GetGauge("proteus.tier.cost", {{"tier", "serverless"}})->Set(serverless_cost);
   // Per-allocation accumulated cost (the reliable tier is one gauge
   // too). Ended allocations keep their final bill; ids restart at 0
   // every run, so the label cardinality stays bounded.
@@ -174,6 +189,136 @@ void ProteusRuntime::RunDecisionPoint() {
       }
     }
   }
+  if (serverless_ != nullptr) {
+    RunServerlessAcquisition();
+  }
+}
+
+void ProteusRuntime::RecordServerlessEvent(const char* event,
+                                           const TrackedServerless& tracked,
+                                           obs::TraceArgs extra) {
+  if (tracer_ == nullptr && ledger_ == nullptr) {
+    return;
+  }
+  const ServerlessAllocation& alloc = serverless_->Get(tracked.id);
+  obs::TraceArgs args = {{"alloc", static_cast<std::int64_t>(tracked.id)},
+                         {"market", std::string("serverless")},
+                         {"count", static_cast<std::int64_t>(alloc.count)}};
+  for (auto& kv : extra) {
+    args.push_back(std::move(kv));
+  }
+  if (ledger_ != nullptr) {
+    ledger_->Record(std::string("serverless.") + event, "proteus", now_, args);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->InstantAt(now_, std::string("serverless.") + event, "proteus",
+                       std::move(args));
+  }
+}
+
+void ProteusRuntime::RunServerlessAcquisition() {
+  // Enrolled = every node on a live serverless allocation that has not
+  // yet been revoked; pending = the subset still preloading.
+  int enrolled = 0;
+  int pending = 0;
+  for (const auto& [id, tracked] : serverless_live_) {
+    if (tracked.revoked) {
+      continue;
+    }
+    for (const NodeId node : tracked.nodes) {
+      if (agileml_->IsReadyNode(node)) {
+        ++enrolled;
+      } else if (agileml_->IsPreparingNode(node)) {
+        ++enrolled;
+        ++pending;
+      }
+    }
+  }
+  int want = config_.serverless_target - enrolled;
+  if (want <= 0) {
+    return;
+  }
+  // The TierGuard bounds how much of the worker pool the zero-warning
+  // tier may hold; never admit past the exposure bound.
+  want = std::min(
+      want, agileml_->tier_guard().AdmissionHeadroom(agileml_->ReadyTierCounts(), pending));
+  const int chunk = std::max(1, config_.serverless_nodes_per_allocation);
+  while (want > 0) {
+    const int count = std::min(want, chunk);
+    const auto id = serverless_->Request(count, now_);
+    if (!id.has_value()) {
+      break;  // Pool capacity squeezed below our claim; retry next decision.
+    }
+    TrackedServerless tracked;
+    tracked.id = *id;
+    std::vector<NodeInfo> nodes;
+    for (int i = 0; i < count; ++i) {
+      const NodeId node = next_node_id_++;
+      tracked.nodes.push_back(node);
+      // Burstable slots are small: two vcpus apiece. The allocation id
+      // lives in the serverless id space, not the market's.
+      nodes.push_back({node, Tier::kServerless, 2, kInvalidAllocation});
+    }
+    controller_channel_.Send(Message(AllocationGrantMsg{*id, tracked.nodes, 2}));
+    agileml_->AddNodes(nodes);  // Background preload, then join (§3.3).
+    const AllocationId alloc_id = *id;
+    serverless_live_[alloc_id] = std::move(tracked);
+    ++acquisitions_;
+    ++serverless_acquisitions_;
+    if (acquisitions_counter_ != nullptr) {
+      acquisitions_counter_->Increment();
+    }
+    RecordServerlessEvent("acquired", serverless_live_[alloc_id]);
+    want -= count;
+  }
+}
+
+void ProteusRuntime::ProcessServerlessEventsUntil(SimTime until) {
+  if (serverless_ == nullptr) {
+    return;
+  }
+  for (auto it = serverless_live_.begin(); it != serverless_live_.end();) {
+    TrackedServerless& tracked = it->second;
+    const ServerlessAllocation& alloc = serverless_->Get(tracked.id);
+    bool erase = false;
+    if (alloc.running() && !tracked.revoked && alloc.revocation_time <= until) {
+      // Zero warning, always: the provider reclaims the slots with no
+      // notice of any kind. There is no warned path here by design —
+      // every serverless loss flows through the silent-failure →
+      // detector-confirmed pipeline.
+      serverless_->MarkRevoked(tracked.id);
+      std::vector<NodeId> ready;
+      std::vector<NodeId> preloading;
+      for (const NodeId node : tracked.nodes) {
+        (agileml_->IsReadyNode(node) ? ready : preloading).push_back(node);
+      }
+      if (ready.empty()) {
+        // Never incorporated: the preload is simply abandoned.
+        agileml_->Evict(tracked.nodes);
+        ++aborted_preloads_;
+        if (aborted_counter_ != nullptr) {
+          aborted_counter_->Increment();
+        }
+        RecordServerlessEvent("aborted", tracked,
+                              {{"cause", std::string(ServerlessRevocationCauseName(
+                                    alloc.revocation_cause))}});
+        erase = true;
+      } else {
+        if (!preloading.empty()) {
+          agileml_->Evict(preloading);  // Discards the still-preparing nodes.
+        }
+        for (const NodeId node : ready) {
+          agileml_->SetNodeRevoked(node);
+        }
+        tracked.revoked = true;
+        RecordServerlessEvent("revoked.silent", tracked,
+                              {{"cause", std::string(ServerlessRevocationCauseName(
+                                    alloc.revocation_cause))}});
+      }
+      next_decision_ = until;  // React immediately (§5).
+    }
+    it = erase ? serverless_live_.erase(it) : ++it;
+  }
 }
 
 void ProteusRuntime::HandleEviction(TrackedAllocation& tracked, bool warned) {
@@ -212,6 +357,7 @@ void ProteusRuntime::HandleEviction(TrackedAllocation& tracked, bool warned) {
     RecordAllocEvent("evicted", tracked);
   } else {
     const int lost = agileml_->Fail(tracked.nodes);
+    transient_lost_clocks_ += lost;
     ++failures_;
     if (failures_counter_ != nullptr) {
       failures_counter_->Increment();
@@ -280,8 +426,35 @@ void ProteusRuntime::Step() {
     RunDecisionPoint();
     next_decision_ = now_ + config_.decision_period;
   }
+  const int lost_before = agileml_->lost_clocks_total();
   const IterationReport report = agileml_->RunClock();
+  bool serverless_confirmed = false;
+  bool transient_confirmed = false;
   if (!report.confirmed_dead.empty()) {
+    const auto confirmed_contains = [&report](NodeId node) {
+      return std::find(report.confirmed_dead.begin(), report.confirmed_dead.end(),
+                       node) != report.confirmed_dead.end();
+    };
+    // Zero-warning serverless revocations resolve here: the detector
+    // confirmed the revoked nodes dead and the runtime rolled back.
+    for (auto it = serverless_live_.begin(); it != serverless_live_.end();) {
+      TrackedServerless& tracked = it->second;
+      if (tracked.revoked &&
+          std::any_of(tracked.nodes.begin(), tracked.nodes.end(), confirmed_contains)) {
+        serverless_confirmed = true;
+        ++failures_;
+        ++silent_failures_;
+        ++serverless_losses_;
+        if (failures_counter_ != nullptr) {
+          failures_counter_->Increment();
+        }
+        RecordServerlessEvent("failed.confirmed", tracked,
+                              {{"clock", static_cast<std::int64_t>(agileml_->clock())}});
+        it = serverless_live_.erase(it);
+      } else {
+        ++it;
+      }
+    }
     // The detector confirmed silenced nodes dead and the runtime already
     // rolled back; account the allocation as a (silent) failure now.
     for (auto it = live_.begin(); it != live_.end();) {
@@ -295,6 +468,7 @@ void ProteusRuntime::Step() {
                                          node) != report.confirmed_dead.end();
                       });
       if (confirmed) {
+        transient_confirmed = true;
         ++failures_;
         ++silent_failures_;
         if (failures_counter_ != nullptr) {
@@ -308,12 +482,24 @@ void ProteusRuntime::Step() {
       }
     }
   }
+  // Attribute the clocks this confirmation's rollback cost to the tier
+  // whose loss triggered it (serverless wins a mixed batch: the rollback
+  // depth is set by the zero-warning victims' unconfirmed window).
+  const int lost_delta = agileml_->lost_clocks_total() - lost_before;
+  if (lost_delta > 0) {
+    if (serverless_confirmed) {
+      serverless_lost_clocks_ += lost_delta;
+    } else if (transient_confirmed) {
+      transient_lost_clocks_ += lost_delta;
+    }
+  }
   if (config_.checkpoint_every > 0 &&
       agileml_->clock() % config_.checkpoint_every == 0) {
     agileml_->CheckpointReliable();
   }
   const SimTime clock_end = now_ + report.duration;
   ProcessMarketEventsUntil(clock_end);
+  ProcessServerlessEventsUntil(clock_end);
   now_ = clock_end;
   // Preloads that completed during this clock turn the allocation active.
   for (auto& [id, tracked] : live_) {
@@ -325,6 +511,19 @@ void ProteusRuntime::Step() {
         tracked.active = true;
         RecordAllocEvent("active", tracked,
                          {{"clock", static_cast<std::int64_t>(agileml_->clock())}});
+        break;
+      }
+    }
+  }
+  for (auto& [id, tracked] : serverless_live_) {
+    if (tracked.active || tracked.revoked) {
+      continue;
+    }
+    for (const NodeId node : tracked.nodes) {
+      if (agileml_->IsReadyNode(node)) {
+        tracked.active = true;
+        RecordServerlessEvent("active", tracked,
+                              {{"clock", static_cast<std::int64_t>(agileml_->clock())}});
         break;
       }
     }
@@ -344,6 +543,23 @@ ProteusRunSummary ProteusRuntime::Train(int target_clock) {
   summary.clocks = static_cast<int>(agileml_->clock());
   summary.runtime = now_ - start_;
   summary.bill = ComputeTotalJobBill(market_, now_);
+  // Per-tier breakdown: the market bill splits reliable (the up-front
+  // on-demand allocation) from transient (everything else); serverless
+  // slots bill outside the market and fold into the total.
+  summary.tier_reliable.cost = ComputeJobBill(market_, on_demand_allocation_, now_).cost;
+  summary.tier_transient.cost = summary.bill.cost - summary.tier_reliable.cost;
+  summary.tier_transient.evictions = evictions_ + (failures_ - serverless_losses_);
+  summary.tier_transient.warned_losses = evictions_;
+  summary.tier_transient.silent_losses = silent_failures_ - serverless_losses_;
+  summary.tier_transient.lost_clocks = transient_lost_clocks_;
+  if (serverless_ != nullptr) {
+    summary.tier_serverless.cost = serverless_->TotalBill(now_);
+    summary.bill.cost += summary.tier_serverless.cost;
+    summary.tier_serverless.evictions = serverless_losses_;
+    summary.tier_serverless.silent_losses = serverless_losses_;  // All of them, by design.
+    summary.tier_serverless.lost_clocks = serverless_lost_clocks_;
+  }
+  summary.serverless_acquisitions = serverless_acquisitions_;
   summary.evictions = evictions_;
   summary.failures = failures_;
   summary.silent_failures = silent_failures_;
@@ -366,6 +582,16 @@ ProteusStatus ProteusRuntime::Status() const {
   status.virtual_time = agileml_->total_time();
   const TierCounts counts = agileml_->ReadyTierCounts();
   status.transient_nodes = counts.transient + agileml_->PreparingCount();
+  int serverless_preparing = 0;
+  for (const auto& [id, tracked] : serverless_live_) {
+    for (const NodeId node : tracked.nodes) {
+      if (agileml_->IsPreparingNode(node)) {
+        ++serverless_preparing;
+      }
+    }
+  }
+  status.serverless_nodes = counts.serverless + serverless_preparing;
+  status.transient_nodes -= serverless_preparing;  // PreparingCount() spans tiers.
   status.evictions = evictions_;
   status.failures = failures_;
   status.silent_failures = silent_failures_;

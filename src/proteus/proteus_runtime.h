@@ -25,6 +25,7 @@
 
 #include "src/agileml/runtime.h"
 #include "src/bidbrain/bidbrain.h"
+#include "src/market/serverless_tier.h"
 #include "src/market/spot_market.h"
 #include "src/obs/ledger.h"
 #include "src/obs/metrics.h"
@@ -54,6 +55,16 @@ struct ProteusConfig {
   // them dead, and triggers the rollback. Models the unannounced spot
   // terminations the paper's notification path cannot see.
   double silent_failure_fraction = 0.0;
+  // --- Ultra-transient serverless tier (zero eviction warning) ---
+  // Target number of serverless worker nodes to keep enrolled (0 = the
+  // tier is disabled). Requires agileml.detector.enabled: serverless
+  // losses carry no notification whatsoever, so only the heartbeat
+  // detector can catch them. Acquisition is clamped every decision point
+  // by the TierGuard admission headroom (agileml.tier_guard).
+  int serverless_target = 0;
+  // Slots acquired per serverless allocation (burst granularity).
+  int serverless_nodes_per_allocation = 4;
+  ServerlessTierConfig serverless;
   // Checkpoint the reliable tier every this many clocks (0 = never).
   // Insures against reliable-node failure; free in stage 3 (§3.3).
   int checkpoint_every = 0;
@@ -67,6 +78,7 @@ struct ProteusStatus {
   SimTime now = 0.0;            // Market time.
   SimDuration virtual_time = 0.0;
   int transient_nodes = 0;      // Ready + preparing.
+  int serverless_nodes = 0;     // Ready + preparing (ultra-transient).
   int evictions = 0;
   int failures = 0;
   // Subset of `failures` that arrived with no notification at all and
@@ -83,6 +95,20 @@ struct ProteusStatus {
   // (1.0 = balanced; see ModelStore::ShardImbalance).
   int model_shards = 1;
   double shard_imbalance = 1.0;
+};
+
+// Per-tier damage/cost attribution for a run (ISSUE 10 satellite):
+// `evictions` counts allocations the market took back (any path);
+// warned_losses is the subset drained gracefully inside a warning
+// window, silent_losses the subset caught only by the failure detector.
+// The reliable tier never loses allocations; the serverless tier's
+// losses are all silent by construction (zero warning).
+struct ProteusTierBreakdown {
+  Money cost = 0.0;
+  int evictions = 0;
+  int warned_losses = 0;
+  int silent_losses = 0;
+  int lost_clocks = 0;
 };
 
 struct ProteusRunSummary {
@@ -105,6 +131,13 @@ struct ProteusRunSummary {
   std::uint64_t checkpoint_bytes_written = 0;
   std::uint64_t checkpoint_bytes_restored = 0;
   int restore_clocks_lost = 0;
+  // Per-tier breakdown (cost, evictions, warned vs. silent losses,
+  // clocks lost). tier_serverless.cost is additionally folded into
+  // bill.cost so the headline total covers all three tiers.
+  ProteusTierBreakdown tier_reliable;
+  ProteusTierBreakdown tier_transient;
+  ProteusTierBreakdown tier_serverless;
+  int serverless_acquisitions = 0;  // Subset of `acquisitions`.
 };
 
 class ProteusRuntime {
@@ -143,6 +176,8 @@ class ProteusRuntime {
 
   ProteusStatus Status() const;
   const AgileMLRuntime& agileml() const { return *agileml_; }
+  // The ultra-transient tier's market surface (nullptr when disabled).
+  const ServerlessTier* serverless_tier() const { return serverless_.get(); }
   // Mutable access for chaos/fault injection: lets a test or the chaos
   // harness drive checkpoints, restores, and node failures that the
   // market alone would not produce (e.g. reliable-tier failures).
@@ -172,11 +207,30 @@ class ProteusRuntime {
     SimTime terminate_at = 0.0;
   };
 
+  // One serverless allocation's lifecycle. There is no warned state: a
+  // revocation cuts both planes at once and only the detector notices.
+  struct TrackedServerless {
+    AllocationId id = kInvalidAllocation;  // ServerlessTier id space.
+    std::vector<NodeId> nodes;
+    bool active = false;   // At least one node incorporated.
+    bool revoked = false;  // Revocation applied; awaiting confirmation.
+  };
+
   std::vector<LiveAllocation> LiveView() const;
   void RunDecisionPoint();
+  // Tops the serverless tier up to its target, clamped by the TierGuard
+  // admission headroom.
+  void RunServerlessAcquisition();
   // Handles warnings/evictions/terminations due at or before `until`.
   void ProcessMarketEventsUntil(SimTime until);
+  // Applies due zero-warning serverless revocations: ready victims stop
+  // working and heartbeating in the same instant (SetNodeRevoked) and
+  // are only accounted once the detector confirms them dead.
+  void ProcessServerlessEventsUntil(SimTime until);
   void HandleEviction(TrackedAllocation& tracked, bool warned);
+  // Emits one "alloc.<event>" instant for a serverless allocation.
+  void RecordServerlessEvent(const char* event, const TrackedServerless& tracked,
+                             obs::TraceArgs extra = {});
   // Emits one "alloc.<event>" lifecycle instant on the "proteus" track.
   void RecordAllocEvent(const char* event, const TrackedAllocation& tracked,
                         obs::TraceArgs extra = {});
@@ -199,12 +253,20 @@ class ProteusRuntime {
   NodeId next_node_id_ = 0;
   std::map<AllocationId, TrackedAllocation> live_;
   AllocationId on_demand_allocation_ = kInvalidAllocation;
+  // Ultra-transient tier (present only when serverless_target > 0).
+  std::unique_ptr<ServerlessTier> serverless_;
+  std::map<AllocationId, TrackedServerless> serverless_live_;
 
   int evictions_ = 0;
   int failures_ = 0;
   int silent_failures_ = 0;
   int acquisitions_ = 0;
   int aborted_preloads_ = 0;
+  // Per-tier damage attribution (reliable allocations never die).
+  int transient_lost_clocks_ = 0;
+  int serverless_losses_ = 0;       // All silent by construction.
+  int serverless_lost_clocks_ = 0;
+  int serverless_acquisitions_ = 0;
 
   // Observability sinks (optional) and cached handles. Per-allocation
   // cost gauges are registered lazily as allocations appear; allocation

@@ -4,6 +4,7 @@
 // latency exported through the metrics registry.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <vector>
 
@@ -91,6 +92,35 @@ TEST(FailureDetectorTest, UnregisterStopsTracking) {
   EXPECT_FALSE(detector.IsTracked(9));
   EXPECT_TRUE(detector.Poll(50).confirmed_dead.empty());
   EXPECT_FALSE(detector.Heartbeat(9, 1));  // Untracked: no-op.
+}
+
+TEST(FailureDetectorTest, RewindClampsLeasesRenewedAtDiscardedClocks) {
+  // A rollback rewinds the runtime clock; leases renewed at the
+  // now-discarded clocks must not defer detection of a node that died
+  // just before the rewind by the rewind distance.
+  FailureDetector detector(Enabled(1, 3));
+  detector.Register(3, 0);
+  detector.Register(4, 0);
+  for (std::int64_t clock = 1; clock <= 13; ++clock) {
+    detector.Heartbeat(3, clock);
+    detector.Heartbeat(4, clock);
+    EXPECT_TRUE(detector.Poll(clock).confirmed_dead.empty());
+  }
+  // Node 4 goes dark at clock 13; the runtime rolls back to clock 7.
+  detector.RewindTo(7);
+  // Node 3 keeps renewing through the re-executed clocks; node 4 must be
+  // confirmed at 7 + confirm_after, not 13 + confirm_after.
+  detector.Heartbeat(3, 8);
+  EXPECT_TRUE(detector.Poll(8).confirmed_dead.empty());
+  detector.Heartbeat(3, 9);
+  EXPECT_TRUE(detector.Poll(9).confirmed_dead.empty());
+  detector.Heartbeat(3, 10);
+  const FailureDetectorReport report = detector.Poll(10);
+  ASSERT_EQ(report.confirmed_dead.size(), 1U);
+  EXPECT_EQ(report.confirmed_dead[0].node, 4);
+  EXPECT_EQ(report.confirmed_dead[0].missed_clocks, 3);
+  EXPECT_TRUE(detector.IsTracked(3));
+  EXPECT_FALSE(detector.IsSuspected(3));
 }
 
 TEST(FailureDetectorTest, PollOrderIsDeterministic) {
@@ -224,6 +254,88 @@ TEST_F(DetectorRuntimeTest, AnnouncedPathsBypassTheDetector) {
     EXPECT_TRUE(report.confirmed_dead.empty());
   }
   EXPECT_EQ(runtime.failure_detector().confirmations(), 0U);
+}
+
+TEST_F(DetectorRuntimeTest, FalsePositiveRecoversMidStorm) {
+  // Sustained-churn hardening (PR 10): a short silent hang on a spot
+  // node must recover as a false positive even while a zero-warning
+  // serverless storm is awaiting confirmation — the detector must not
+  // lump the recovered node into the storm's confirm batch.
+  std::vector<NodeInfo> nodes = Cluster(2, 6);
+  NodeId id = static_cast<NodeId>(nodes.size());
+  for (int i = 0; i < 3; ++i) {
+    nodes.push_back({id++, Tier::kServerless, 2, kInvalidAllocation});
+  }
+  AgileMLRuntime runtime(app_.get(), Config(), nodes);
+  obs::MetricsRegistry metrics;
+  runtime.SetObservability(nullptr, &metrics);
+  ConsistencyAuditor auditor(&runtime);
+  runtime.RunClocks(4);
+  auditor.ObserveClock();
+
+  // The storm: every serverless node revoked with zero warning.
+  std::vector<NodeId> storm;
+  for (const NodeInfo& node : runtime.nodes()) {
+    if (node.serverless()) {
+      runtime.SetNodeRevoked(node.id);
+      storm.push_back(node.id);
+    }
+  }
+  ASSERT_EQ(storm.size(), 3U);
+  // The bait: a spot node hangs for one clock mid-storm, then recovers.
+  const NodeId bait = 5;
+  ASSERT_TRUE(runtime.IsReadyNode(bait));
+  runtime.SetNodeSilent(bait, true);
+  runtime.RunClock();  // Missed 1 => suspected, alongside the storm.
+  auditor.ObserveClock();
+  runtime.SetNodeSilent(bait, false);
+
+  std::vector<NodeId> confirmed;
+  for (int i = 0; i < 10 && confirmed.empty(); ++i) {
+    const IterationReport report = runtime.RunClock();
+    auditor.ObserveClock();
+    confirmed = report.confirmed_dead;
+  }
+  ASSERT_EQ(confirmed.size(), storm.size());
+  for (const NodeId victim : storm) {
+    EXPECT_TRUE(std::count(confirmed.begin(), confirmed.end(), victim) == 1)
+        << "storm victim " << victim << " not in the confirm batch";
+    EXPECT_FALSE(runtime.IsReadyNode(victim));
+  }
+  // The recovered node survived the storm untouched.
+  EXPECT_TRUE(runtime.IsReadyNode(bait));
+  EXPECT_EQ(metrics.Snapshot().Value("agileml.detector.false_positives"), 1.0);
+  EXPECT_EQ(runtime.RevokedCount(), 0);  // Bookkeeping fully drained.
+  EXPECT_TRUE(auditor.ok()) << auditor.Report();
+  // Churn continues cleanly after the storm.
+  for (int i = 0; i < 3; ++i) {
+    runtime.RunClock();
+    auditor.ObserveClock();
+  }
+  EXPECT_TRUE(auditor.ok()) << auditor.Report();
+}
+
+TEST_F(DetectorRuntimeTest, BatchConfirmationGaugeReportsBatchMaximum) {
+  // Many nodes confirmed in the same clock must export one latency
+  // reading — the batch maximum — not the sum and not the last victim's
+  // value by iteration accident.
+  AgileMLRuntime runtime(app_.get(), Config(), Cluster(2, 6));
+  obs::MetricsRegistry metrics;
+  runtime.SetObservability(nullptr, &metrics);
+  runtime.RunClocks(3);
+  const std::vector<NodeId> victims = {3, 4, 6, 7};
+  for (const NodeId victim : victims) {
+    ASSERT_TRUE(runtime.IsReadyNode(victim));
+    runtime.SetNodeSilent(victim, true);
+  }
+  std::vector<NodeId> confirmed;
+  for (int i = 0; i < 10 && confirmed.empty(); ++i) {
+    confirmed = runtime.RunClock().confirmed_dead;
+  }
+  ASSERT_EQ(confirmed.size(), victims.size());  // One batch, same clock.
+  EXPECT_EQ(metrics.Snapshot().Value("agileml.detector.detection_latency_clocks"),
+            3.0);
+  EXPECT_EQ(metrics.Snapshot().Value("agileml.detector.confirmed_dead"), 4.0);
 }
 
 TEST_F(DetectorRuntimeTest, DetectorDisabledMeansNoHeartbeatTraffic) {

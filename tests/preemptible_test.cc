@@ -52,6 +52,33 @@ TEST_F(PreemptibleTest, ThirtySecondWarning) {
   EXPECT_NEAR(market.WarningTime(id), market.Get(id).revocation_time - 30.0, 1e-9);
 }
 
+TEST_F(PreemptibleTest, WarningClampedToAllocationStart) {
+  // A lifetime shorter than the warning window cannot warn before the
+  // allocation exists: the warning instant clamps to the start.
+  PreemptibleConfig config;
+  config.revocations_per_hour = 1e-9;
+  config.max_lifetime = 20 * kSecond;  // Under the 30s warning.
+  PreemptibleMarket market = Make(config);
+  const AllocationId id = market.Request("c4.xlarge", 1, 500.0);
+  EXPECT_DOUBLE_EQ(market.Get(id).revocation_time, 520.0);
+  EXPECT_DOUBLE_EQ(market.WarningTime(id), 500.0);
+}
+
+TEST_F(PreemptibleTest, RevocationInsideWarningWindowStillBillsMinimum) {
+  // The entire 20s lifetime sits inside the 30s warning window; GCE
+  // billing does not care — the 10-minute minimum applies regardless.
+  PreemptibleConfig config;
+  config.revocations_per_hour = 1e-9;
+  config.max_lifetime = 20 * kSecond;
+  PreemptibleMarket market = Make(config);
+  const AllocationId id = market.Request("c4.xlarge", 1, 0.0);
+  market.MarkRevoked(id);
+  EXPECT_EQ(market.Get(id).state, AllocationState::kEvicted);
+  EXPECT_DOUBLE_EQ(market.Get(id).end, 20.0);
+  EXPECT_NEAR(market.Bill(id, kDay),
+              market.PricePerHour("c4.xlarge") * (10.0 / 60.0), 1e-9);
+}
+
 TEST_F(PreemptibleTest, PerMinuteBillingWithTenMinuteMinimum) {
   PreemptibleConfig config;
   config.revocations_per_hour = 1e-9;

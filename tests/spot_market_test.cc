@@ -52,6 +52,38 @@ TEST_F(SpotMarketTest, WarningPrecedesEvictionByTwoMinutes) {
   EXPECT_DOUBLE_EQ(*warning, 2.5 * kHour - 2 * kMinute);
 }
 
+TEST_F(SpotMarketTest, WarningClampedToAllocationStart) {
+  // Requested one minute before the price crossing: the nominal warning
+  // instant (crossing - 2 min) predates the allocation, so it clamps to
+  // the start — the consumer never sees a warning in the past.
+  const SimTime start = 2.5 * kHour - kMinute;
+  const auto id = market_->RequestSpot(key_, 1, 0.10, start);
+  ASSERT_TRUE(id.has_value());
+  const auto warning = market_->WarningTime(*id);
+  ASSERT_TRUE(warning.has_value());
+  EXPECT_DOUBLE_EQ(*warning, start);
+}
+
+TEST_F(SpotMarketTest, RevokeInsideWarningWindowBillsAsEvictionAtRevokeInstant) {
+  // A provider-side Revoke landing after the warning has opened but
+  // before the precomputed crossing: the allocation ends at the revoke
+  // instant (not the crossing), and billing treats it as an eviction —
+  // the in-progress hour is refunded, the warned time is not billed
+  // extra.
+  const auto id = market_->RequestSpot(key_, 2, 0.10, 0.0);
+  ASSERT_TRUE(id.has_value());
+  const SimTime inside_warning = 2.5 * kHour - kMinute;
+  ASSERT_GT(inside_warning, *market_->WarningTime(*id));
+  market_->Revoke(*id, inside_warning);
+  const Allocation& alloc = market_->Get(*id);
+  EXPECT_EQ(alloc.state, AllocationState::kEvicted);
+  EXPECT_DOUBLE_EQ(alloc.end, inside_warning);
+  EXPECT_DOUBLE_EQ(*alloc.eviction_time, 2.5 * kHour);  // Unchanged.
+  const BillingBreakdown bill = market_->Bill(*id, 10 * kHour);
+  EXPECT_NEAR(bill.charged, 2 * 0.05 * 2, 1e-9);  // Hours 0 and 1.
+  EXPECT_NEAR(bill.refunded, 0.05 * 2, 1e-9);     // In-progress hour 2.
+}
+
 TEST_F(SpotMarketTest, BillsFullHoursAtHourStartPrice) {
   const auto id = market_->RequestSpot(key_, 2, 0.10, 0.0);
   market_->Terminate(*id, 2.0 * kHour);

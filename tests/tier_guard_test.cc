@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/agileml/tier_guard.h"
+
+namespace proteus {
+namespace {
+
+std::vector<NodeInfo> MakeNodes(int reliable, int transient, int serverless) {
+  std::vector<NodeInfo> nodes;
+  NodeId id = 0;
+  for (int i = 0; i < reliable; ++i) {
+    nodes.push_back({id++, Tier::kReliable});
+  }
+  for (int i = 0; i < transient; ++i) {
+    nodes.push_back({id++, Tier::kTransient});
+  }
+  for (int i = 0; i < serverless; ++i) {
+    nodes.push_back({id++, Tier::kServerless});
+  }
+  return nodes;
+}
+
+RoleAssignment Stage2Roles() {
+  RoleAssignment roles;
+  roles.stage = Stage::kStage2;
+  return roles;
+}
+
+TEST(TierGuardTest, AdmissionHeadroomSolvesTheFractionBound) {
+  TierGuardConfig config;
+  config.enabled = true;
+  config.max_worker_fraction = 0.5;
+  TierGuard guard(config);
+  // 4 non-serverless ready nodes, none exposed: up to 4 may join before
+  // serverless reaches half the membership (4 of 8).
+  TierCounts ready;
+  ready.reliable = 2;
+  ready.transient = 2;
+  EXPECT_EQ(guard.AdmissionHeadroom(ready, /*pending=*/0), 4);
+  // Two already preloading count against the same bound.
+  EXPECT_EQ(guard.AdmissionHeadroom(ready, /*pending=*/2), 2);
+  // Exactly at the bound: no headroom left.
+  ready.serverless = 4;
+  EXPECT_EQ(guard.AdmissionHeadroom(ready, /*pending=*/0), 0);
+  // Over-exposed (e.g. after reliable churn): clamped to zero, never
+  // negative.
+  ready.reliable = 1;
+  ready.transient = 0;
+  EXPECT_EQ(guard.AdmissionHeadroom(ready, /*pending=*/0), 0);
+}
+
+TEST(TierGuardTest, AdmissionUnlimitedWhenDisabledOrUnbounded) {
+  TierCounts ready;
+  ready.reliable = 1;
+  TierGuard disabled(TierGuardConfig{});
+  EXPECT_GT(disabled.AdmissionHeadroom(ready, 0), 1 << 20);
+  TierGuardConfig config;
+  config.enabled = true;
+  config.max_worker_fraction = 1.0;
+  TierGuard unbounded(config);
+  EXPECT_GT(unbounded.AdmissionHeadroom(ready, 0), 1 << 20);
+}
+
+TEST(TierGuardTest, ZeroPsExposureCheckedEvenWhenDisabled) {
+  TierGuard guard(TierGuardConfig{});  // enabled = false.
+  const std::vector<NodeInfo> nodes = MakeNodes(2, 0, 1);  // Serverless id 2.
+  RoleAssignment roles = Stage2Roles();
+  roles.server[0] = 0;
+  roles.backup[0] = 2;  // Backup on the serverless node: forbidden.
+  const TierGuardReport report = guard.Audit(nodes, roles, 5, 5);
+  EXPECT_FALSE(report.ok);
+  EXPECT_EQ(report.serverless_ps_roles, 1);
+  EXPECT_NE(report.detail.find("parameter-server"), std::string::npos);
+}
+
+TEST(TierGuardTest, ServerlessActivePsAlsoViolates) {
+  TierGuard guard(TierGuardConfig{});
+  const std::vector<NodeInfo> nodes = MakeNodes(2, 0, 1);
+  RoleAssignment roles = Stage2Roles();
+  roles.active_ps_nodes.insert(2);
+  EXPECT_FALSE(guard.Audit(nodes, roles, 0, 0).ok);
+  RoleAssignment serving = Stage2Roles();
+  serving.server[3] = 2;
+  EXPECT_FALSE(guard.Audit(nodes, serving, 0, 0).ok);
+}
+
+TEST(TierGuardTest, WorkerFractionBoundEnforced) {
+  TierGuardConfig config;
+  config.enabled = true;
+  config.max_worker_fraction = 0.5;
+  TierGuard guard(config);
+  const RoleAssignment roles = Stage2Roles();
+  // Exactly at the bound (3 of 6): allowed.
+  const TierGuardReport at_bound = guard.Audit(MakeNodes(2, 1, 3), roles, 0, 0);
+  EXPECT_TRUE(at_bound.ok);
+  EXPECT_DOUBLE_EQ(at_bound.worker_fraction, 0.5);
+  // One more serverless node (4 of 7): violation.
+  const TierGuardReport over = guard.Audit(MakeNodes(2, 1, 4), roles, 0, 0);
+  EXPECT_FALSE(over.ok);
+  EXPECT_NE(over.detail.find("fraction"), std::string::npos);
+}
+
+TEST(TierGuardTest, SyncLagBoundOnlyWhileExposed) {
+  TierGuardConfig config;
+  config.enabled = true;
+  config.max_unsynced_clocks_exposed = 4;
+  TierGuard guard(config);
+  const RoleAssignment roles = Stage2Roles();
+  const std::vector<NodeInfo> exposed = MakeNodes(2, 2, 2);
+  // Lag 6 with serverless workers present: a zero-warning storm would
+  // roll back more than the configured bound.
+  const TierGuardReport stale = guard.Audit(exposed, roles, 10, 4);
+  EXPECT_FALSE(stale.ok);
+  EXPECT_EQ(stale.unsynced_clocks, 6);
+  // The allowance for pending detector confirmations widens the bound.
+  EXPECT_TRUE(guard.Audit(exposed, roles, 10, 4, /*extra_lag_allowance=*/3).ok);
+  // Same lag with no serverless exposure: fine.
+  EXPECT_TRUE(guard.Audit(MakeNodes(2, 4, 0), roles, 10, 4).ok);
+  // Bound <= 0 disables the check.
+  config.max_unsynced_clocks_exposed = 0;
+  EXPECT_TRUE(TierGuard(config).Audit(exposed, roles, 10, 4).ok);
+}
+
+TEST(TierGuardTest, Stage1ReportsZeroLag) {
+  TierGuardConfig config;
+  config.enabled = true;
+  TierGuard guard(config);
+  RoleAssignment roles;  // Stage 1: no backups, lag is meaningless.
+  const TierGuardReport report = guard.Audit(MakeNodes(2, 0, 1), roles, 10, 0);
+  EXPECT_TRUE(report.ok);
+  EXPECT_EQ(report.unsynced_clocks, 0);
+}
+
+}  // namespace
+}  // namespace proteus

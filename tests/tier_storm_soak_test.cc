@@ -1,0 +1,96 @@
+// Tier-storm soak (ctest label: "soak"): the ISSUE 10 acceptance pin.
+// For every seed in the battery, a run losing the entire serverless
+// tier — including storms that cross into the spot tier and storms that
+// wipe both lower tiers mid-round — recovers through the ladder to a
+// model digest byte-identical to the correct reference for its depth,
+// with zero warned-drain events attributed to serverless allocations
+// (the runtime CHECK-fails on any) and the TierGuard exposure bound
+// re-audited at every clock.
+//
+// Run alone with `ctest -L soak`; exclude with `ctest -LE soak`.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/chaos/tier_storm.h"
+
+namespace proteus {
+namespace {
+
+class TierStormSoakTest : public ::testing::Test {
+ protected:
+  TierStormSoakTest() {
+    RatingsConfig rc;
+    rc.users = 300;
+    rc.items = 150;
+    rc.ratings = 10000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 4;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  TierStormConfig Config(TierStormScenario scenario, std::uint64_t seed) const {
+    TierStormConfig config;
+    config.agileml.num_partitions = 8;
+    config.agileml.data_blocks = 64;
+    config.agileml.parallel_execution = false;
+    config.agileml.backup_sync_every = 3;
+    config.agileml.seed = seed;
+    config.scenario = scenario;
+    config.horizon = 24;
+    config.checkpoint_every = 4;
+    config.storm_at = 11;
+    config.initial_serverless = 6;
+    config.seed = seed;
+    return config;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(TierStormSoakTest, EveryScenarioByteIdenticalAcrossSeeds) {
+  constexpr int kSeeds = 25;
+  for (const TierStormScenario scenario :
+       {TierStormScenario::kServerlessWipe, TierStormScenario::kCrossTierSpot,
+        TierStormScenario::kBackupHolderOverlap,
+        TierStormScenario::kFullWipe}) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const TierStormResult result =
+          RunTierStorm(app_.get(), Config(scenario, seed));
+      ASSERT_TRUE(result.digest_match)
+          << TierStormScenarioName(scenario) << " seed " << seed
+          << ": post-recovery digest differs from the correct reference";
+      ASSERT_TRUE(result.violations.empty())
+          << TierStormScenarioName(scenario) << " seed " << seed << ": "
+          << result.violations.size() << " auditor violation(s), first: "
+          << result.violations.front().invariant << " — "
+          << result.violations.front().detail;
+      ASSERT_EQ(result.storm_victims, 6)
+          << TierStormScenarioName(scenario) << " seed " << seed;
+    }
+  }
+}
+
+TEST_F(TierStormSoakTest, DetectorConfirmsEveryZeroWarningLoss) {
+  constexpr int kSeeds = 25;
+  for (const TierStormScenario scenario :
+       {TierStormScenario::kServerlessWipe,
+        TierStormScenario::kCrossTierSpot}) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const TierStormResult result =
+          RunTierStorm(app_.get(), Config(scenario, seed));
+      ASSERT_EQ(result.confirmed_serverless, result.storm_victims)
+          << TierStormScenarioName(scenario) << " seed " << seed
+          << ": a zero-warning loss bypassed the detector path";
+      ASSERT_EQ(result.depth, RecoveryDepth::kBackupPromotion)
+          << TierStormScenarioName(scenario) << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,129 @@
+// Tier-storm driver tests: a zero-warning mass revocation of the
+// serverless tier — alone, crossing into the spot tier, overlapping a
+// reliable backup-holder loss, or wiping both lower tiers mid-round —
+// must recover to a model digest byte-identical to the depth's correct
+// reference, with zero auditor violations (the TierGuard exposure bound
+// is re-checked at every clock) and no warned-drain event ever issued
+// for a serverless node.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/apps/datasets.h"
+#include "src/apps/mf.h"
+#include "src/chaos/tier_storm.h"
+
+namespace proteus {
+namespace {
+
+class TierStormTest : public ::testing::Test {
+ protected:
+  TierStormTest() {
+    RatingsConfig rc;
+    rc.users = 200;
+    rc.items = 100;
+    rc.ratings = 5000;
+    data_ = GenerateRatings(rc);
+    MfConfig mc;
+    mc.rank = 4;
+    app_ = std::make_unique<MatrixFactorizationApp>(&data_, mc);
+  }
+
+  TierStormConfig Config(TierStormScenario scenario, std::uint64_t seed) const {
+    TierStormConfig config;
+    config.agileml.num_partitions = 8;
+    config.agileml.data_blocks = 64;
+    config.agileml.parallel_execution = false;
+    config.agileml.backup_sync_every = 3;
+    config.agileml.seed = seed;
+    config.scenario = scenario;
+    config.horizon = 22;
+    config.checkpoint_every = 4;
+    config.storm_at = 9;
+    config.initial_serverless = 6;
+    config.seed = seed;
+    return config;
+  }
+
+  RatingsDataset data_;
+  std::unique_ptr<MatrixFactorizationApp> app_;
+};
+
+TEST_F(TierStormTest, ServerlessWipeRollsBackToLastSyncBytes) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TierStormResult result =
+        RunTierStorm(app_.get(), Config(TierStormScenario::kServerlessWipe, seed));
+    EXPECT_EQ(result.storm_victims, 6) << "seed " << seed;
+    // Every zero-warning loss goes through the detector — never a drain.
+    EXPECT_EQ(result.confirmed_serverless, result.storm_victims)
+        << "seed " << seed;
+    EXPECT_EQ(result.depth, RecoveryDepth::kBackupPromotion) << "seed " << seed;
+    EXPECT_TRUE(result.digest_match)
+        << "seed " << seed
+        << ": post-rollback digest differs from the last sync bytes";
+    EXPECT_GE(result.lost_clocks, 1) << "seed " << seed;
+    EXPECT_TRUE(result.violations.empty()) << "seed " << seed;
+  }
+}
+
+TEST_F(TierStormTest, CrossTierStormConfirmsBothTiersInOneBatch) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TierStormResult result =
+        RunTierStorm(app_.get(), Config(TierStormScenario::kCrossTierSpot, seed));
+    EXPECT_EQ(result.storm_victims, 6) << "seed " << seed;
+    EXPECT_EQ(result.confirmed_serverless, result.storm_victims)
+        << "seed " << seed;
+    EXPECT_EQ(result.spot_victims, 2) << "seed " << seed;
+    EXPECT_TRUE(result.digest_match)
+        << "seed " << seed
+        << ": cross-tier rollback digest differs from the last sync bytes";
+    EXPECT_TRUE(result.violations.empty()) << "seed " << seed;
+  }
+}
+
+TEST_F(TierStormTest, BackupHolderOverlapLeavesActiveStateUntouched) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TierStormResult result = RunTierStorm(
+        app_.get(), Config(TierStormScenario::kBackupHolderOverlap, seed));
+    EXPECT_EQ(result.depth, RecoveryDepth::kActiveRebuild) << "seed " << seed;
+    EXPECT_TRUE(result.digest_match)
+        << "seed " << seed
+        << ": active state changed during the mid-storm backup rebuild";
+    // The pending serverless revocations are still confirmed afterwards.
+    EXPECT_EQ(result.confirmed_serverless, result.storm_victims)
+        << "seed " << seed;
+    EXPECT_TRUE(result.violations.empty()) << "seed " << seed;
+  }
+}
+
+TEST_F(TierStormTest, FullWipeRestoresCommittedEpochBytes) {
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    const TierStormResult result =
+        RunTierStorm(app_.get(), Config(TierStormScenario::kFullWipe, seed));
+    EXPECT_EQ(result.depth, RecoveryDepth::kDurableRestore) << "seed " << seed;
+    EXPECT_GT(result.durable_epoch, 0u) << "seed " << seed;
+    EXPECT_TRUE(result.digest_match)
+        << "seed " << seed
+        << ": durable restore differs from the committed epoch bytes";
+    // The whole tier went down with the blast, not via the detector.
+    EXPECT_EQ(result.storm_victims, 6) << "seed " << seed;
+    EXPECT_EQ(result.confirmed_serverless, 0) << "seed " << seed;
+    EXPECT_TRUE(result.violations.empty()) << "seed " << seed;
+  }
+}
+
+TEST_F(TierStormTest, SameSeedIsDeterministic) {
+  for (const TierStormScenario scenario :
+       {TierStormScenario::kServerlessWipe, TierStormScenario::kCrossTierSpot,
+        TierStormScenario::kBackupHolderOverlap,
+        TierStormScenario::kFullWipe}) {
+    const TierStormResult a = RunTierStorm(app_.get(), Config(scenario, 7));
+    const TierStormResult b = RunTierStorm(app_.get(), Config(scenario, 7));
+    EXPECT_EQ(a.Digest(), b.Digest()) << TierStormScenarioName(scenario);
+    EXPECT_EQ(a.post_recovery_digest, b.post_recovery_digest)
+        << TierStormScenarioName(scenario);
+  }
+}
+
+}  // namespace
+}  // namespace proteus
